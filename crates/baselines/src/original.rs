@@ -1,0 +1,127 @@
+//! ORIGINAL: ByteDance's pre-RASA production behaviour — "first-fit with
+//! the K8s filter and score process" (Section V-A), with no affinity term.
+
+use rasa_lp::Deadline;
+use rasa_model::{MachineId, Placement, Problem, ResourceVec};
+use rasa_solver::{ScheduleOutcome, Scheduler};
+use std::time::Instant;
+
+/// Affinity-blind first-fit scheduler.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Original;
+
+impl Scheduler for Original {
+    fn name(&self) -> &'static str {
+        "ORIGINAL"
+    }
+
+    fn schedule(&self, problem: &Problem, _deadline: Deadline) -> ScheduleOutcome {
+        let start = Instant::now();
+        let mut placement = Placement::empty_for(problem);
+        let mut usage = vec![ResourceVec::ZERO; problem.num_machines()];
+        let mut aa_counts: Vec<Vec<u32>> = problem
+            .anti_affinity
+            .iter()
+            .map(|_| vec![0u32; problem.num_machines()])
+            .collect();
+        let rules_of: Vec<Vec<usize>> = {
+            let mut map = vec![Vec::new(); problem.num_services()];
+            for (ri, rule) in problem.anti_affinity.iter().enumerate() {
+                for &s in &rule.services {
+                    map[s.idx()].push(ri);
+                }
+            }
+            map
+        };
+        // services in arrival (id) order; containers go to the first
+        // machine that passes the filters
+        let mut cursor = 0usize; // rotating start approximates spreading in K8s
+        for svc in &problem.services {
+            for _ in 0..svc.replicas {
+                let mut placed = false;
+                for probe in 0..problem.num_machines() {
+                    let mi = (cursor + probe) % problem.num_machines();
+                    let machine = &problem.machines[mi];
+                    if !machine.can_host(svc.required_features) {
+                        continue;
+                    }
+                    if !(usage[mi] + svc.demand).fits_within(&machine.capacity, 1e-6) {
+                        continue;
+                    }
+                    if !rules_of[svc.id.idx()]
+                        .iter()
+                        .all(|&ri| aa_counts[ri][mi] < problem.anti_affinity[ri].max_per_machine)
+                    {
+                        continue;
+                    }
+                    placement.add(svc.id, MachineId(mi as u32), 1);
+                    usage[mi] += svc.demand;
+                    for &ri in &rules_of[svc.id.idx()] {
+                        aa_counts[ri][mi] += 1;
+                    }
+                    cursor = mi;
+                    placed = true;
+                    break;
+                }
+                if !placed {
+                    break;
+                }
+            }
+        }
+        ScheduleOutcome::evaluate(problem, placement, start.elapsed(), true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasa_model::{validate, FeatureMask, ProblemBuilder};
+
+    #[test]
+    fn places_everything_when_capacity_allows() {
+        let mut b = ProblemBuilder::new();
+        b.add_service("a", 5, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_service("b", 5, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_machines(4, ResourceVec::cpu_mem(4.0, 4.0), FeatureMask::EMPTY);
+        let p = b.build().unwrap();
+        let out = Original.schedule(&p, Deadline::none());
+        assert!(validate(&p, &out.placement, true).is_empty());
+        assert!(out.completed);
+    }
+
+    #[test]
+    fn ignores_affinity() {
+        // two affine services and plenty of room: first-fit typically
+        // spreads across different machines as the cursor rotates, so the
+        // outcome must simply be feasible — we only check it doesn't crash
+        // and fills the SLA; affinity value is whatever it is.
+        let mut b = ProblemBuilder::new();
+        let s0 = b.add_service("a", 2, ResourceVec::cpu_mem(1.0, 1.0));
+        let s1 = b.add_service("b", 2, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_machines(4, ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::EMPTY);
+        b.add_affinity(s0, s1, 1.0);
+        let p = b.build().unwrap();
+        let out = Original.schedule(&p, Deadline::none());
+        assert!(validate(&p, &out.placement, true).is_empty());
+    }
+
+    #[test]
+    fn respects_filters() {
+        let mut b = ProblemBuilder::new();
+        let s = b.add_service_full(
+            rasa_model::Service::new(
+                rasa_model::ServiceId(0),
+                "needs",
+                2,
+                ResourceVec::cpu_mem(1.0, 1.0),
+            )
+            .with_features(FeatureMask::bit(2)),
+        );
+        b.add_machine(ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::EMPTY);
+        b.add_machine(ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::bit(2));
+        let p = b.build().unwrap();
+        let out = Original.schedule(&p, Deadline::none());
+        assert_eq!(out.placement.count(s, MachineId(0)), 0);
+        assert_eq!(out.placement.count(s, MachineId(1)), 2);
+    }
+}

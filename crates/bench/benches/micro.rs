@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks for the substrates: simplex solves,
+//! branch-and-bound, CG pricing-shaped MIPs, partitioning stages, GCN
+//! forward passes, and objective evaluation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rasa_graph::{multilevel_partition, AffinityGraph, MultilevelConfig};
+use rasa_lp::LpModel;
+use rasa_mip::MipModel;
+use rasa_model::{gained_affinity, Placement};
+use rasa_nn::{Gcn, GcnConfig};
+use rasa_partition::{multi_stage_partition, PartitionConfig};
+use rasa_select::feature_graph;
+use rasa_solver::{FormulationKind, RasaFormulation};
+use rasa_trace::{generate, tiny_cluster, ClusterSpec};
+
+fn bench_simplex(c: &mut Criterion) {
+    // a 60×60 dense-ish LP, the size of a subproblem relaxation row-block
+    c.bench_function("simplex_dense_60x60", |b| {
+        let n = 60;
+        let mut m = LpModel::new();
+        let vars: Vec<_> = (0..n).map(|_| m.add_var(0.0, 10.0, 1.0)).collect();
+        for i in 0..n {
+            let coeffs: Vec<_> = (0..n)
+                .map(|j| (vars[j], if i == j { 1.5 } else { 0.5 }))
+                .collect();
+            m.add_row_le(coeffs, 10.0);
+        }
+        b.iter(|| m.solve());
+    });
+}
+
+fn bench_mip(c: &mut Criterion) {
+    c.bench_function("bnb_knapsack_16", |b| {
+        let values = [
+            92.0, 57.0, 49.0, 68.0, 60.0, 43.0, 67.0, 84.0, 87.0, 72.0, 33.0, 15.0, 61.0, 29.0,
+            75.0, 52.0,
+        ];
+        let weights = [
+            23.0, 31.0, 29.0, 44.0, 53.0, 38.0, 63.0, 85.0, 89.0, 82.0, 20.0, 10.0, 41.0, 17.0,
+            66.0, 38.0,
+        ];
+        let mut m = MipModel::new();
+        let vars: Vec<_> = values.iter().map(|&v| m.add_bin_var(v)).collect();
+        m.add_row_le(
+            vars.iter().zip(weights).map(|(&v, w)| (v, w)).collect(),
+            250.0,
+        );
+        b.iter(|| m.solve());
+    });
+}
+
+fn bench_formulation(c: &mut Criterion) {
+    let problem = generate(&tiny_cluster(3));
+    c.bench_function("rasa_formulation_build_tiny", |b| {
+        b.iter(|| RasaFormulation::build(&problem, FormulationKind::MachineGroup, false));
+    });
+    c.bench_function("rasa_root_lp_tiny", |b| {
+        let f = RasaFormulation::build(&problem, FormulationKind::MachineGroup, false);
+        b.iter(|| f.mip().lp().solve());
+    });
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let problem = generate(&ClusterSpec {
+        name: "bench".into(),
+        services: 300,
+        target_containers: 1500,
+        machines: 60,
+        seed: 5,
+        ..Default::default()
+    });
+    c.bench_function("multi_stage_partition_300", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(1),
+            |mut rng| multi_stage_partition(&problem, None, &PartitionConfig::default(), &mut rng),
+            BatchSize::SmallInput,
+        );
+    });
+    let graph = AffinityGraph::from_problem(&problem);
+    c.bench_function("multilevel_partition_300", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(1),
+            |mut rng| multilevel_partition(&graph, &MultilevelConfig::with_parts(8), &mut rng),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_gcn(c: &mut Criterion) {
+    let problem = generate(&tiny_cluster(4));
+    let g = feature_graph(&problem);
+    let mut rng = StdRng::seed_from_u64(0);
+    let gcn = Gcn::new(GcnConfig::default(), &mut rng);
+    c.bench_function("gcn_forward_tiny", |b| {
+        b.iter(|| gcn.predict(&g));
+    });
+}
+
+fn bench_objective(c: &mut Criterion) {
+    let problem = generate(&tiny_cluster(5));
+    let mut placement = Placement::empty_for(&problem);
+    // arbitrary spread
+    for svc in &problem.services {
+        for r in 0..svc.replicas {
+            placement.add(
+                svc.id,
+                rasa_model::MachineId((r as usize % problem.num_machines()) as u32),
+                1,
+            );
+        }
+    }
+    c.bench_function("gained_affinity_tiny", |b| {
+        b.iter(|| gained_affinity(&problem, &placement));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simplex, bench_mip, bench_formulation, bench_partitioning, bench_gcn, bench_objective
+}
+criterion_main!(benches);

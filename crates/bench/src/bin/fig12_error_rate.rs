@@ -1,0 +1,58 @@
+//! **Fig 12** — normalized request error rate for four critical service
+//! pairs in production: WITH RASA vs WITHOUT RASA vs ONLY COLLOCATED.
+//!
+//! Shape to reproduce: same ordering as Fig 11; the paper's per-pair error
+//! improvements range from 13.27% to 64.42%.
+
+use rasa_bench::production::{mean, normalize_joint, run_production};
+use rasa_bench::{print_table, save_json};
+
+fn main() {
+    let (_problem, report, config) = run_production(12);
+    println!(
+        "Fig 12 — normalized request error rate, {} critical pairs, {} ticks\n",
+        report.pairs.len(),
+        config.ticks
+    );
+
+    let mut rows = Vec::new();
+    let mut improvements = Vec::new();
+    for pair in &report.pairs {
+        let normed = normalize_joint(&[
+            &pair.error_with,
+            &pair.error_without,
+            &pair.error_collocated,
+        ]);
+        let (w, wo, co) = (mean(&normed[0]), mean(&normed[1]), mean(&normed[2]));
+        let improvement = if wo > 0.0 { (wo - w) / wo } else { 0.0 };
+        improvements.push(improvement);
+        rows.push(vec![
+            format!("{}–{}", pair.pair.0, pair.pair.1),
+            format!("{:.3}", w),
+            format!("{:.3}", wo),
+            format!("{:.3}", co),
+            format!("{:.1}%", 100.0 * improvement),
+        ]);
+    }
+    print_table(
+        &[
+            "pair",
+            "WITH RASA",
+            "WITHOUT",
+            "ONLY COLLOC.",
+            "improvement",
+        ],
+        &rows,
+    );
+    let (lo, hi) = improvements
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+    println!(
+        "\nper-pair error-rate improvements span {:.1}%–{:.1}% (paper: 13.27%–64.42%)",
+        100.0 * lo,
+        100.0 * hi
+    );
+    save_json("fig12_error_rate", &report.pairs);
+}

@@ -1,0 +1,119 @@
+//! **Fig 9** — gained affinity of POP / K8s+ / APPLSCI19 / RASA / ORIGINAL
+//! under a fixed time-out.
+//!
+//! Paper numbers to approximate in shape: RASA > all baselines on every
+//! cluster; on average RASA ≈ 13.8× ORIGINAL, +17.66% over APPLSCI19,
+//! +54.91% over POP, +54.69% over K8s+.
+
+use rasa_baselines::{Applsci19, K8sPlus, Original, Pop};
+use rasa_bench::{evaluation_clusters, pct, print_table, save_json, timeout, trained_gcn_selector};
+use rasa_core::{Deadline, RasaConfig, RasaPipeline, SelectorChoice};
+use rasa_solver::Scheduler;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    cluster: String,
+    algorithm: String,
+    normalized_gained_affinity: f64,
+    elapsed_secs: f64,
+    completed: bool,
+}
+
+fn main() {
+    let budget = timeout();
+    // the deployed RASA uses the GCN-based selector (Section IV-D)
+    let rasa = RasaPipeline::new(RasaConfig {
+        selector: SelectorChoice::Gcn(trained_gcn_selector()),
+        ..Default::default()
+    });
+    let k8s_plus = K8sPlus::default();
+    let pop = Pop::default();
+    let applsci = Applsci19::default();
+    let algorithms: Vec<(&str, &dyn Scheduler)> = vec![
+        ("ORIGINAL", &Original),
+        ("K8s+", &k8s_plus),
+        ("POP", &pop),
+        ("APPLSCI19", &applsci),
+        ("RASA", &rasa),
+    ];
+
+    let mut artifacts: Vec<Row> = Vec::new();
+    for (name, problem) in evaluation_clusters() {
+        for (label, alg) in &algorithms {
+            let out = alg.schedule(&problem, Deadline::after(budget));
+            eprintln!(
+                "[{name}] {:<10} nga={} in {:.1}s{}",
+                label,
+                pct(out.normalized_gained_affinity),
+                out.elapsed.as_secs_f64(),
+                if out.completed { "" } else { " (timed out)" }
+            );
+            artifacts.push(Row {
+                cluster: name.clone(),
+                algorithm: label.to_string(),
+                normalized_gained_affinity: out.normalized_gained_affinity,
+                elapsed_secs: out.elapsed.as_secs_f64(),
+                completed: out.completed,
+            });
+        }
+    }
+
+    println!(
+        "\nFig 9 — gained affinity by algorithm ({}s time-out)\n",
+        budget.as_secs()
+    );
+    let clusters: Vec<String> = {
+        let mut v: Vec<String> = artifacts.iter().map(|r| r.cluster.clone()).collect();
+        v.dedup();
+        v
+    };
+    let mut rows = Vec::new();
+    for (label, _) in &algorithms {
+        let mut row = vec![label.to_string()];
+        for cluster in &clusters {
+            let v = artifacts
+                .iter()
+                .find(|r| &r.cluster == cluster && &r.algorithm == label)
+                .map(|r| r.normalized_gained_affinity)
+                .unwrap_or(0.0);
+            row.push(pct(v));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["algorithm"];
+    headers.extend(clusters.iter().map(String::as_str));
+    print_table(&headers, &rows);
+
+    let avg = |label: &str| -> f64 {
+        let vals: Vec<f64> = artifacts
+            .iter()
+            .filter(|r| r.algorithm == label)
+            .map(|r| r.normalized_gained_affinity)
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    };
+    println!("\naverages:");
+    for (label, _) in &algorithms {
+        println!("  {:<10} {}", label, pct(avg(label)));
+    }
+    let rasa_avg = avg("RASA");
+    let orig_avg = avg("ORIGINAL");
+    println!("\npaper-vs-measured factors:");
+    if orig_avg > 0.0 {
+        println!(
+            "  RASA / ORIGINAL = {:.1}× (paper: 13.83×)",
+            rasa_avg / orig_avg
+        );
+    }
+    for (other, paper) in [("APPLSCI19", 17.66), ("POP", 54.91), ("K8s+", 54.69)] {
+        let v = avg(other);
+        if v > 0.0 {
+            println!(
+                "  RASA vs {other}: +{:.1}% (paper: +{paper}%)",
+                100.0 * (rasa_avg - v) / v
+            );
+        }
+    }
+    save_json("fig9_quality", &artifacts);
+}

@@ -1,0 +1,53 @@
+//! **Table II** — scales of the experimental datasets.
+//!
+//! Prints the generated S-clusters' scales next to the paper's M-clusters
+//! so the preserved ratios are visible (DESIGN.md §6 documents the 1/10
+//! scaling; M3→S3 is kept 1:1).
+
+use rasa_bench::{evaluation_clusters, print_table, save_json};
+
+fn main() {
+    // the paper's Table II for reference
+    let paper = [
+        ("M1", 5_904u64, 25_640u64, 977u64),
+        ("M2", 10_180, 152_833, 5_284),
+        ("M3", 547, 3_485, 96),
+        ("M4", 10_682, 113_261, 4_365),
+    ];
+    println!("Paper Table II (ByteDance production traces):");
+    print_table(
+        &["cluster", "#service", "#container", "#machine"],
+        &paper
+            .iter()
+            .map(|(n, s, c, m)| vec![n.to_string(), s.to_string(), c.to_string(), m.to_string()])
+            .collect::<Vec<_>>(),
+    );
+
+    println!("\nGenerated analogues (this reproduction):");
+    let mut rows = Vec::new();
+    let mut artifacts = Vec::new();
+    for (name, problem) in evaluation_clusters() {
+        let st = problem.stats();
+        rows.push(vec![
+            name.clone(),
+            st.services.to_string(),
+            st.containers.to_string(),
+            st.machines.to_string(),
+            st.edges.to_string(),
+            st.machine_groups.to_string(),
+        ]);
+        artifacts.push((name, st));
+    }
+    print_table(
+        &[
+            "cluster",
+            "#service",
+            "#container",
+            "#machine",
+            "#edges",
+            "#sku",
+        ],
+        &rows,
+    );
+    save_json("table2_datasets", &artifacts);
+}

@@ -1,0 +1,188 @@
+//! # rasa-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (Section V), plus criterion micro-benchmarks. See DESIGN.md
+//! §5 for the full experiment index and EXPERIMENTS.md for recorded
+//! paper-vs-measured outcomes.
+//!
+//! All binaries honor two environment variables:
+//!
+//! * `RASA_SCALE` — `small` (default: quick, minutes-total runs on reduced
+//!   clusters) or `full` (the S1–S4 clusters of DESIGN.md §6);
+//! * `RASA_TIMEOUT_SECS` — per-algorithm time-out (default 10, the scaled
+//!   analogue of the paper's one minute).
+
+use rasa_model::Problem;
+use rasa_trace::{generate, s_clusters, ClusterSpec};
+use std::time::Duration;
+
+/// Benchmark scale selected via `RASA_SCALE`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Reduced clusters; minutes-total runtime.
+    Small,
+    /// The S1–S4 analogues of Table II (DESIGN.md §6).
+    Full,
+}
+
+/// Read `RASA_SCALE` (default `small`).
+pub fn scale() -> Scale {
+    match std::env::var("RASA_SCALE").as_deref() {
+        Ok("full") | Ok("FULL") => Scale::Full,
+        _ => Scale::Small,
+    }
+}
+
+/// Read `RASA_TIMEOUT_SECS` (default 10).
+pub fn timeout() -> Duration {
+    let secs = std::env::var("RASA_TIMEOUT_SECS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(10);
+    Duration::from_secs(secs)
+}
+
+/// The evaluation clusters for the selected scale, generated and named.
+pub fn evaluation_clusters() -> Vec<(String, Problem)> {
+    let specs: Vec<ClusterSpec> = match scale() {
+        Scale::Full => s_clusters(),
+        Scale::Small => s_clusters()
+            .into_iter()
+            .map(|spec| ClusterSpec {
+                services: spec.services / 4,
+                target_containers: spec.target_containers / 4,
+                machines: spec.machines / 4,
+                ..spec
+            })
+            .collect(),
+    };
+    specs
+        .into_iter()
+        .map(|spec| (spec.name.clone(), generate(&spec)))
+        .collect()
+}
+
+/// Print a fixed-width table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, String::len))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let line = |cells: Vec<String>| {
+        let parts: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", parts.join("  "));
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Write a JSON artifact under `target/experiments/` for plotting.
+pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("target/experiments");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(json) = serde_json::to_string_pretty(value) {
+        if std::fs::write(&path, json).is_ok() {
+            eprintln!("[artifact] {}", path.display());
+        }
+    }
+}
+
+/// Format a normalized value as a percentage string.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", 100.0 * v)
+}
+
+/// Format seconds.
+pub fn secs(d: Duration) -> String {
+    format!("{:.2}s", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_small() {
+        // (can't mutate the environment safely in parallel tests; just
+        // check the default path parses)
+        if std::env::var("RASA_SCALE").is_err() {
+            assert_eq!(scale(), Scale::Small);
+        }
+    }
+
+    #[test]
+    fn small_clusters_generate_quickly() {
+        let clusters = evaluation_clusters();
+        assert_eq!(clusters.len(), 4);
+        for (name, p) in &clusters {
+            assert!(p.num_services() > 0, "{name}");
+            assert!(!p.affinity_edges.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+}
+
+pub mod production;
+
+/// Train (or load from the `target/experiments` cache) the GCN selector
+/// used by the RASA pipeline in the experiment binaries — the paper's
+/// deployed configuration (Section IV-D). Training follows Fig 8's
+/// pipeline: label T-cluster subproblems by racing CG vs MIP, then fit the
+/// classifier. The cache keys on scale so `small` and `full` runs don't
+/// share a model.
+pub fn trained_gcn_selector() -> rasa_select::GcnSelector {
+    let cache = std::path::PathBuf::from(format!(
+        "target/experiments/gcn_selector_{}.json",
+        match scale() {
+            Scale::Full => "full",
+            Scale::Small => "small",
+        }
+    ));
+    if let Ok(cached) = rasa_select::training::load_gcn(&cache) {
+        eprintln!(
+            "[train] loaded cached GCN selector from {}",
+            cache.display()
+        );
+        return cached;
+    }
+    let (label_limit, label_budget) = match scale() {
+        Scale::Full => (120, Duration::from_secs(2)),
+        Scale::Small => (40, Duration::from_millis(800)),
+    };
+    eprintln!("[train] labelling ≤{label_limit} T-cluster subproblems for the GCN selector…");
+    let train_problems: Vec<Problem> = rasa_trace::t_clusters(900)
+        .iter()
+        .map(rasa_trace::generate)
+        .collect();
+    let data = rasa_core::generate_training_set(&train_problems, label_limit, label_budget, 7);
+    let (gcn, report) = rasa_select::train_gcn(&data, 300, 0.02, 42);
+    eprintln!(
+        "[train] {} examples, GCN train accuracy {:.0}%",
+        data.len(),
+        100.0 * report.train_accuracy
+    );
+    let _ = std::fs::create_dir_all("target/experiments");
+    let _ = rasa_select::training::save_gcn(&gcn, &cache);
+    gcn
+}

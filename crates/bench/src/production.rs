@@ -1,0 +1,75 @@
+//! Shared driver for the production-deployment figures (11, 12, 13):
+//! set up the churning cluster, run the WITH/WITHOUT-RASA arms, and
+//! normalize series the way the paper does (max value = 1.0).
+
+use rasa_baselines::Original;
+use rasa_core::{Deadline, RasaConfig, RasaPipeline};
+use rasa_sim::{run_production_experiment, CronJobConfig, ExperimentConfig, ExperimentReport};
+use rasa_solver::Scheduler;
+use rasa_trace::{generate, ClusterSpec};
+use std::time::Duration;
+
+/// Build the production-experiment cluster and report for the current
+/// scale settings.
+pub fn run_production(seed: u64) -> (rasa_model::Problem, ExperimentReport, ExperimentConfig) {
+    let spec = match crate::scale() {
+        crate::Scale::Full => ClusterSpec {
+            name: "prod".into(),
+            services: 200,
+            target_containers: 1200,
+            machines: 50,
+            machine_types: 3,
+            seed,
+            ..Default::default()
+        },
+        crate::Scale::Small => ClusterSpec {
+            name: "prod".into(),
+            services: 60,
+            target_containers: 280,
+            machines: 16,
+            machine_types: 2,
+            seed,
+            ..Default::default()
+        },
+    };
+    let problem = generate(&spec);
+    let initial = Original.schedule(&problem, Deadline::none()).placement;
+    let config = ExperimentConfig {
+        ticks: 48, // one simulated day of half-hour CronJob ticks
+        churn_fraction: 0.05,
+        tracked_pairs: 4,
+        cron: CronJobConfig {
+            optimizer_budget: crate::timeout().min(Duration::from_secs(5)),
+            ..Default::default()
+        },
+        seed,
+        ..Default::default()
+    };
+    let rasa = RasaPipeline::new(RasaConfig::default());
+    let report = run_production_experiment(&problem, &initial, &rasa, &config);
+    (problem, report, config)
+}
+
+/// Normalize a set of series jointly so their overall max is 1.0 (the
+/// paper normalizes each metric's plots to a max of 1.0).
+pub fn normalize_joint(series: &[&[f64]]) -> Vec<Vec<f64>> {
+    let max = series
+        .iter()
+        .flat_map(|s| s.iter())
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    series
+        .iter()
+        .map(|s| s.iter().map(|v| v / max).collect())
+        .collect()
+}
+
+/// Mean of a slice.
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}

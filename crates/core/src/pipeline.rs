@@ -1,0 +1,374 @@
+//! The RASA pipeline: partition → select → solve (in parallel) → combine →
+//! complete → (optionally) plan the migration.
+
+use crate::selector_choice::SelectorChoice;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rasa_lp::Deadline;
+use rasa_migrate::{plan_migration, MigrateConfig, MigrateError, MigrationPlan};
+use rasa_model::{ContainerAssignment, Placement, Problem};
+use rasa_partition::{
+    partition_with_strategy, PartitionConfig, PartitionOutcome, PartitionStrategy, Subproblem,
+};
+use rasa_select::PoolAlgorithm;
+use rasa_solver::{
+    complete_placement, CgOptions, ColumnGeneration, MipBased, MipBasedOptions, ScheduleOutcome,
+    Scheduler,
+};
+use std::time::Instant;
+
+/// Full pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct RasaConfig {
+    /// Partitioning strategy (the paper's multi-stage by default; the
+    /// others exist for the Fig 6 ablation).
+    pub strategy: PartitionStrategy,
+    /// Partitioning knobs.
+    pub partition: PartitionConfig,
+    /// Algorithm-selection strategy (Fig 8).
+    pub selector: SelectorChoice,
+    /// Options for the MIP-based pool member.
+    pub mip: MipBasedOptions,
+    /// Options for the column-generation pool member.
+    pub cg: CgOptions,
+    /// Solve subproblems on parallel threads (the paper solves each
+    /// subproblem independently, which is embarrassingly parallel).
+    pub parallel: bool,
+    /// Place trivial/leftover containers with the completion pass so the
+    /// final mapping satisfies the SLA.
+    pub complete: bool,
+    /// Seed for the partitioner's randomized stage.
+    pub seed: u64,
+}
+
+impl Default for RasaConfig {
+    fn default() -> Self {
+        // pool members skip their own completion pass; the pipeline runs
+        // one global pass at the end
+        let mut mip = MipBasedOptions::default();
+        mip.complete = false;
+        let mut cg = CgOptions::default();
+        cg.complete = false;
+        RasaConfig {
+            strategy: PartitionStrategy::MultiStage,
+            partition: PartitionConfig::default(),
+            selector: SelectorChoice::default(),
+            mip,
+            cg,
+            parallel: true,
+            complete: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-subproblem report.
+#[derive(Clone, Debug)]
+pub struct SubproblemReport {
+    /// Services in the subproblem.
+    pub services: usize,
+    /// Machines assigned to it.
+    pub machines: usize,
+    /// Which pool algorithm the selector chose.
+    pub algorithm: PoolAlgorithm,
+    /// Gained affinity achieved inside the subproblem (absolute units).
+    pub gained_affinity: f64,
+    /// Whether the algorithm ran to completion within its deadline.
+    pub completed: bool,
+}
+
+/// Result of one pipeline run.
+#[derive(Clone, Debug)]
+pub struct RasaRun {
+    /// The merged, completed schedule with objective values.
+    pub outcome: ScheduleOutcome,
+    /// Partitioning statistics (loss, stage counts, timing).
+    pub partition: rasa_partition::stages::PartitionStats,
+    /// Affinity weight lost to the partition boundaries.
+    pub partition_loss: f64,
+    /// One report per subproblem.
+    pub subproblems: Vec<SubproblemReport>,
+}
+
+/// The RASA optimizer.
+#[derive(Clone, Debug, Default)]
+pub struct RasaPipeline {
+    /// Configuration.
+    pub config: RasaConfig,
+}
+
+impl RasaPipeline {
+    /// A pipeline with the given configuration.
+    pub fn new(config: RasaConfig) -> Self {
+        RasaPipeline { config }
+    }
+
+    /// Run partition → select → solve → combine. `current` is the running
+    /// placement (used to shrink machine capacities under trivial
+    /// services); pass `None` when planning a cluster from scratch.
+    pub fn optimize(
+        &self,
+        problem: &Problem,
+        current: Option<&Placement>,
+        deadline: Deadline,
+    ) -> RasaRun {
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let partition: PartitionOutcome = partition_with_strategy(
+            problem,
+            current,
+            self.config.strategy,
+            &self.config.partition,
+            &mut rng,
+        );
+
+        // decide the algorithm per subproblem up front (cheap)
+        let choices: Vec<PoolAlgorithm> = partition
+            .subproblems
+            .iter()
+            .map(|sub| self.config.selector.select(&sub.problem))
+            .collect();
+
+        // solve
+        let solved: Vec<ScheduleOutcome> = if self.config.parallel {
+            self.solve_parallel(&partition.subproblems, &choices, deadline)
+        } else {
+            self.solve_sequential(&partition.subproblems, &choices, deadline)
+        };
+
+        // combine
+        let mut placement = Placement::empty_for(problem);
+        let mut reports = Vec::with_capacity(solved.len());
+        for ((sub, outcome), &alg) in partition.subproblems.iter().zip(&solved).zip(&choices) {
+            placement.merge_subplacement(
+                &outcome.placement,
+                &sub.mapping.service_to_parent,
+                &sub.mapping.machine_to_parent,
+            );
+            reports.push(SubproblemReport {
+                services: sub.problem.num_services(),
+                machines: sub.problem.num_machines(),
+                algorithm: alg,
+                gained_affinity: outcome.gained_affinity,
+                completed: outcome.completed,
+            });
+        }
+
+        if self.config.complete {
+            complete_placement(problem, &mut placement);
+        }
+        let completed = reports.iter().all(|r| r.completed);
+        let outcome = ScheduleOutcome::evaluate(problem, placement, start.elapsed(), completed);
+        RasaRun {
+            outcome,
+            partition: partition.stats,
+            partition_loss: partition.affinity_loss,
+            subproblems: reports,
+        }
+    }
+
+    /// The full Fig 3 workflow: optimize, then compute the executable
+    /// migration path from the running assignment to the new mapping.
+    pub fn optimize_and_plan(
+        &self,
+        problem: &Problem,
+        current: &ContainerAssignment,
+        deadline: Deadline,
+        migrate: &MigrateConfig,
+    ) -> Result<(RasaRun, MigrationPlan), MigrateError> {
+        let run = self.optimize(problem, Some(&current.to_placement()), deadline);
+        let plan = plan_migration(problem, current, &run.outcome.placement, migrate)?;
+        Ok((run, plan))
+    }
+
+    fn solve_one(
+        &self,
+        sub: &Subproblem,
+        alg: PoolAlgorithm,
+        deadline: Deadline,
+    ) -> ScheduleOutcome {
+        match alg {
+            PoolAlgorithm::Mip => MipBased {
+                options: self.config.mip.clone(),
+            }
+            .schedule(&sub.problem, deadline),
+            PoolAlgorithm::Cg => ColumnGeneration {
+                options: self.config.cg.clone(),
+            }
+            .schedule(&sub.problem, deadline),
+        }
+    }
+
+    fn solve_sequential(
+        &self,
+        subs: &[Subproblem],
+        choices: &[PoolAlgorithm],
+        deadline: Deadline,
+    ) -> Vec<ScheduleOutcome> {
+        let mut out = Vec::with_capacity(subs.len());
+        for (i, (sub, &alg)) in subs.iter().zip(choices).enumerate() {
+            // split the remaining budget evenly over the remaining subproblems
+            let slice = match deadline.remaining() {
+                Some(rem) => deadline.min_with(rem / (subs.len() - i).max(1) as u32),
+                None => Deadline::none(),
+            };
+            out.push(self.solve_one(sub, alg, slice));
+        }
+        out
+    }
+
+    fn solve_parallel(
+        &self,
+        subs: &[Subproblem],
+        choices: &[PoolAlgorithm],
+        deadline: Deadline,
+    ) -> Vec<ScheduleOutcome> {
+        if subs.is_empty() {
+            return Vec::new();
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(subs.len());
+        if threads <= 1 {
+            // one worker means serial execution anyway; sequential slicing
+            // splits the budget fairly instead of letting the first
+            // subproblem starve the rest
+            return self.solve_sequential(subs, choices, deadline);
+        }
+        let slots: Vec<slot::Slot<ScheduleOutcome>> =
+            (0..subs.len()).map(|_| slot::Slot::new()).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                let next = &next;
+                let slots = &slots;
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= subs.len() {
+                        break;
+                    }
+                    slots[i].set(self.solve_one(&subs[i], choices[i], deadline));
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+        slots
+            .into_iter()
+            .map(|s| s.take().expect("every subproblem was solved"))
+            .collect()
+    }
+}
+
+/// Tiny one-shot cell used to collect results from scoped worker threads.
+mod slot {
+    use parking_lot::Mutex;
+
+    pub struct Slot<T>(Mutex<Option<T>>);
+
+    impl<T> Slot<T> {
+        pub fn new() -> Self {
+            Slot(Mutex::new(None))
+        }
+
+        pub fn set(&self, value: T) {
+            *self.0.lock() = Some(value);
+        }
+
+        pub fn take(&self) -> Option<T> {
+            self.0.lock().take()
+        }
+    }
+}
+
+impl Scheduler for RasaPipeline {
+    fn name(&self) -> &'static str {
+        "RASA"
+    }
+
+    fn schedule(&self, problem: &Problem, deadline: Deadline) -> ScheduleOutcome {
+        self.optimize(problem, None, deadline).outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasa_model::{validate, FeatureMask, ProblemBuilder, ResourceVec};
+
+    fn pair_problem() -> Problem {
+        let mut b = ProblemBuilder::new();
+        let s0 = b.add_service("a", 2, ResourceVec::cpu_mem(1.0, 1.0));
+        let s1 = b.add_service("b", 2, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_machines(2, ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::EMPTY);
+        b.add_affinity(s0, s1, 4.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn optimize_reports_one_subproblem_for_a_pair() {
+        let p = pair_problem();
+        let run = RasaPipeline::default().optimize(&p, None, Deadline::none());
+        assert_eq!(run.subproblems.len(), 1);
+        assert_eq!(run.subproblems[0].services, 2);
+        assert!(run.subproblems[0].completed);
+        assert!((run.outcome.normalized_gained_affinity - 1.0).abs() < 1e-6);
+        assert!(validate(&p, &run.outcome.placement, true).is_empty());
+    }
+
+    #[test]
+    fn empty_problem_is_handled() {
+        let p = ProblemBuilder::new().build().unwrap();
+        let run = RasaPipeline::default().optimize(&p, None, Deadline::none());
+        assert!(run.subproblems.is_empty());
+        assert_eq!(run.outcome.gained_affinity, 0.0);
+    }
+
+    #[test]
+    fn problem_without_edges_goes_entirely_to_completion() {
+        let mut b = ProblemBuilder::new();
+        b.add_service("solo", 3, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_machines(2, ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::EMPTY);
+        let p = b.build().unwrap();
+        let run = RasaPipeline::default().optimize(&p, None, Deadline::none());
+        assert!(
+            run.subproblems.is_empty(),
+            "no affinity → no crucial subproblems"
+        );
+        assert!(
+            validate(&p, &run.outcome.placement, true).is_empty(),
+            "SLA via completion"
+        );
+    }
+
+    #[test]
+    fn scheduler_trait_matches_optimize() {
+        let p = pair_problem();
+        let pipeline = RasaPipeline::default();
+        let via_trait = pipeline.schedule(&p, Deadline::none());
+        let via_optimize = pipeline.optimize(&p, None, Deadline::none()).outcome;
+        assert!((via_trait.gained_affinity - via_optimize.gained_affinity).abs() < 1e-9);
+        assert_eq!(pipeline.name(), "RASA");
+    }
+
+    #[test]
+    fn disabled_completion_leaves_trivial_services_out() {
+        let mut b = ProblemBuilder::new();
+        let s0 = b.add_service("a", 1, ResourceVec::cpu_mem(1.0, 1.0));
+        let s1 = b.add_service("b", 1, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_service("trivial", 2, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_machines(2, ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::EMPTY);
+        b.add_affinity(s0, s1, 1.0);
+        let p = b.build().unwrap();
+        let run = RasaPipeline::new(RasaConfig {
+            complete: false,
+            ..Default::default()
+        })
+        .optimize(&p, None, Deadline::none());
+        assert_eq!(
+            run.outcome.placement.placed_count(rasa_model::ServiceId(2)),
+            0,
+            "trivial service untouched without completion"
+        );
+    }
+}

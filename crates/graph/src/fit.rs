@@ -1,0 +1,162 @@
+//! Distribution fitting for the total-affinity skew (Fig 5 / Assumption 4.1).
+//!
+//! The paper plots the total affinity `T(s)` of services ranked by
+//! decreasing `T(s)` and shows that a power law `T(s) ∝ s^{-β}` fits far
+//! better than an exponential `T(s) ∝ e^{-λ s}`. Both fits here are
+//! ordinary least squares in the appropriate log space:
+//!
+//! * power law: `ln T = ln c − β ln s` — linear in `ln s`;
+//! * exponential: `ln T = ln c − λ s` — linear in `s`.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of fitting a ranked, positive-valued sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FitReport {
+    /// Decay parameter: `β` for a power law, `λ` for an exponential.
+    pub decay: f64,
+    /// Scale constant `c` (value at rank 1 / at x = 0 respectively).
+    pub scale: f64,
+    /// Coefficient of determination in log space; 1.0 is a perfect fit.
+    pub r_squared: f64,
+}
+
+fn linear_regression(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+        syy += (y - mean_y) * (y - mean_y);
+    }
+    if sxx == 0.0 {
+        return (0.0, mean_y, if syy == 0.0 { 1.0 } else { 0.0 });
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    // Treat numerically-constant y as a perfect fit rather than dividing two
+    // rounding-noise quantities.
+    let y_scale = ys.iter().fold(0.0f64, |acc, y| acc.max(y.abs())).max(1.0);
+    let r2 = if syy <= 1e-24 * y_scale * y_scale * n {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    (slope, intercept, r2)
+}
+
+/// Fit `values[k] ≈ c · (k+1)^{-β}` to a ranked sequence (descending
+/// total-affinity values). Non-positive entries are skipped (they carry no
+/// information in log space).
+///
+/// # Panics
+/// Panics if fewer than two positive values remain.
+pub fn fit_power_law(values: &[f64]) -> FitReport {
+    let pts: Vec<(f64, f64)> = values
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v > 0.0)
+        .map(|(k, &v)| (((k + 1) as f64).ln(), v.ln()))
+        .collect();
+    assert!(pts.len() >= 2, "need at least two positive values to fit");
+    let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+    let (slope, intercept, r2) = linear_regression(&xs, &ys);
+    FitReport {
+        decay: -slope,
+        scale: intercept.exp(),
+        r_squared: r2,
+    }
+}
+
+/// Fit `values[k] ≈ c · e^{-λ (k+1)}` to a ranked sequence.
+///
+/// # Panics
+/// Panics if fewer than two positive values remain.
+pub fn fit_exponential(values: &[f64]) -> FitReport {
+    let pts: Vec<(f64, f64)> = values
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v > 0.0)
+        .map(|(k, &v)| ((k + 1) as f64, v.ln()))
+        .collect();
+    assert!(pts.len() >= 2, "need at least two positive values to fit");
+    let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+    let (slope, intercept, r2) = linear_regression(&xs, &ys);
+    FitReport {
+        decay: -slope,
+        scale: intercept.exp(),
+        r_squared: r2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_power_law_recovered() {
+        let beta = 1.7;
+        let values: Vec<f64> = (1..=50).map(|k| 10.0 * (k as f64).powf(-beta)).collect();
+        let fit = fit_power_law(&values);
+        assert!((fit.decay - beta).abs() < 1e-9, "beta = {}", fit.decay);
+        assert!((fit.scale - 10.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn exact_exponential_recovered() {
+        let lambda = 0.25;
+        let values: Vec<f64> = (1..=50).map(|k| 3.0 * (-lambda * k as f64).exp()).collect();
+        let fit = fit_exponential(&values);
+        assert!((fit.decay - lambda).abs() < 1e-9);
+        assert!((fit.scale - 3.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn power_law_data_prefers_power_law_fit() {
+        // the discriminating experiment behind Fig 5
+        let values: Vec<f64> = (1..=40).map(|k| (k as f64).powf(-1.5)).collect();
+        let pl = fit_power_law(&values);
+        let ex = fit_exponential(&values);
+        assert!(pl.r_squared > ex.r_squared);
+    }
+
+    #[test]
+    fn exponential_data_prefers_exponential_fit() {
+        let values: Vec<f64> = (1..=40).map(|k| (-0.3 * k as f64).exp()).collect();
+        let pl = fit_power_law(&values);
+        let ex = fit_exponential(&values);
+        assert!(ex.r_squared > pl.r_squared);
+    }
+
+    #[test]
+    fn zero_values_are_skipped() {
+        let values = vec![8.0, 4.0, 0.0, 2.0];
+        // ranks 1, 2, 4 with values 8, 4, 2 — not an exact power law but finite
+        let fit = fit_power_law(&values);
+        assert!(fit.decay > 0.0);
+        assert!(fit.r_squared > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "two positive values")]
+    fn too_few_points_panics() {
+        let _ = fit_power_law(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn constant_sequence_has_zero_decay() {
+        let values = vec![5.0; 10];
+        let fit = fit_power_law(&values);
+        assert!(fit.decay.abs() < 1e-9);
+        assert!((fit.scale - 5.0).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # rasa-graph
+//!
+//! Graph machinery for RASA's affinity analysis (Sections II-B and IV-B of
+//! the paper):
+//!
+//! * [`AffinityGraph`] — a CSR-backed weighted undirected view of a
+//!   problem's affinity edges, with BFS, connected components, degree and
+//!   total-affinity queries;
+//! * [`fit`] — power-law and exponential fits of the total-affinity
+//!   distribution (reproduces Fig 5 and underpins Assumption 4.1);
+//! * [`multilevel`] — a multilevel min-weight balanced graph partitioner
+//!   (heavy-edge-matching coarsening, greedy growing, FM refinement). It is
+//!   the repository's stand-in for KaHIP, the baseline of Fig 6;
+//! * [`partition`] — partition descriptions and quality metrics (cut weight,
+//!   balance) shared by all partitioning strategies, plus random and
+//!   BFS-seeded partition generators used by the paper's
+//!   loss-minimization balanced partitioning stage (Section IV-B4).
+
+pub mod csr;
+pub mod fit;
+pub mod multilevel;
+pub mod partition;
+pub mod traversal;
+
+pub use csr::AffinityGraph;
+pub use fit::{fit_exponential, fit_power_law, FitReport};
+pub use multilevel::{multilevel_partition, MultilevelConfig};
+pub use partition::{bfs_seeded_partition, cut_weight, is_balanced, random_partition, Partition};
+pub use traversal::{bfs_order, connected_components, multi_source_bfs_assignment};

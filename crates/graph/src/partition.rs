@@ -1,0 +1,210 @@
+//! Vertex partitions, their quality metrics, and the partition generators
+//! used by the paper's loss-minimization balanced partitioning stage
+//! (Section IV-B4).
+
+use crate::csr::AffinityGraph;
+use crate::traversal::multi_source_bfs_assignment;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A partition of `0..n` vertices into disjoint non-empty parts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// `part_of[v]` is the index of `v`'s part.
+    pub part_of: Vec<usize>,
+    /// Number of parts.
+    pub num_parts: usize,
+}
+
+impl Partition {
+    /// Build from a part-assignment vector; re-densifies part indices so
+    /// empty parts disappear.
+    pub fn from_assignment(assignment: Vec<usize>) -> Self {
+        let mut remap: std::collections::BTreeMap<usize, usize> = Default::default();
+        let mut part_of = assignment;
+        for p in part_of.iter_mut() {
+            let next = remap.len();
+            *p = *remap.entry(*p).or_insert(next);
+        }
+        let num_parts = remap.len();
+        Partition { part_of, num_parts }
+    }
+
+    /// The trivial one-part partition of `n` vertices.
+    pub fn single(n: usize) -> Self {
+        Partition {
+            part_of: vec![0; n],
+            num_parts: if n == 0 { 0 } else { 1 },
+        }
+    }
+
+    /// Vertices of each part, in index order.
+    pub fn parts(&self) -> Vec<Vec<usize>> {
+        let mut parts = vec![Vec::new(); self.num_parts];
+        for (v, &p) in self.part_of.iter().enumerate() {
+            parts[p].push(v);
+        }
+        parts
+    }
+
+    /// Sizes of each part.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_parts];
+        for &p in &self.part_of {
+            sizes[p] += 1;
+        }
+        sizes
+    }
+}
+
+/// Total weight of edges crossing between different parts — the *affinity
+/// loss* the paper's stage-4 heuristic minimizes.
+pub fn cut_weight(graph: &AffinityGraph, partition: &Partition) -> f64 {
+    let mut cut = 0.0;
+    for (a, b, w) in graph.edge_list() {
+        if partition.part_of[a] != partition.part_of[b] {
+            cut += w;
+        }
+    }
+    cut
+}
+
+/// The paper's balance criterion: the largest part has at most
+/// `ratio` × the smallest part's size (Section IV-B4 uses `ratio = 2.0`).
+/// Partitions with a single part are trivially balanced.
+pub fn is_balanced(partition: &Partition, ratio: f64) -> bool {
+    let sizes = partition.sizes();
+    if sizes.len() <= 1 {
+        return true;
+    }
+    let max = *sizes.iter().max().unwrap() as f64;
+    let min = *sizes.iter().min().unwrap() as f64;
+    // All parts produced by our generators are non-empty; guard anyway.
+    min > 0.0 && max <= ratio * min
+}
+
+/// Uniformly random assignment of vertices to `k` parts (the
+/// RANDOM-PARTITION ablation of Fig 6 and the partitioning rule inside the
+/// POP baseline).
+pub fn random_partition<R: Rng>(n: usize, k: usize, rng: &mut R) -> Partition {
+    assert!(k >= 1, "need at least one part");
+    let assignment: Vec<usize> = (0..n).map(|_| rng.gen_range(0..k)).collect();
+    Partition::from_assignment(assignment)
+}
+
+/// One candidate partition of the paper's stage-4 heuristic: sample `h`
+/// seed vertices uniformly, run simultaneous BFS from all of them, and
+/// assign each vertex to the seed that first reaches it (Section IV-B4,
+/// steps i–iii). Vertices unreachable from every seed are distributed
+/// round-robin over the parts so the result is a true partition.
+pub fn bfs_seeded_partition<R: Rng>(graph: &AffinityGraph, h: usize, rng: &mut R) -> Partition {
+    let n = graph.num_vertices();
+    assert!(h >= 1 && h <= n, "need 1 <= h <= n seeds, got h={h} n={n}");
+    let mut vertices: Vec<usize> = (0..n).collect();
+    vertices.shuffle(rng);
+    let seeds = &vertices[..h];
+    let mut assignment = multi_source_bfs_assignment(graph, seeds);
+    let mut spill = 0usize;
+    for a in assignment.iter_mut() {
+        if *a == usize::MAX {
+            *a = spill % h;
+            spill += 1;
+        }
+    }
+    Partition::from_assignment(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_cliques() -> AffinityGraph {
+        // cliques {0,1,2} and {3,4,5} joined by one light edge
+        AffinityGraph::from_edges(
+            6,
+            &[
+                (0, 1, 5.0),
+                (1, 2, 5.0),
+                (0, 2, 5.0),
+                (3, 4, 5.0),
+                (4, 5, 5.0),
+                (3, 5, 5.0),
+                (2, 3, 0.1),
+            ],
+        )
+    }
+
+    #[test]
+    fn from_assignment_densifies() {
+        let p = Partition::from_assignment(vec![7, 7, 3, 7]);
+        assert_eq!(p.num_parts, 2);
+        assert_eq!(p.part_of, vec![0, 0, 1, 0]);
+        assert_eq!(p.sizes(), vec![3, 1]);
+        assert_eq!(p.parts(), vec![vec![0, 1, 3], vec![2]]);
+    }
+
+    #[test]
+    fn cut_weight_counts_cross_edges_once() {
+        let g = two_cliques();
+        let p = Partition::from_assignment(vec![0, 0, 0, 1, 1, 1]);
+        assert!((cut_weight(&g, &p) - 0.1).abs() < 1e-12);
+        let single = Partition::single(6);
+        assert_eq!(cut_weight(&g, &single), 0.0);
+    }
+
+    #[test]
+    fn balance_criterion() {
+        let p = Partition::from_assignment(vec![0, 0, 0, 0, 1, 1]);
+        assert!(is_balanced(&p, 2.0));
+        let q = Partition::from_assignment(vec![0, 0, 0, 0, 0, 1]);
+        assert!(!is_balanced(&q, 2.0));
+        assert!(is_balanced(&Partition::single(9), 2.0));
+    }
+
+    #[test]
+    fn random_partition_is_a_partition() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = random_partition(100, 4, &mut rng);
+        assert_eq!(p.part_of.len(), 100);
+        assert!(p.num_parts <= 4);
+        assert_eq!(p.sizes().iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn bfs_seeded_partition_respects_locality() {
+        let g = two_cliques();
+        let mut rng = StdRng::seed_from_u64(7);
+        // With h=2 the heuristic should frequently find the clique split;
+        // check that over several draws the best observed cut is the light edge.
+        let best = (0..20)
+            .map(|_| {
+                let p = bfs_seeded_partition(&g, 2, &mut rng);
+                cut_weight(&g, &p)
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best <= 0.1 + 1e-12,
+            "best cut {best} should isolate the cliques"
+        );
+    }
+
+    #[test]
+    fn bfs_seeded_partition_assigns_every_vertex() {
+        // graph with isolated vertices: they spill round-robin
+        let g = AffinityGraph::from_edges(5, &[(0, 1, 1.0)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = bfs_seeded_partition(&g, 2, &mut rng);
+        assert_eq!(p.part_of.len(), 5);
+        assert!(p.part_of.iter().all(|&x| x < p.num_parts));
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= h <= n")]
+    fn bfs_seeded_partition_rejects_too_many_seeds() {
+        let g = AffinityGraph::from_edges(2, &[(0, 1, 1.0)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = bfs_seeded_partition(&g, 3, &mut rng);
+    }
+}

@@ -1,0 +1,156 @@
+//! BFS traversal and connected components.
+
+use crate::csr::AffinityGraph;
+use std::collections::VecDeque;
+
+/// BFS visit order from `start` (vertices reachable from `start`, including
+/// it, in breadth-first order; neighbor ties follow storage order, so the
+/// result is deterministic).
+pub fn bfs_order(graph: &AffinityGraph, start: usize) -> Vec<usize> {
+    let mut visited = vec![false; graph.num_vertices()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[start] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for (u, _) in graph.neighbors(v) {
+            if !visited[u] {
+                visited[u] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+/// Connected components; returns `(component_of, num_components)` where
+/// `component_of[v]` is a dense component index. Isolated vertices form
+/// singleton components.
+pub fn connected_components(graph: &AffinityGraph) -> (Vec<usize>, usize) {
+    let n = graph.num_vertices();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut queue = VecDeque::new();
+    for v0 in 0..n {
+        if comp[v0] != usize::MAX {
+            continue;
+        }
+        comp[v0] = next;
+        queue.push_back(v0);
+        while let Some(v) = queue.pop_front() {
+            for (u, _) in graph.neighbors(v) {
+                if comp[u] == usize::MAX {
+                    comp[u] = next;
+                    queue.push_back(u);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next)
+}
+
+/// The multi-source BFS used by the paper's loss-minimization balanced
+/// partitioning heuristic (Section IV-B4, step ii–iii): run BFS from each of
+/// the `h` sampled seed vertices *simultaneously* (interleaved frontier
+/// expansion) and assign every other vertex to the seed that first reaches
+/// it. Returns `assignment[v] = seed index` (`usize::MAX` for vertices
+/// unreachable from every seed).
+///
+/// Ties (two seeds reaching a vertex in the same round) resolve to the seed
+/// appearing earlier in `seeds`, matching "firstly visited" with a
+/// deterministic scan order.
+pub fn multi_source_bfs_assignment(graph: &AffinityGraph, seeds: &[usize]) -> Vec<usize> {
+    let n = graph.num_vertices();
+    let mut assignment = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    for (k, &s) in seeds.iter().enumerate() {
+        assert!(s < n, "seed out of range");
+        // Later duplicate seeds lose to the first occurrence.
+        if assignment[s] == usize::MAX {
+            assignment[s] = k;
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let k = assignment[v];
+        for (u, _) in graph.neighbors(v) {
+            if assignment[u] == usize::MAX {
+                assignment[u] = k;
+                queue.push_back(u);
+            }
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two components: a path 0-1-2 and an edge 3-4; vertex 5 isolated.
+    fn graph() -> AffinityGraph {
+        AffinityGraph::from_edges(6, &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)])
+    }
+
+    #[test]
+    fn bfs_order_is_breadth_first() {
+        let g = AffinityGraph::from_edges(5, &[(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 4, 1.0)]);
+        let order = bfs_order(&g, 0);
+        assert_eq!(order[0], 0);
+        // layer 1 = {1, 2}, layer 2 = {3, 4}
+        assert!(order[1..3].contains(&1) && order[1..3].contains(&2));
+        assert!(order[3..5].contains(&3) && order[3..5].contains(&4));
+    }
+
+    #[test]
+    fn bfs_stays_within_component() {
+        let g = graph();
+        let order = bfs_order(&g, 3);
+        assert_eq!(order.len(), 2);
+        assert!(order.contains(&4));
+    }
+
+    #[test]
+    fn components_are_identified() {
+        let g = graph();
+        let (comp, n) = connected_components(&g);
+        assert_eq!(n, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[5], comp[0]);
+        assert_ne!(comp[5], comp[3]);
+    }
+
+    #[test]
+    fn multi_source_bfs_partitions_reachable_vertices() {
+        // path 0-1-2-3-4 with seeds at the ends
+        let g = AffinityGraph::from_edges(5, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)]);
+        let assignment = multi_source_bfs_assignment(&g, &[0, 4]);
+        assert_eq!(assignment[0], 0);
+        assert_eq!(assignment[1], 0);
+        assert_eq!(assignment[3], 1);
+        assert_eq!(assignment[4], 1);
+        // middle vertex: both seeds reach it in round 2; earlier seed wins
+        assert_eq!(assignment[2], 0);
+    }
+
+    #[test]
+    fn multi_source_bfs_leaves_unreachable_unassigned() {
+        let g = graph();
+        let assignment = multi_source_bfs_assignment(&g, &[0]);
+        assert_eq!(assignment[3], usize::MAX);
+        assert_eq!(assignment[5], usize::MAX);
+        assert_eq!(assignment[2], 0);
+    }
+
+    #[test]
+    fn duplicate_seeds_keep_first() {
+        let g = graph();
+        let assignment = multi_source_bfs_assignment(&g, &[1, 1]);
+        assert_eq!(assignment[1], 0);
+    }
+}

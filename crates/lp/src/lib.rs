@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # rasa-lp
+//!
+//! A self-contained linear-programming solver: a **bounded-variable revised
+//! simplex** with a two-phase (artificial-variable) start, product-form
+//! basis-inverse updates and periodic refactorization.
+//!
+//! This crate is the repository's substitute for the off-the-shelf solver
+//! (Gurobi 9.5) the RASA paper uses. It provides exactly what the layers
+//! above need:
+//!
+//! * LP relaxations for the branch-and-bound MIP solver (`rasa-mip`),
+//! * the restricted master problem of the column-generation algorithm
+//!   (`rasa-solver`), including **dual values** for pricing,
+//! * deadline-aware solving ([`Deadline`]) so RASA can return its best
+//!   result under the paper's one-minute-style time-outs.
+//!
+//! The implementation favors clarity and numerical robustness over raw
+//! speed: dense basis inverse, Dantzig pricing with a Bland fallback for
+//! degeneracy, and explicit feasibility re-checks after refactorization.
+//!
+//! ## Example
+//!
+//! ```
+//! use rasa_lp::{LpModel, LpStatus};
+//!
+//! // maximize 3x + 2y  s.t.  x + y <= 4,  x <= 2,  x, y >= 0
+//! let mut m = LpModel::new();
+//! let x = m.add_var(0.0, f64::INFINITY, 3.0);
+//! let y = m.add_var(0.0, f64::INFINITY, 2.0);
+//! m.add_row_le(vec![(x, 1.0), (y, 1.0)], 4.0);
+//! m.add_row_le(vec![(x, 1.0)], 2.0);
+//! let sol = m.solve();
+//! assert_eq!(sol.status, LpStatus::Optimal);
+//! assert!((sol.objective - 10.0).abs() < 1e-7); // x = 2, y = 2
+//! ```
+
+pub mod model;
+pub mod simplex;
+pub mod solution;
+pub mod time;
+
+pub use model::{LpModel, RowSense, VarId};
+pub use simplex::SimplexOptions;
+pub use solution::{LpSolution, LpStatus};
+pub use time::Deadline;

@@ -1,0 +1,682 @@
+//! Bounded-variable revised simplex with a two-phase start.
+//!
+//! ## Method
+//!
+//! The model is brought to computational form `A x + s = b` by adding one
+//! slack per row whose bounds encode the row sense (`<=` → `s ∈ [0, ∞)`,
+//! `>=` → `s ∈ (−∞, 0]`, `==` → `s ∈ [0, 0]`). Nonbasic variables rest at
+//! one of their bounds; the basis solves for the rest.
+//!
+//! *Phase 1* starts from the all-slack basis with structural variables at
+//! their bounds. Rows whose residual violates the slack bounds receive an
+//! artificial variable (coefficient ±1 matching the residual sign) that
+//! enters the basis at a positive value; maximizing `−Σ artificials` drives
+//! the infeasibility to zero or proves the LP infeasible.
+//!
+//! *Phase 2* maximizes the true objective from the feasible basis, with
+//! artificial bounds pinned to `[0, 0]`.
+//!
+//! The basis inverse is held densely and updated in product form each
+//! pivot; it is refactorized from scratch periodically and whenever the
+//! primal residual drifts. Pricing is Dantzig (steepest reduced cost) with
+//! a permanent switch to Bland's rule if a long degenerate stall indicates
+//! cycling risk.
+
+use crate::model::{LpModel, RowSense};
+use crate::solution::{LpSolution, LpStatus};
+use crate::time::Deadline;
+
+/// Tunable knobs for [`solve_simplex`].
+#[derive(Clone, Debug)]
+pub struct SimplexOptions {
+    /// Hard cap on simplex iterations across both phases.
+    pub max_iterations: usize,
+    /// Reduced-cost optimality tolerance.
+    pub opt_tol: f64,
+    /// Primal feasibility tolerance.
+    pub feas_tol: f64,
+    /// Smallest acceptable pivot magnitude.
+    pub pivot_tol: f64,
+    /// Refactorize the basis inverse every this many pivots.
+    pub refactor_every: usize,
+    /// Switch to Bland's rule after this many consecutive non-improving
+    /// (degenerate) iterations.
+    pub degenerate_stall: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_iterations: 50_000,
+            opt_tol: 1e-7,
+            feas_tol: 1e-7,
+            pivot_tol: 1e-9,
+            refactor_every: 120,
+            degenerate_stall: 200,
+        }
+    }
+}
+
+/// Sparse column: (row, coefficient) pairs.
+type Col = Vec<(usize, f64)>;
+
+struct Tableau {
+    m: usize,
+    /// All columns: structural, then slacks, then artificials.
+    cols: Vec<Col>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    b: Vec<f64>,
+}
+
+struct State {
+    /// Current value of every variable.
+    x: Vec<f64>,
+    /// Variable basic in each row.
+    basis: Vec<usize>,
+    /// `Some(row)` if basic, else `None`.
+    basic_row: Vec<Option<usize>>,
+    /// For nonbasic variables: resting at upper bound?
+    at_upper: Vec<bool>,
+    /// Dense row-major basis inverse, `m × m`.
+    binv: Vec<f64>,
+    iterations: usize,
+    pivots_since_refactor: usize,
+    use_bland: bool,
+    stall: usize,
+}
+
+impl Tableau {
+    fn col(&self, j: usize) -> &Col {
+        &self.cols[j]
+    }
+}
+
+/// `w = B⁻¹ · A_j` for a sparse column.
+fn ftran(binv: &[f64], m: usize, col: &Col, out: &mut [f64]) {
+    out[..m].fill(0.0);
+    for &(row, a) in col {
+        let base = row; // B⁻¹ column `row` lives at binv[i*m + row]
+        for i in 0..m {
+            out[i] += a * binv[i * m + base];
+        }
+    }
+}
+
+/// `y = c_Bᵀ · B⁻¹`.
+fn btran(binv: &[f64], m: usize, cb: &[f64], out: &mut [f64]) {
+    out[..m].fill(0.0);
+    for i in 0..m {
+        let ci = cb[i];
+        if ci != 0.0 {
+            let row = &binv[i * m..(i + 1) * m];
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += ci * v;
+            }
+        }
+    }
+}
+
+/// Invert the current basis matrix from scratch (Gauss–Jordan with partial
+/// pivoting). Returns `false` if the basis is numerically singular.
+fn refactorize(tab: &Tableau, state: &mut State) -> bool {
+    let m = tab.m;
+    // Build dense B (column i = column of basis[i]).
+    let mut bmat = vec![0.0f64; m * m];
+    for (i, &j) in state.basis.iter().enumerate() {
+        for &(row, a) in tab.col(j) {
+            bmat[row * m + i] = a;
+        }
+    }
+    // Augment with identity and eliminate.
+    let mut inv = vec![0.0f64; m * m];
+    for i in 0..m {
+        inv[i * m + i] = 1.0;
+    }
+    for col in 0..m {
+        // partial pivot
+        let mut piv_row = col;
+        let mut piv_val = bmat[col * m + col].abs();
+        for r in (col + 1)..m {
+            let v = bmat[r * m + col].abs();
+            if v > piv_val {
+                piv_val = v;
+                piv_row = r;
+            }
+        }
+        if piv_val < 1e-12 {
+            return false;
+        }
+        if piv_row != col {
+            for k in 0..m {
+                bmat.swap(col * m + k, piv_row * m + k);
+                inv.swap(col * m + k, piv_row * m + k);
+            }
+        }
+        let p = bmat[col * m + col];
+        for k in 0..m {
+            bmat[col * m + k] /= p;
+            inv[col * m + k] /= p;
+        }
+        for r in 0..m {
+            if r == col {
+                continue;
+            }
+            let f = bmat[r * m + col];
+            if f != 0.0 {
+                for k in 0..m {
+                    bmat[r * m + k] -= f * bmat[col * m + k];
+                    inv[r * m + k] -= f * inv[col * m + k];
+                }
+            }
+        }
+    }
+    state.binv = inv;
+    state.pivots_since_refactor = 0;
+    true
+}
+
+/// Recompute basic variable values: `x_B = B⁻¹ (b − N x_N)`.
+fn recompute_basics(tab: &Tableau, state: &mut State) {
+    let m = tab.m;
+    let mut rhs = tab.b.clone();
+    for j in 0..tab.cols.len() {
+        if state.basic_row[j].is_some() {
+            continue;
+        }
+        let xj = state.x[j];
+        if xj != 0.0 {
+            for &(row, a) in tab.col(j) {
+                rhs[row] -= a * xj;
+            }
+        }
+    }
+    for i in 0..m {
+        let mut v = 0.0;
+        let row = &state.binv[i * m..(i + 1) * m];
+        for (k, &r) in rhs.iter().enumerate() {
+            v += row[k] * r;
+        }
+        state.x[state.basis[i]] = v;
+    }
+}
+
+enum PhaseOutcome {
+    Done,
+    Unbounded,
+    IterationLimit,
+}
+
+/// Run the simplex to optimality for the cost vector `cost`.
+#[allow(clippy::too_many_arguments)]
+fn run_phase(
+    tab: &Tableau,
+    state: &mut State,
+    cost: &[f64],
+    options: &SimplexOptions,
+    deadline: Deadline,
+    iter_budget: usize,
+) -> PhaseOutcome {
+    let m = tab.m;
+    let total = tab.cols.len();
+    let mut y = vec![0.0f64; m];
+    let mut w = vec![0.0f64; m];
+    let mut cb = vec![0.0f64; m];
+    let mut last_obj = f64::NEG_INFINITY;
+    let mut local_iters = 0usize;
+
+    loop {
+        if local_iters >= iter_budget {
+            return PhaseOutcome::IterationLimit;
+        }
+        if state.iterations % 64 == 0 && deadline.expired() {
+            return PhaseOutcome::IterationLimit;
+        }
+
+        // duals
+        for i in 0..m {
+            cb[i] = cost[state.basis[i]];
+        }
+        btran(&state.binv, m, &cb, &mut y);
+
+        // pricing
+        let mut entering: Option<(usize, f64, f64)> = None; // (var, reduced cost, dir)
+        for j in 0..total {
+            if state.basic_row[j].is_some() {
+                continue;
+            }
+            let (l, u) = (tab.lower[j], tab.upper[j]);
+            if l == u {
+                continue; // fixed variable can never improve
+            }
+            let mut d = cost[j];
+            for &(row, a) in tab.col(j) {
+                d -= y[row] * a;
+            }
+            let dir = if state.at_upper[j] {
+                if d < -options.opt_tol {
+                    -1.0
+                } else {
+                    continue;
+                }
+            } else if l.is_infinite() && u.is_infinite() {
+                // free at 0: move either way
+                if d > options.opt_tol {
+                    1.0
+                } else if d < -options.opt_tol {
+                    -1.0
+                } else {
+                    continue;
+                }
+            } else if d > options.opt_tol {
+                1.0
+            } else {
+                continue;
+            };
+            if state.use_bland {
+                entering = Some((j, d, dir));
+                break;
+            }
+            match entering {
+                Some((_, best, _)) if d.abs() <= best.abs() => {}
+                _ => entering = Some((j, d, dir)),
+            }
+        }
+
+        let Some((q, _dq, dir)) = entering else {
+            return PhaseOutcome::Done; // optimal for this cost vector
+        };
+
+        // direction through the basis
+        ftran(&state.binv, m, tab.col(q), &mut w);
+
+        // ratio test
+        let span_q = tab.upper[q] - tab.lower[q]; // may be inf
+        let mut t_star = if span_q.is_finite() {
+            span_q
+        } else {
+            f64::INFINITY
+        };
+        let mut leave: Option<(usize, bool)> = None; // (row, leaving-to-upper?)
+        for i in 0..m {
+            let wi = w[i];
+            if wi.abs() <= options.pivot_tol {
+                continue;
+            }
+            let k = state.basis[i];
+            let xk = state.x[k];
+            let step = dir * wi;
+            if step > 0.0 {
+                // basic var decreases toward its lower bound
+                let lk = tab.lower[k];
+                if lk.is_finite() {
+                    let t = ((xk - lk) / step).max(0.0);
+                    if t < t_star - 1e-12 {
+                        t_star = t;
+                        leave = Some((i, false));
+                    }
+                }
+            } else {
+                // basic var increases toward its upper bound
+                let uk = tab.upper[k];
+                if uk.is_finite() {
+                    let t = ((uk - xk) / -step).max(0.0);
+                    if t < t_star - 1e-12 {
+                        t_star = t;
+                        leave = Some((i, true));
+                    }
+                }
+            }
+        }
+
+        if t_star.is_infinite() {
+            return PhaseOutcome::Unbounded;
+        }
+
+        // apply the step
+        if t_star > 0.0 {
+            for i in 0..m {
+                if w[i] != 0.0 {
+                    let k = state.basis[i];
+                    state.x[k] -= dir * t_star * w[i];
+                }
+            }
+            state.x[q] += dir * t_star;
+        }
+
+        match leave {
+            None => {
+                // bound flip: q jumps to its other bound, basis unchanged
+                state.at_upper[q] = !state.at_upper[q];
+                // snap exactly onto the bound to avoid drift
+                state.x[q] = if state.at_upper[q] {
+                    tab.upper[q]
+                } else {
+                    tab.lower[q]
+                };
+            }
+            Some((r, to_upper)) => {
+                let leaving = state.basis[r];
+                // snap the leaving variable onto the bound it reached
+                state.x[leaving] = if to_upper {
+                    tab.upper[leaving]
+                } else {
+                    tab.lower[leaving]
+                };
+                state.at_upper[leaving] = to_upper;
+                state.basic_row[leaving] = None;
+                state.basis[r] = q;
+                state.basic_row[q] = Some(r);
+
+                // product-form update of B⁻¹
+                let wr = w[r];
+                debug_assert!(wr.abs() > options.pivot_tol);
+                let (before, rest) = state.binv.split_at_mut(r * m);
+                let (pivot_row, after) = rest.split_at_mut(m);
+                for v in pivot_row.iter_mut() {
+                    *v /= wr;
+                }
+                let update = |rows: &mut [f64], base: usize| {
+                    for (bi, chunk) in rows.chunks_exact_mut(m).enumerate() {
+                        let i = base + bi;
+                        let wi = w[i];
+                        if wi != 0.0 {
+                            for (c, p) in chunk.iter_mut().zip(pivot_row.iter()) {
+                                *c -= wi * *p;
+                            }
+                        }
+                    }
+                };
+                update(before, 0);
+                update(after, r + 1);
+
+                state.pivots_since_refactor += 1;
+                if state.pivots_since_refactor >= options.refactor_every {
+                    if !refactorize(tab, state) {
+                        return PhaseOutcome::IterationLimit;
+                    }
+                    recompute_basics(tab, state);
+                }
+            }
+        }
+
+        // degeneracy / cycling guard
+        let obj: f64 = state
+            .basis
+            .iter()
+            .map(|&j| cost[j] * state.x[j])
+            .sum::<f64>()
+            + (0..total)
+                .filter(|&j| state.basic_row[j].is_none())
+                .map(|j| cost[j] * state.x[j])
+                .sum::<f64>();
+        if obj > last_obj + options.opt_tol {
+            state.stall = 0;
+            state.use_bland = false;
+        } else {
+            state.stall += 1;
+            if state.stall >= options.degenerate_stall {
+                state.use_bland = true;
+            }
+        }
+        last_obj = obj;
+
+        state.iterations += 1;
+        local_iters += 1;
+    }
+}
+
+/// Largest row count the dense basis inverse accepts (`m²` doubles; 12k
+/// rows ≈ 1.2 GB). Models beyond this return `IterationLimit` immediately
+/// instead of exhausting memory — the behaviour large NO-PARTITION runs in
+/// the paper's Fig 6 exhibit ("the program succeeds only for one
+/// small-scale cluster").
+pub const MAX_DENSE_ROWS: usize = 12_000;
+
+/// Solve `model` (maximization) with the given options and deadline.
+pub fn solve_simplex(model: &LpModel, options: &SimplexOptions, deadline: Deadline) -> LpSolution {
+    let n = model.num_vars();
+    let m = model.num_rows();
+
+    if m > MAX_DENSE_ROWS {
+        let mut sol = LpSolution::infeasible(n, m, 0);
+        sol.status = LpStatus::IterationLimit;
+        return sol;
+    }
+
+    if m == 0 {
+        // Pure bound optimization.
+        let mut x = vec![0.0; n];
+        for j in 0..n {
+            let c = model.objective[j];
+            let (l, u) = (model.lower[j], model.upper[j]);
+            x[j] = if c > 0.0 {
+                if u.is_finite() {
+                    u
+                } else {
+                    return LpSolution {
+                        status: LpStatus::Unbounded,
+                        objective: f64::INFINITY,
+                        x,
+                        duals: vec![],
+                        feasible: true,
+                        iterations: 0,
+                    };
+                }
+            } else if c < 0.0 {
+                if l.is_finite() {
+                    l
+                } else {
+                    return LpSolution {
+                        status: LpStatus::Unbounded,
+                        objective: f64::INFINITY,
+                        x,
+                        duals: vec![],
+                        feasible: true,
+                        iterations: 0,
+                    };
+                }
+            } else if l.is_finite() {
+                l
+            } else if u.is_finite() {
+                u
+            } else {
+                0.0
+            };
+        }
+        let objective = model.objective_value(&x);
+        return LpSolution {
+            status: LpStatus::Optimal,
+            objective,
+            x,
+            duals: vec![],
+            feasible: true,
+            iterations: 0,
+        };
+    }
+
+    // ---- computational form ----
+    let mut cols: Vec<Col> = Vec::with_capacity(n + m);
+    let mut lower = Vec::with_capacity(n + m);
+    let mut upper = Vec::with_capacity(n + m);
+    // structural
+    for j in 0..n {
+        cols.push(Vec::new());
+        lower.push(model.lower[j]);
+        upper.push(model.upper[j]);
+    }
+    let mut b = Vec::with_capacity(m);
+    // Slack for row `i` sits at column `n + i`.
+    for (i, row) in model.rows.iter().enumerate() {
+        for &(j, a) in &row.coeffs {
+            cols[j].push((i, a));
+        }
+        b.push(row.rhs);
+        let (sl, su) = match row.sense {
+            RowSense::Le => (0.0, f64::INFINITY),
+            RowSense::Ge => (f64::NEG_INFINITY, 0.0),
+            RowSense::Eq => (0.0, 0.0),
+        };
+        cols.push(vec![(i, 1.0)]);
+        lower.push(sl);
+        upper.push(su);
+    }
+
+    // ---- initial point: structural vars at their nearest finite bound ----
+    let mut x = vec![0.0f64; n + m];
+    let mut at_upper = vec![false; n + m];
+    for j in 0..n {
+        let (l, u) = (lower[j], upper[j]);
+        x[j] = if l.is_finite() {
+            l
+        } else if u.is_finite() {
+            at_upper[j] = true;
+            u
+        } else {
+            0.0
+        };
+    }
+
+    // residual the slack of each row must absorb
+    let mut residual = b.clone();
+    for j in 0..n {
+        if x[j] != 0.0 {
+            for &(row, a) in &cols[j] {
+                residual[row] -= a * x[j];
+            }
+        }
+    }
+
+    // ---- basis: slack where feasible, artificial where not ----
+    let mut basis = vec![usize::MAX; m];
+    let mut needs_artificial: Vec<(usize, f64)> = Vec::new(); // (row, signed residual left for artificial)
+    for i in 0..m {
+        let s = n + i;
+        let (sl, su) = (lower[s], upper[s]);
+        if residual[i] >= sl - options.feas_tol && residual[i] <= su + options.feas_tol {
+            basis[i] = s;
+            x[s] = residual[i];
+        } else {
+            // slack rests at the bound nearest the residual
+            let rest = if residual[i] < sl { sl } else { su };
+            x[s] = rest;
+            at_upper[s] = rest == su && su.is_finite() && sl != su;
+            needs_artificial.push((i, residual[i] - rest));
+        }
+    }
+    let n_art = needs_artificial.len();
+    for &(row, r) in &needs_artificial {
+        let j = cols.len();
+        cols.push(vec![(row, if r >= 0.0 { 1.0 } else { -1.0 })]);
+        lower.push(0.0);
+        upper.push(f64::INFINITY);
+        basis[row] = j;
+        x.push(r.abs());
+        at_upper.push(false);
+    }
+
+    let total = cols.len();
+    let tab = Tableau {
+        m,
+        cols,
+        lower,
+        upper,
+        b,
+    };
+
+    let mut basic_row = vec![None; total];
+    for (i, &j) in basis.iter().enumerate() {
+        basic_row[j] = Some(i);
+    }
+
+    // B is diagonal ±1 at start (slacks +1, artificials ±1) → B⁻¹ = B.
+    let mut binv = vec![0.0f64; m * m];
+    for (i, &j) in basis.iter().enumerate() {
+        let sign = tab.cols[j][0].1;
+        binv[i * m + i] = 1.0 / sign;
+    }
+
+    let mut state = State {
+        x,
+        basis,
+        basic_row,
+        at_upper,
+        binv,
+        iterations: 0,
+        pivots_since_refactor: 0,
+        use_bland: false,
+        stall: 0,
+    };
+
+    // ---- phase 1 ----
+    let mut tab = tab;
+    if n_art > 0 {
+        let mut cost1 = vec![0.0f64; total];
+        for c in cost1.iter_mut().skip(total - n_art) {
+            *c = -1.0;
+        }
+        let outcome = run_phase(
+            &tab,
+            &mut state,
+            &cost1,
+            options,
+            deadline,
+            options.max_iterations,
+        );
+        let infeasibility: f64 = (total - n_art..total).map(|j| state.x[j]).sum();
+        match outcome {
+            PhaseOutcome::Done => {
+                if infeasibility > 1e-6 {
+                    return LpSolution::infeasible(n, m, state.iterations);
+                }
+            }
+            PhaseOutcome::Unbounded => {
+                // cannot happen: phase-1 objective is bounded above by 0
+                return LpSolution::infeasible(n, m, state.iterations);
+            }
+            PhaseOutcome::IterationLimit => {
+                let mut sol = LpSolution::infeasible(n, m, state.iterations);
+                sol.status = LpStatus::IterationLimit;
+                return sol;
+            }
+        }
+        // pin artificials at zero for phase 2
+        for j in total - n_art..total {
+            tab.upper[j] = 0.0;
+            state.x[j] = 0.0;
+            state.at_upper[j] = false;
+        }
+    }
+
+    // ---- phase 2 ----
+    let mut cost2 = vec![0.0f64; total];
+    cost2[..n].copy_from_slice(&model.objective);
+    let budget = options.max_iterations.saturating_sub(state.iterations);
+    let outcome = run_phase(&tab, &mut state, &cost2, options, deadline, budget);
+
+    // duals at the final basis
+    let mut cb = vec![0.0f64; m];
+    for i in 0..m {
+        cb[i] = cost2[state.basis[i]];
+    }
+    let mut duals = vec![0.0f64; m];
+    btran(&state.binv, m, &cb, &mut duals);
+
+    let xs: Vec<f64> = state.x[..n].to_vec();
+    let objective = model.objective_value(&xs);
+    let feasible = model.is_feasible_point(&xs, options.feas_tol.max(1e-6) * 10.0);
+
+    let status = match outcome {
+        PhaseOutcome::Done => LpStatus::Optimal,
+        PhaseOutcome::Unbounded => LpStatus::Unbounded,
+        PhaseOutcome::IterationLimit => LpStatus::IterationLimit,
+    };
+    LpSolution {
+        status,
+        objective,
+        x: xs,
+        duals,
+        feasible,
+        iterations: state.iterations,
+    }
+}

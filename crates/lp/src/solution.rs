@@ -1,0 +1,65 @@
+//! Solver results.
+
+/// Termination status of a simplex run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LpStatus {
+    /// An optimal basic solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded above over the feasible region.
+    Unbounded,
+    /// The iteration or wall-clock budget ran out; `x` holds the best
+    /// feasible iterate if phase 1 finished, otherwise it is meaningless.
+    IterationLimit,
+}
+
+/// Result of solving an [`LpModel`](crate::LpModel).
+#[derive(Clone, Debug)]
+pub struct LpSolution {
+    /// Why the solver stopped.
+    pub status: LpStatus,
+    /// Objective value `cᵀx` (only meaningful for `Optimal`, or for
+    /// `IterationLimit` when `feasible` is `true`).
+    pub objective: f64,
+    /// Primal values per variable.
+    pub x: Vec<f64>,
+    /// Dual value per row (the simplex multipliers `y`). For a maximization
+    /// with `<=` rows, optimal duals are non-negative; column generation
+    /// uses these for pricing.
+    pub duals: Vec<f64>,
+    /// `true` if `x` satisfies all constraints within tolerance (phase 1
+    /// completed).
+    pub feasible: bool,
+    /// Simplex iterations performed (both phases).
+    pub iterations: usize,
+}
+
+impl LpSolution {
+    /// An infeasible verdict with empty data.
+    pub(crate) fn infeasible(num_vars: usize, num_rows: usize, iterations: usize) -> Self {
+        LpSolution {
+            status: LpStatus::Infeasible,
+            objective: f64::NEG_INFINITY,
+            x: vec![0.0; num_vars],
+            duals: vec![0.0; num_rows],
+            feasible: false,
+            iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infeasible_constructor_shapes_output() {
+        let s = LpSolution::infeasible(3, 2, 17);
+        assert_eq!(s.status, LpStatus::Infeasible);
+        assert_eq!(s.x.len(), 3);
+        assert_eq!(s.duals.len(), 2);
+        assert_eq!(s.iterations, 17);
+        assert!(!s.feasible);
+    }
+}

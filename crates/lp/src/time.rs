@@ -1,0 +1,89 @@
+//! Wall-clock deadlines shared by every solver in the repository.
+//!
+//! The paper evaluates all algorithms under hard time-outs (one minute in
+//! Figs 6–9, a sweep in Fig 10) and requires that RASA return its best
+//! incumbent when the deadline fires. `Deadline` is the tiny abstraction
+//! that threads this budget through the LP, MIP and column-generation
+//! layers.
+
+use std::time::{Duration, Instant};
+
+/// A wall-clock deadline. `Deadline::none()` never expires.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    expires_at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            expires_at: Some(Instant::now() + budget),
+        }
+    }
+
+    /// A deadline that never fires.
+    pub fn none() -> Self {
+        Deadline { expires_at: None }
+    }
+
+    /// Has the deadline passed?
+    #[inline]
+    pub fn expired(&self) -> bool {
+        self.expires_at.is_some_and(|t| Instant::now() >= t)
+    }
+
+    /// Remaining budget (`None` = unlimited, `Some(0)` = expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.expires_at
+            .map(|t| t.saturating_duration_since(Instant::now()))
+    }
+
+    /// A sub-deadline that is the earlier of `self` and `budget` from now.
+    /// Used to give each subproblem a slice of the overall budget.
+    pub fn min_with(&self, budget: Duration) -> Deadline {
+        let candidate = Instant::now() + budget;
+        Deadline {
+            expires_at: Some(match self.expires_at {
+                Some(t) => t.min(candidate),
+                None => candidate,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_budget_not_expired() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining().unwrap() > Duration::from_secs(3599));
+    }
+
+    #[test]
+    fn min_with_takes_earlier() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        let sub = d.min_with(Duration::ZERO);
+        assert!(sub.expired());
+        let sub2 = Deadline::none().min_with(Duration::from_secs(3600));
+        assert!(!sub2.expired());
+        assert!(sub2.remaining().is_some());
+    }
+}

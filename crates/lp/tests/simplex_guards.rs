@@ -1,0 +1,33 @@
+//! Guard-rail behaviour: the dense simplex must refuse models whose basis
+//! inverse would not fit in memory, returning an anytime-compatible
+//! `IterationLimit` instead of allocating gigabytes (the graceful version
+//! of the paper's NO-PARTITION failures on large clusters).
+
+use rasa_lp::{LpModel, LpStatus};
+
+#[test]
+fn oversized_models_are_rejected_gracefully() {
+    // MAX_DENSE_ROWS + 1 trivial rows — never allocate the basis inverse
+    let mut m = LpModel::new();
+    let x = m.add_var(0.0, 1.0, 1.0);
+    for _ in 0..(rasa_lp::simplex::MAX_DENSE_ROWS + 1) {
+        m.add_row_le(vec![(x, 1.0)], 1.0);
+    }
+    let sol = m.solve();
+    assert_eq!(sol.status, LpStatus::IterationLimit);
+    assert!(!sol.feasible);
+}
+
+#[test]
+fn boundary_size_is_still_accepted_structurally() {
+    // a few thousand rows solve fine (sanity check just below the guard's
+    // *mechanism*, far below the actual limit to keep the test fast)
+    let mut m = LpModel::new();
+    let x = m.add_var(0.0, 10.0, 1.0);
+    for _ in 0..500 {
+        m.add_row_le(vec![(x, 1.0)], 7.0);
+    }
+    let sol = m.solve();
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!((sol.x[0] - 7.0).abs() < 1e-6);
+}

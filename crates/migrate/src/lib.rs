@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # rasa-migrate
+//!
+//! The paper's **migration path** algorithm (Section IV-E, Algorithm 2):
+//! given the current container assignment and the optimizer's new mapping,
+//! compute an executable sequence of delete/create command sets that
+//!
+//! * keeps at least 75% of each service's containers alive at every moment
+//!   (the temporarily-relaxed SLA), and
+//! * never exceeds any machine's resource capacity.
+//!
+//! Sets execute sequentially; commands inside one set run in parallel on
+//! different machines. Container choice follows the paper's *offline
+//! ratio* heuristics: `SelectDelete` deletes from the service with the
+//! lowest offline ratio, `SelectCreate` recreates the service with the
+//! highest.
+//!
+//! The [`verify`] module replays a plan step by step and checks both
+//! invariants — it is used in tests and by the simulator's executor.
+
+pub mod planner;
+pub mod stabilize;
+pub mod verify;
+
+pub use planner::{plan_migration, MigrateConfig, MigrateError, MigrationPlan, MigrationStep};
+pub use stabilize::stabilize_placement;
+pub use verify::{replay_plan, ReplayError};

@@ -1,0 +1,484 @@
+//! Best-bound branch-and-bound over LP relaxations.
+
+use crate::model::MipModel;
+use crate::solution::{MipSolution, MipStatus};
+use rasa_lp::{Deadline, LpModel, LpStatus, SimplexOptions};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Options for [`MipModel::solve_with`].
+#[derive(Clone, Debug)]
+pub struct MipOptions {
+    /// Simplex options used for every relaxation.
+    pub lp: SimplexOptions,
+    /// Integrality tolerance: a value within this of an integer counts as
+    /// integral.
+    pub int_tol: f64,
+    /// Relative gap at which the incumbent is declared optimal.
+    pub gap_tol: f64,
+    /// Maximum branch-and-bound nodes.
+    pub max_nodes: usize,
+    /// Try the LP-rounding incumbent heuristic at the root and every this
+    /// many nodes (0 disables).
+    pub rounding_every: usize,
+    /// Run the LP diving heuristic at the root for a strong initial
+    /// incumbent (a handful of extra LP solves).
+    pub dive: bool,
+}
+
+impl Default for MipOptions {
+    fn default() -> Self {
+        MipOptions {
+            lp: SimplexOptions::default(),
+            int_tol: 1e-6,
+            gap_tol: 1e-6,
+            max_nodes: 200_000,
+            rounding_every: 64,
+            dive: true,
+        }
+    }
+}
+
+/// A subproblem: variable bound overrides relative to the root model.
+struct Node {
+    /// LP bound inherited from the parent (upper bound on this subtree).
+    bound: f64,
+    /// Overridden bounds: `(var index, lower, upper)`.
+    changes: Vec<(usize, f64, f64)>,
+    depth: usize,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // max-heap on bound (best-first); deeper first on ties → plunging
+        self.bound
+            .partial_cmp(&other.bound)
+            .unwrap_or(Ordering::Equal)
+            .then(self.depth.cmp(&other.depth))
+    }
+}
+
+/// Most-fractional integer variable, if any.
+fn pick_branch_var(model: &MipModel, x: &[f64], int_tol: f64) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (j, (&is_int, &v)) in model.is_integer.iter().zip(x).enumerate() {
+        if !is_int {
+            continue;
+        }
+        let frac = (v - v.round()).abs();
+        if frac > int_tol {
+            let dist = (v - v.floor() - 0.5).abs(); // 0 = most fractional
+            if best.map_or(true, |(_, bd)| dist < bd) {
+                best = Some((j, dist));
+            }
+        }
+    }
+    best.map(|(j, _)| j)
+}
+
+/// LP diving: repeatedly solve the relaxation, pin every integer variable
+/// that already sits on an integer, then round the fractional variable
+/// closest to an integer and pin it too. If a rounding makes the LP
+/// infeasible, retry with its floor (for `<=`-dominated models flooring
+/// only relaxes rows), then with its ceiling, before giving up. Returns an
+/// integral feasible point, usually far better than naive rounding, at the
+/// cost of a handful of LP solves.
+fn diving_heuristic(
+    model: &MipModel,
+    lp_template: &LpModel,
+    options: &MipOptions,
+    deadline: Deadline,
+) -> Option<(Vec<f64>, f64)> {
+    let mut lp = lp_template.clone();
+    let max_rounds = 24usize;
+    // the batch pinned in the previous round, kept for the floor fallback
+    let mut last_batch: Vec<(usize, f64, f64, f64)> = Vec::new(); // (var, lp value, orig_l, orig_u)
+    let mut retried = false;
+    for _ in 0..max_rounds {
+        if deadline.expired() {
+            return None;
+        }
+        let sol = lp.solve_with(&options.lp, deadline);
+        if sol.status != LpStatus::Optimal {
+            // the last batch over-constrained the LP: retry it with floors
+            if !retried && !last_batch.is_empty() {
+                retried = true;
+                for &(j, v, orig_l, orig_u) in &last_batch {
+                    let floored = v.floor().clamp(orig_l, orig_u);
+                    lp.set_bounds(rasa_lp::VarId(j), floored, floored);
+                }
+                continue;
+            }
+            return None;
+        }
+        retried = false;
+
+        // pin everything already integral; collect the fractional rest
+        let mut fractional: Vec<(usize, f64, f64)> = Vec::new(); // (var, value, dist)
+        for (j, &is_int) in model.is_integer.iter().enumerate() {
+            if !is_int {
+                continue;
+            }
+            let (l, u) = lp.bounds(rasa_lp::VarId(j));
+            if l == u {
+                continue; // already pinned
+            }
+            let v = sol.x[j];
+            let dist = (v - v.round()).abs();
+            if dist <= options.int_tol {
+                let r = v.round().clamp(l, u);
+                lp.set_bounds(rasa_lp::VarId(j), r, r);
+            } else {
+                fractional.push((j, v, dist));
+            }
+        }
+        if fractional.is_empty() {
+            let mut x = sol.x.clone();
+            for (k, &is_int) in model.is_integer.iter().enumerate() {
+                if is_int {
+                    x[k] = x[k].round();
+                }
+            }
+            if model.is_feasible_point(&x, options.int_tol.max(1e-6)) {
+                let obj = model.objective_value(&x);
+                return Some((x, obj));
+            }
+            return None;
+        }
+        // round-pin the third of the fractionals nearest an integer (at
+        // least one), so the dive finishes in logarithmically many LP solves
+        fractional.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+        let take = fractional.len().div_ceil(3);
+        last_batch.clear();
+        for &(j, v, _) in fractional.iter().take(take) {
+            let (l, u) = lp.bounds(rasa_lp::VarId(j));
+            let r = v.round().clamp(l, u);
+            lp.set_bounds(rasa_lp::VarId(j), r, r);
+            last_batch.push((j, v, l, u));
+        }
+    }
+    None
+}
+
+/// Round the relaxation's integer variables to the nearest integers and
+/// check full feasibility — a cheap incumbent heuristic.
+fn rounding_heuristic(model: &MipModel, x: &[f64], int_tol: f64) -> Option<(Vec<f64>, f64)> {
+    let mut rounded = x.to_vec();
+    for (j, &is_int) in model.is_integer.iter().enumerate() {
+        if is_int {
+            rounded[j] = rounded[j].round();
+        }
+    }
+    if model.is_feasible_point(&rounded, int_tol.max(1e-6)) {
+        let obj = model.objective_value(&rounded);
+        Some((rounded, obj))
+    } else {
+        None
+    }
+}
+
+/// Solve `model` by branch-and-bound. See [`MipOptions`] for knobs;
+/// `deadline` makes the solve anytime (incumbent returned on expiry).
+pub fn solve_branch_and_bound(
+    model: &MipModel,
+    options: &MipOptions,
+    deadline: Deadline,
+) -> MipSolution {
+    let mut lp: LpModel = model.lp.clone();
+    let mut lp_iterations = 0usize;
+    let mut nodes = 0usize;
+
+    // Integer variables with fractional bounds can never take a value at a
+    // fractional bound anyway; tighten them once up front.
+    let int_vars: Vec<usize> = model
+        .is_integer
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(j, _)| j)
+        .collect();
+    for &j in &int_vars {
+        let (l, u) = lp.bounds(rasa_lp::VarId(j));
+        let tl = if l.is_finite() { l.ceil() } else { l };
+        let tu = if u.is_finite() { u.floor() } else { u };
+        if tl > tu {
+            return MipSolution {
+                status: MipStatus::Infeasible,
+                objective: f64::NEG_INFINITY,
+                x: vec![0.0; model.num_vars()],
+                best_bound: f64::NEG_INFINITY,
+                gap: 0.0,
+                nodes: 0,
+                lp_iterations: 0,
+            };
+        }
+        lp.set_bounds(rasa_lp::VarId(j), tl, tu);
+    }
+    let root_lower = lp.lower_bounds().to_vec();
+    let root_upper = lp.upper_bounds().to_vec();
+
+    // root relaxation
+    let root = lp.solve_with(&options.lp, deadline);
+    lp_iterations += root.iterations;
+    match root.status {
+        LpStatus::Infeasible => {
+            return MipSolution {
+                status: MipStatus::Infeasible,
+                objective: f64::NEG_INFINITY,
+                x: vec![0.0; model.num_vars()],
+                best_bound: f64::NEG_INFINITY,
+                gap: 0.0,
+                nodes: 1,
+                lp_iterations,
+            };
+        }
+        LpStatus::Unbounded => {
+            return MipSolution {
+                status: MipStatus::Unbounded,
+                objective: f64::INFINITY,
+                x: root.x,
+                best_bound: f64::INFINITY,
+                gap: f64::INFINITY,
+                nodes: 1,
+                lp_iterations,
+            };
+        }
+        LpStatus::IterationLimit => {
+            return MipSolution {
+                status: MipStatus::NoSolution,
+                objective: f64::NEG_INFINITY,
+                x: vec![0.0; model.num_vars()],
+                best_bound: f64::INFINITY,
+                gap: f64::INFINITY,
+                nodes: 1,
+                lp_iterations,
+            };
+        }
+        LpStatus::Optimal => {}
+    }
+
+    let mut incumbent: Option<(Vec<f64>, f64)> = None;
+    let mut global_bound;
+
+    // root incumbent attempts
+    if pick_branch_var(model, &root.x, options.int_tol).is_none() {
+        // relaxation already integral
+        let obj = root.objective;
+        return MipSolution {
+            status: MipStatus::Optimal,
+            objective: obj,
+            x: root.x,
+            best_bound: obj,
+            gap: 0.0,
+            nodes: 1,
+            lp_iterations,
+        };
+    }
+    if options.rounding_every > 0 {
+        incumbent = rounding_heuristic(model, &root.x, options.int_tol);
+    }
+    if options.dive {
+        if let Some((x, obj)) = diving_heuristic(model, &lp, options, deadline) {
+            if incumbent.as_ref().map_or(true, |(_, best)| obj > *best) {
+                incumbent = Some((x, obj));
+            }
+        }
+    }
+
+    let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+    heap.push(Node {
+        bound: root.objective,
+        changes: Vec::new(),
+        depth: 0,
+    });
+
+    let finish = |status: MipStatus,
+                  incumbent: Option<(Vec<f64>, f64)>,
+                  bound: f64,
+                  nodes: usize,
+                  lp_iterations: usize| {
+        match incumbent {
+            Some((x, obj)) => {
+                // a stale node bound can sit below the incumbent (the node
+                // was queued before the incumbent improved); the proven
+                // bound is never below the best feasible solution
+                let bound = bound.max(obj);
+                let gap = ((bound - obj) / obj.abs().max(1.0)).max(0.0);
+                MipSolution {
+                    status,
+                    objective: obj,
+                    x,
+                    best_bound: bound,
+                    gap,
+                    nodes,
+                    lp_iterations,
+                }
+            }
+            None => MipSolution {
+                status: if status == MipStatus::Optimal {
+                    MipStatus::Infeasible
+                } else {
+                    MipStatus::NoSolution
+                },
+                objective: f64::NEG_INFINITY,
+                x: vec![0.0; model.num_vars()],
+                best_bound: bound,
+                gap: f64::INFINITY,
+                nodes,
+                lp_iterations,
+            },
+        }
+    };
+
+    while let Some(node) = heap.pop() {
+        global_bound = node.bound;
+        // prune against incumbent
+        if let Some((_, inc_obj)) = &incumbent {
+            let gap = (global_bound - inc_obj) / inc_obj.abs().max(1.0);
+            if gap <= options.gap_tol {
+                return finish(
+                    MipStatus::Optimal,
+                    incumbent,
+                    global_bound,
+                    nodes,
+                    lp_iterations,
+                );
+            }
+        }
+        if nodes >= options.max_nodes || deadline.expired() {
+            return finish(
+                MipStatus::Feasible,
+                incumbent,
+                global_bound,
+                nodes,
+                lp_iterations,
+            );
+        }
+        nodes += 1;
+
+        // apply bound changes
+        lp.set_all_bounds(&root_lower, &root_upper);
+        for &(j, l, u) in &node.changes {
+            lp.set_bounds(rasa_lp::VarId(j), l, u);
+        }
+
+        let relax = lp.solve_with(&options.lp, deadline);
+        lp_iterations += relax.iterations;
+        match relax.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::IterationLimit => {
+                // deadline mid-node: return what we have
+                return finish(
+                    MipStatus::Feasible,
+                    incumbent,
+                    global_bound,
+                    nodes,
+                    lp_iterations,
+                );
+            }
+            LpStatus::Unbounded => {
+                // Bounded root + tightened bounds cannot become unbounded;
+                // treat defensively as a numerical failure of this node.
+                continue;
+            }
+            LpStatus::Optimal => {}
+        }
+
+        // prune by bound
+        if let Some((_, inc_obj)) = &incumbent {
+            if relax.objective <= *inc_obj + options.gap_tol {
+                continue;
+            }
+        }
+
+        match pick_branch_var(model, &relax.x, options.int_tol) {
+            None => {
+                // integral: candidate incumbent
+                let obj = relax.objective;
+                if incumbent.as_ref().map_or(true, |(_, best)| obj > *best) {
+                    incumbent = Some((relax.x.clone(), obj));
+                }
+            }
+            Some(j) => {
+                // occasionally try rounding deeper in the tree
+                if options.rounding_every > 0 && nodes % options.rounding_every == 0 {
+                    if let Some((x, obj)) = rounding_heuristic(model, &relax.x, options.int_tol) {
+                        if incumbent.as_ref().map_or(true, |(_, best)| obj > *best) {
+                            incumbent = Some((x, obj));
+                        }
+                    }
+                }
+                let v = relax.x[j];
+                let floor = v.floor();
+                // down child: x_j <= floor
+                let mut down = node.changes.clone();
+                let (cur_l, cur_u) = lp.bounds(rasa_lp::VarId(j));
+                if floor >= cur_l {
+                    down.push((j, cur_l, floor));
+                    heap.push(Node {
+                        bound: relax.objective,
+                        changes: down,
+                        depth: node.depth + 1,
+                    });
+                }
+                // up child: x_j >= floor + 1
+                if floor + 1.0 <= cur_u {
+                    let mut up = node.changes.clone();
+                    up.push((j, floor + 1.0, cur_u));
+                    heap.push(Node {
+                        bound: relax.objective,
+                        changes: up,
+                        depth: node.depth + 1,
+                    });
+                }
+            }
+        }
+    }
+
+    // heap exhausted: incumbent (if any) is optimal
+    let bound = incumbent.as_ref().map_or(f64::NEG_INFINITY, |(_, o)| *o);
+    finish(MipStatus::Optimal, incumbent, bound, nodes, lp_iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_var_picks_most_fractional() {
+        let mut m = MipModel::new();
+        m.add_int_var(0.0, 10.0, 1.0);
+        m.add_int_var(0.0, 10.0, 1.0);
+        m.add_var(0.0, 10.0, 1.0);
+        let x = vec![2.9, 1.5, 0.5];
+        assert_eq!(pick_branch_var(&m, &x, 1e-6), Some(1));
+        let x = vec![3.0, 2.0, 0.5];
+        assert_eq!(
+            pick_branch_var(&m, &x, 1e-6),
+            None,
+            "continuous vars ignored"
+        );
+    }
+
+    #[test]
+    fn rounding_heuristic_validates() {
+        let mut m = MipModel::new();
+        let a = m.add_int_var(0.0, 10.0, 1.0);
+        m.add_row_le(vec![(a, 1.0)], 3.2);
+        // 3.4 rounds to 3 — feasible
+        assert!(rounding_heuristic(&m, &[3.4], 1e-6).is_some());
+        // 3.6 rounds to 4 — violates the row
+        assert!(rounding_heuristic(&m, &[3.6], 1e-6).is_none());
+    }
+}

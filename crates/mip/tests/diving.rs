@@ -1,0 +1,86 @@
+//! Tests for the LP diving heuristic: it must find integral incumbents on
+//! problems where naive rounding fails, and never report an infeasible one.
+
+use rasa_mip::{Deadline, MipModel, MipOptions, MipStatus};
+
+/// A covering-style MIP where nearest-rounding of the LP optimum is
+/// infeasible (fractional 0.5s round down and violate the cover), but
+/// diving finds a good integral point.
+fn covering_problem() -> MipModel {
+    // min x1 + x2 + x3 (as max of negative) s.t. pairwise covers ≥ 1
+    let mut m = MipModel::new();
+    let x1 = m.add_bin_var(-1.0);
+    let x2 = m.add_bin_var(-1.0);
+    let x3 = m.add_bin_var(-1.0);
+    m.add_row_ge(vec![(x1, 1.0), (x2, 1.0)], 1.0);
+    m.add_row_ge(vec![(x2, 1.0), (x3, 1.0)], 1.0);
+    m.add_row_ge(vec![(x1, 1.0), (x3, 1.0)], 1.0);
+    m
+}
+
+#[test]
+fn diving_solves_the_odd_cover() {
+    // LP optimum is x = (0.5, 0.5, 0.5) with objective −1.5; the integral
+    // optimum picks two variables (objective −2).
+    let sol = covering_problem().solve();
+    assert_eq!(sol.status, MipStatus::Optimal);
+    assert!((sol.objective + 2.0).abs() < 1e-6, "obj {}", sol.objective);
+}
+
+#[test]
+fn dive_disabled_still_solves_via_branching() {
+    let opts = MipOptions {
+        dive: false,
+        ..Default::default()
+    };
+    let sol = covering_problem().solve_with(&opts, Deadline::none());
+    assert_eq!(sol.status, MipStatus::Optimal);
+    assert!((sol.objective + 2.0).abs() < 1e-6);
+}
+
+#[test]
+fn dive_incumbents_are_feasible_on_equality_systems() {
+    // equality rows make naive rounding fragile; the dive's floor fallback
+    // must not report an infeasible incumbent
+    let mut m = MipModel::new();
+    let a = m.add_int_var(0.0, 10.0, 3.0);
+    let b = m.add_int_var(0.0, 10.0, 2.0);
+    let c = m.add_var(0.0, 30.0, 1.0);
+    m.add_row_eq(vec![(a, 1.0), (b, 1.0)], 7.0);
+    m.add_row_le(vec![(a, 2.0), (c, 1.0)], 20.0);
+    let sol = m.solve();
+    assert_eq!(sol.status, MipStatus::Optimal);
+    assert!(m.is_feasible_point(&sol.x, 1e-5));
+    // optimum: a = 0, b = 7 (a's higher coefficient loses to c's capacity
+    // cost 2:1), c = 20 → 0 + 14 + 20 = 34
+    assert!((sol.objective - 34.0).abs() < 1e-5, "obj {}", sol.objective);
+}
+
+#[test]
+fn bound_never_sits_below_the_incumbent() {
+    // regression for the stale-bound bug: best_bound must dominate the
+    // reported objective for every status with an incumbent
+    for seed in 0..6u64 {
+        let mut m = MipModel::new();
+        let n = 6;
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_int_var(0.0, 3.0, 1.0 + ((seed + i as u64) % 5) as f64))
+            .collect();
+        m.add_row_le(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + (i % 3) as f64))
+                .collect(),
+            9.0 + seed as f64,
+        );
+        let sol = m.solve();
+        if sol.has_incumbent() {
+            assert!(
+                sol.best_bound >= sol.objective - 1e-9,
+                "seed {seed}: bound {} < objective {}",
+                sol.best_bound,
+                sol.objective
+            );
+        }
+    }
+}

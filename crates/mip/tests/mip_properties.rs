@@ -1,0 +1,109 @@
+//! Property tests: branch-and-bound must match brute-force enumeration on
+//! random small binary programs.
+
+use proptest::prelude::*;
+use rasa_mip::{MipModel, MipStatus};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn knapsack_matches_brute_force(
+        values in proptest::collection::vec(1.0f64..50.0, 3..9),
+        weights in proptest::collection::vec(1.0f64..20.0, 3..9),
+        cap_frac in 0.2f64..0.8,
+    ) {
+        let n = values.len().min(weights.len());
+        let values = &values[..n];
+        let weights = &weights[..n];
+        let cap = cap_frac * weights.iter().sum::<f64>();
+
+        let mut m = MipModel::new();
+        let vars: Vec<_> = values.iter().map(|&v| m.add_bin_var(v)).collect();
+        m.add_row_le(vars.iter().zip(weights).map(|(&v, &w)| (v, w)).collect(), cap);
+        let sol = m.solve();
+        prop_assert_eq!(sol.status, MipStatus::Optimal);
+
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let (mut w, mut v) = (0.0, 0.0);
+            for i in 0..n {
+                if mask & (1 << i) != 0 {
+                    w += weights[i];
+                    v += values[i];
+                }
+            }
+            if w <= cap + 1e-9 {
+                best = best.max(v);
+            }
+        }
+        prop_assert!((sol.objective - best).abs() < 1e-5,
+            "b&b {} vs brute force {}", sol.objective, best);
+    }
+
+    #[test]
+    fn two_constraint_binary_program_matches_brute_force(
+        values in proptest::collection::vec(-20.0f64..50.0, 3..8),
+        w1 in proptest::collection::vec(0.5f64..10.0, 3..8),
+        w2 in proptest::collection::vec(0.5f64..10.0, 3..8),
+    ) {
+        let n = values.len().min(w1.len()).min(w2.len());
+        let (values, w1, w2) = (&values[..n], &w1[..n], &w2[..n]);
+        let c1 = 0.6 * w1.iter().sum::<f64>();
+        let c2 = 0.4 * w2.iter().sum::<f64>();
+
+        let mut m = MipModel::new();
+        let vars: Vec<_> = values.iter().map(|&v| m.add_bin_var(v)).collect();
+        m.add_row_le(vars.iter().zip(w1).map(|(&v, &w)| (v, w)).collect(), c1);
+        m.add_row_le(vars.iter().zip(w2).map(|(&v, &w)| (v, w)).collect(), c2);
+        let sol = m.solve();
+        prop_assert_eq!(sol.status, MipStatus::Optimal);
+
+        let mut best = 0.0f64; // empty set feasible, objective 0
+        for mask in 0u32..(1 << n) {
+            let (mut a, mut b, mut v) = (0.0, 0.0, 0.0);
+            for i in 0..n {
+                if mask & (1 << i) != 0 {
+                    a += w1[i];
+                    b += w2[i];
+                    v += values[i];
+                }
+            }
+            if a <= c1 + 1e-9 && b <= c2 + 1e-9 {
+                best = best.max(v);
+            }
+        }
+        prop_assert!((sol.objective - best).abs() < 1e-5,
+            "b&b {} vs brute force {}", sol.objective, best);
+    }
+
+    #[test]
+    fn incumbents_are_always_integral_and_feasible(
+        values in proptest::collection::vec(1.0f64..30.0, 3..7),
+        bound in 2.0f64..15.0,
+    ) {
+        let mut m = MipModel::new();
+        let vars: Vec<_> = values.iter().map(|&v| m.add_int_var(0.0, 3.0, v)).collect();
+        m.add_row_le(vars.iter().map(|&v| (v, 1.0)).collect(), bound);
+        let sol = m.solve();
+        prop_assert_eq!(sol.status, MipStatus::Optimal);
+        prop_assert!(m.is_feasible_point(&sol.x, 1e-5));
+        for (j, &x) in sol.x.iter().enumerate() {
+            prop_assert!((x - x.round()).abs() < 1e-5, "x[{}] = {} not integral", j, x);
+        }
+        // with integer slots capped at 3 each, optimum = sort desc, take floor(bound) slots
+        let take = bound.floor() as usize;
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let mut expect = 0.0;
+        let mut left = take;
+        for v in sorted {
+            let cnt = left.min(3);
+            expect += v * cnt as f64;
+            left -= cnt;
+            if left == 0 { break; }
+        }
+        prop_assert!((sol.objective - expect).abs() < 1e-5,
+            "b&b {} vs greedy {}", sol.objective, expect);
+    }
+}

@@ -1,0 +1,53 @@
+//! Model-level error type.
+
+use crate::ids::{MachineId, ServiceId};
+use std::fmt;
+
+/// Errors raised while constructing or manipulating a [`Problem`](crate::Problem)
+/// or [`Placement`](crate::Placement).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelError {
+    /// A service id referenced an index outside the problem's service list.
+    UnknownService(ServiceId),
+    /// A machine id referenced an index outside the problem's machine list.
+    UnknownMachine(MachineId),
+    /// The same unordered service pair appeared twice in the edge list.
+    DuplicateEdge(ServiceId, ServiceId),
+    /// An anti-affinity rule referenced no services.
+    EmptyAntiAffinityRule,
+    /// A structural inconsistency described by the message.
+    Invalid(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownService(s) => write!(f, "unknown service {s}"),
+            ModelError::UnknownMachine(m) => write!(f, "unknown machine {m}"),
+            ModelError::DuplicateEdge(a, b) => {
+                write!(f, "duplicate affinity edge ({a}, {b})")
+            }
+            ModelError::EmptyAntiAffinityRule => write!(f, "anti-affinity rule with no services"),
+            ModelError::Invalid(msg) => write!(f, "invalid model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            ModelError::UnknownService(ServiceId(4)).to_string(),
+            "unknown service s4"
+        );
+        assert_eq!(
+            ModelError::DuplicateEdge(ServiceId(1), ServiceId(2)).to_string(),
+            "duplicate affinity edge (s1, s2)"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Strongly-typed identifiers for the entities of a RASA problem.
+//!
+//! Identifiers are dense indices into the owning [`Problem`](crate::Problem):
+//! `ServiceId(k)` is the `k`-th service of the problem's service list, which
+//! lets hot paths index slices directly instead of hashing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a service within a [`Problem`](crate::Problem).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServiceId(pub u32);
+
+/// Index of a machine within a [`Problem`](crate::Problem).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MachineId(pub u32);
+
+/// Identity of one concrete container: the `replica`-th container of a
+/// service. Replicas of a service are homogeneous (Section II-A of the
+/// paper), so this identity only matters to the migration planner, which
+/// must track individual delete/create commands.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ContainerId {
+    /// Owning service.
+    pub service: ServiceId,
+    /// Replica index in `0..d_s`.
+    pub replica: u32,
+}
+
+impl ServiceId {
+    /// The dense index as `usize`, for slice indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl MachineId {
+    /// The dense index as `usize`, for slice indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ContainerId {
+    /// Construct the identity of replica `replica` of `service`.
+    pub fn new(service: ServiceId, replica: u32) -> Self {
+        Self { service, replica }
+    }
+}
+
+impl fmt::Debug for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Debug for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Debug for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.service, self.replica)
+    }
+}
+
+impl fmt::Display for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.service, self.replica)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_id_round_trip() {
+        let id = ServiceId(7);
+        assert_eq!(id.idx(), 7);
+        assert_eq!(format!("{id}"), "s7");
+        assert_eq!(format!("{id:?}"), "s7");
+    }
+
+    #[test]
+    fn machine_id_round_trip() {
+        let id = MachineId(11);
+        assert_eq!(id.idx(), 11);
+        assert_eq!(format!("{id}"), "m11");
+    }
+
+    #[test]
+    fn container_id_ordering_groups_by_service() {
+        let a = ContainerId::new(ServiceId(1), 5);
+        let b = ContainerId::new(ServiceId(2), 0);
+        assert!(a < b, "containers sort by service first");
+        assert_eq!(format!("{a}"), "s1#5");
+    }
+
+    #[test]
+    fn ids_are_copy_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(ServiceId(3));
+        set.insert(ServiceId(3));
+        assert_eq!(set.len(), 1);
+    }
+}

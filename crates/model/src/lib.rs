@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # rasa-model
+//!
+//! Problem model for **RASA** (Resource Allocation with Service Affinity),
+//! reproducing the formulation of Chen et al., *"Resource Allocation with
+//! Service Affinity in Large-Scale Cloud Environments"* (ICDE 2024),
+//! Section II.
+//!
+//! The crate defines the static description of a cluster scheduling problem:
+//!
+//! * [`Service`]s, each of which must run a fixed number of homogeneous
+//!   containers (the SLA constraint, Expression (3) in the paper),
+//! * [`Machine`]s with multi-dimensional [`ResourceVec`] capacities
+//!   (Expression (4)),
+//! * [`AntiAffinityRule`]s capping how many containers from a service set a
+//!   single machine may host (Expression (5)),
+//! * schedulable constraints expressed through feature masks
+//!   ([`FeatureMask`], Expression (6)),
+//! * the weighted service [`AffinityEdge`] list whose localized fraction the
+//!   optimizer maximizes (Definition 1 / Expression (2)),
+//! * [`Placement`]s (the decision matrix `x_{s,m}`) together with exact
+//!   evaluation of the *gained affinity* objective and full constraint
+//!   validation.
+//!
+//! Everything downstream — the partitioner, the MIP/column-generation
+//! solvers, the baselines and the simulator — consumes this crate.
+
+pub mod affinity;
+pub mod error;
+pub mod ids;
+pub mod machine;
+pub mod objective;
+pub mod placement;
+pub mod problem;
+pub mod resources;
+pub mod service;
+pub mod validate;
+
+pub use affinity::{AffinityEdge, EdgeId};
+pub use error::ModelError;
+pub use ids::{ContainerId, MachineId, ServiceId};
+pub use machine::{FeatureMask, Machine, MachineGroup};
+pub use objective::{gained_affinity, gained_affinity_of_edge, normalized_gained_affinity};
+pub use placement::{ContainerAssignment, Placement};
+pub use problem::{AntiAffinityRule, Problem, ProblemBuilder, ProblemStats, SubproblemMapping};
+pub use resources::{ResourceKind, ResourceVec, NUM_RESOURCES};
+pub use service::Service;
+pub use validate::{validate, Violation, ViolationKind};

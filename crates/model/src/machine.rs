@@ -1,0 +1,161 @@
+//! Machines, feature masks (schedulable constraints) and machine groups.
+
+use crate::ids::MachineId;
+use crate::resources::ResourceVec;
+use serde::{Deserialize, Serialize};
+
+/// A bitset of up to 64 machine features (IPv4/IPv6 stack, GPU, local SSD,
+/// kernel version, availability zone tags, ...).
+///
+/// The paper models schedulability as a dense binary matrix `b_{s,m}`
+/// (Expression (6)). In production such matrices arise from compatibility
+/// requirements ("machine `m` does not support the IPv4 network stack"), so
+/// we represent them generatively: a machine *provides* a feature set, a
+/// service *requires* one, and `b_{s,m} = 1 ⇔ required ⊆ provided`. This is
+/// equivalent in expressive power for block-structured `b` (the case the
+/// compatibility-partitioning stage exploits) and keeps the model `O(N + M)`
+/// instead of `O(N·M)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct FeatureMask(pub u64);
+
+impl FeatureMask {
+    /// No features.
+    pub const EMPTY: FeatureMask = FeatureMask(0);
+
+    /// A mask with the single feature `bit` set.
+    pub fn bit(bit: u32) -> FeatureMask {
+        assert!(bit < 64, "feature bits are limited to 0..64");
+        FeatureMask(1u64 << bit)
+    }
+
+    /// Union of the two masks.
+    #[inline]
+    pub fn union(self, other: FeatureMask) -> FeatureMask {
+        FeatureMask(self.0 | other.0)
+    }
+
+    /// `true` if every feature in `self` is present in `provided`.
+    #[inline]
+    pub fn subset_of(self, provided: FeatureMask) -> bool {
+        self.0 & !provided.0 == 0
+    }
+
+    /// Number of features set.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+/// A physical machine (Kubernetes node) with a total capacity `R^M_{r,m}`
+/// per resource type and a provided feature set.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    /// Dense id; equals this machine's index in [`Problem::machines`](crate::Problem::machines).
+    pub id: MachineId,
+    /// Total capacity per resource (Expression (4) right-hand side).
+    pub capacity: ResourceVec,
+    /// Features this machine provides; a service is schedulable here iff its
+    /// required features are a subset.
+    pub features: FeatureMask,
+}
+
+impl Machine {
+    /// Construct a machine.
+    pub fn new(id: MachineId, capacity: ResourceVec, features: FeatureMask) -> Self {
+        Machine {
+            id,
+            capacity,
+            features,
+        }
+    }
+
+    /// `b_{s,m}` for a service with requirement mask `required`.
+    #[inline]
+    pub fn can_host(&self, required: FeatureMask) -> bool {
+        required.subset_of(self.features)
+    }
+}
+
+/// A group of identical machines (same capacity and feature set).
+///
+/// The paper's formulation indexes gained affinity by *machine group*
+/// (`a_{s,s',g}`, Table I), i.e. it aggregates decision variables over
+/// interchangeable machines — the same variable-aggregation technique RAS
+/// (SOSP'21) uses. Groups are produced by
+/// [`Problem::machine_groups`](crate::Problem::machine_groups).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineGroup {
+    /// Capacity of each member machine.
+    pub capacity: ResourceVec,
+    /// Feature set of each member machine.
+    pub features: FeatureMask,
+    /// The member machines (ids into the owning problem).
+    pub members: Vec<MachineId>,
+}
+
+impl MachineGroup {
+    /// Number of machines in the group.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if the group has no members (never produced by grouping).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Aggregate capacity of the whole group.
+    pub fn total_capacity(&self) -> ResourceVec {
+        self.capacity * self.members.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_subset_semantics() {
+        let ipv4 = FeatureMask::bit(0);
+        let ipv6 = FeatureMask::bit(1);
+        let gpu = FeatureMask::bit(5);
+        let node = ipv4.union(gpu);
+        assert!(ipv4.subset_of(node));
+        assert!(gpu.subset_of(node));
+        assert!(!ipv6.subset_of(node));
+        assert!(!ipv4.union(ipv6).subset_of(node));
+        assert!(
+            FeatureMask::EMPTY.subset_of(node),
+            "no requirements always schedulable"
+        );
+    }
+
+    #[test]
+    fn machine_can_host_matches_mask_logic() {
+        let m = Machine::new(
+            MachineId(0),
+            ResourceVec::cpu_mem(32_000.0, 131_072.0),
+            FeatureMask::bit(0),
+        );
+        assert!(m.can_host(FeatureMask::EMPTY));
+        assert!(m.can_host(FeatureMask::bit(0)));
+        assert!(!m.can_host(FeatureMask::bit(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature bits")]
+    fn feature_bit_out_of_range_panics() {
+        let _ = FeatureMask::bit(64);
+    }
+
+    #[test]
+    fn group_total_capacity() {
+        let g = MachineGroup {
+            capacity: ResourceVec::cpu_mem(10.0, 20.0),
+            features: FeatureMask::EMPTY,
+            members: vec![MachineId(0), MachineId(3), MachineId(4)],
+        };
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.total_capacity(), ResourceVec::cpu_mem(30.0, 60.0));
+    }
+}

@@ -1,0 +1,87 @@
+//! The Adam optimizer over flat parameter vectors.
+
+use serde::{Deserialize, Serialize};
+
+/// Adam state for a parameter vector of fixed length.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// New optimizer for `len` parameters with learning rate `lr`.
+    pub fn new(len: usize, lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+            t: 0,
+        }
+    }
+
+    /// Apply one update step in place: `params -= lr * m̂ / (√v̂ + ε)`.
+    ///
+    /// # Panics
+    /// Panics if slice lengths disagree with the optimizer state.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len());
+        assert_eq!(grads.len(), self.m.len());
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_quadratic() {
+        // f(x) = (x - 3)^2, grad = 2(x - 3)
+        let mut x = vec![0.0];
+        let mut opt = Adam::new(1, 0.1);
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn handles_multiple_params() {
+        // f = (a-1)^2 + (b+2)^2
+        let mut p = vec![5.0, 5.0];
+        let mut opt = Adam::new(2, 0.05);
+        for _ in 0..2000 {
+            let g = vec![2.0 * (p[0] - 1.0), 2.0 * (p[1] + 2.0)];
+            opt.step(&mut p, &g);
+        }
+        assert!((p[0] - 1.0).abs() < 1e-2);
+        assert!((p[1] + 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let mut opt = Adam::new(2, 0.1);
+        let mut p = vec![0.0];
+        opt.step(&mut p, &[1.0]);
+    }
+}

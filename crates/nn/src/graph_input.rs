@@ -1,0 +1,92 @@
+//! Graph inputs for the GCN: node features plus the symmetric-normalized
+//! adjacency `Â = D^{-1/2}(A + I)D^{-1/2}` of Kipf & Welling, which the
+//! paper's classifier uses.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A feature graph ready for GCN consumption.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GraphInput {
+    /// `N × F` node feature matrix (the paper's `F_k`, with `F = 2`:
+    /// resource demand and container count per service).
+    pub features: Matrix,
+    /// `N × N` normalized adjacency `Â` (dense; subproblem graphs are
+    /// small by construction).
+    pub adjacency: Matrix,
+}
+
+impl GraphInput {
+    /// Build from node features and a weighted undirected edge list.
+    /// Edge weights contribute to `A`; self-loops of weight 1 are added
+    /// before normalization.
+    ///
+    /// # Panics
+    /// Panics if an edge endpoint is out of range.
+    pub fn new(features: Matrix, edges: &[(usize, usize, f64)]) -> Self {
+        let n = features.rows;
+        let mut a = Matrix::zeros(n, n);
+        for &(u, v, w) in edges {
+            assert!(u < n && v < n, "edge endpoint out of range");
+            *a.get_mut(u, v) += w;
+            *a.get_mut(v, u) += w;
+        }
+        for i in 0..n {
+            *a.get_mut(i, i) += 1.0; // self-loop
+        }
+        // D^{-1/2} (A) D^{-1/2}
+        let deg: Vec<f64> = (0..n).map(|i| a.row(i).iter().sum()).collect();
+        let inv_sqrt: Vec<f64> = deg
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+            .collect();
+        let adjacency = Matrix::from_fn(n, n, |r, c| a.get(r, c) * inv_sqrt[r] * inv_sqrt[c]);
+        GraphInput {
+            features,
+            adjacency,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.features.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacency_is_symmetric_and_normalized() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let g = GraphInput::new(x, &[(0, 1, 2.0), (1, 2, 1.0)]);
+        let a = &g.adjacency;
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((a.get(r, c) - a.get(c, r)).abs() < 1e-12);
+            }
+        }
+        // diagonal of an isolated-ish normalized adjacency is positive
+        assert!(a.get(0, 0) > 0.0);
+        // spectral sanity: entries bounded by 1 for non-negative weights
+        for v in &a.data {
+            assert!(*v >= 0.0 && *v <= 1.0 + 1e-9, "entry {v}");
+        }
+    }
+
+    #[test]
+    fn isolated_vertex_keeps_self_loop_only() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0]]);
+        let g = GraphInput::new(x, &[]);
+        assert!((g.adjacency.get(0, 0) - 1.0).abs() < 1e-12);
+        assert_eq!(g.adjacency.get(0, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        let x = Matrix::zeros(2, 1);
+        let _ = GraphInput::new(x, &[(0, 5, 1.0)]);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # rasa-partition
+//!
+//! The paper's **multi-stage service partitioning** (Section IV-B) plus the
+//! ablation strategies of Fig 6.
+//!
+//! Stages, mirrored one-to-one from the paper (see [`multi_stage_partition`]):
+//!
+//! 1. **Non-affinity partitioning** — services with no affinity edges can
+//!    never contribute to the objective; they become *trivial*.
+//! 2. **Master-affinity partitioning** — rank services by total affinity
+//!    `T(s)`; keep the top `⌊αN⌋` *master* services, where
+//!    `α = 45 · ln^0.66(N) / N` (the paper's empirical instantiation of
+//!    Lemma 1's `O(ln^{1-ε} N / N)`). The long tail becomes trivial too.
+//! 3. **Compatibility partitioning** — master services that share no
+//!    compatible machine can never collocate; split them into independent
+//!    blocks (connected components of the service–machine-group
+//!    compatibility relation).
+//! 4. **Loss-minimization balanced partitioning** — any block still larger
+//!    than the subproblem budget is split by the paper's heuristic: sample
+//!    `|E|` candidate partitions from multi-seed BFS, keep the balanced
+//!    ones (largest ≤ 2 × smallest), pick the minimum-cut candidate.
+//!
+//! Finally, machines are divided among the crucial service sets
+//! proportionally to requested resources (Section IV-B5), shrinking away
+//! capacity used by trivial services when a current placement is supplied.
+//!
+//! The [`strategy`] module exposes the Fig 6 ablations
+//! (NO-PARTITION / RANDOM-PARTITION / KAHIP / MULTI-STAGE) behind one enum.
+
+pub mod machines;
+pub mod master;
+pub mod stages;
+pub mod strategy;
+
+pub use machines::assign_machines;
+pub use master::{default_master_ratio, master_services};
+pub use stages::{multi_stage_partition, PartitionConfig, PartitionOutcome, Subproblem};
+pub use strategy::{partition_with_strategy, PartitionStrategy};

@@ -1,0 +1,239 @@
+//! Machine assignment to subproblems (Section IV-B5): shrink away trivial
+//! services' usage, then divide each machine specification among the
+//! crucial service sets proportionally to their requested resources.
+
+use rasa_model::{MachineId, Placement, Problem, ResourceVec, ServiceId};
+
+/// Effective per-machine capacities after subtracting the resources used by
+/// `trivial` services under `current` (the paper's "construct a new machine
+/// with `R_m − R_s`"). Without a current placement, capacities are
+/// unchanged. Negative residuals clamp to zero.
+pub fn shrunk_capacities(
+    problem: &Problem,
+    current: Option<&Placement>,
+    trivial: &[ServiceId],
+) -> Vec<ResourceVec> {
+    let mut caps: Vec<ResourceVec> = problem.machines.iter().map(|m| m.capacity).collect();
+    let Some(current) = current else {
+        return caps;
+    };
+    for &s in trivial {
+        let demand = problem.services[s.idx()].demand;
+        for (m, count) in current.machines_of(s) {
+            let mut cap = caps[m.idx()];
+            cap -= demand * f64::from(count);
+            for v in cap.0.iter_mut() {
+                *v = v.max(0.0);
+            }
+            caps[m.idx()] = cap;
+        }
+    }
+    caps
+}
+
+/// Divide the machines among `num_sets` crucial service sets.
+///
+/// For every machine group (specification), each set receives a share of
+/// that group's machines proportional to the set's total requested
+/// resources among machines it can use, using the largest-remainder method
+/// so every machine lands in exactly one set. Sets whose services cannot
+/// run on a group's machines (feature mismatch) get a zero share of it.
+///
+/// Returns `machine_sets[k]` = machines of set `k`.
+pub fn assign_machines(problem: &Problem, service_sets: &[Vec<ServiceId>]) -> Vec<Vec<MachineId>> {
+    let num_sets = service_sets.len();
+    let mut out = vec![Vec::new(); num_sets];
+    if num_sets == 0 {
+        return out;
+    }
+    if num_sets == 1 {
+        out[0] = problem.machines.iter().map(|m| m.id).collect();
+        return out;
+    }
+    let avg_cap = {
+        let mut t = ResourceVec::ZERO;
+        for m in &problem.machines {
+            t += m.capacity;
+        }
+        t * (1.0 / problem.num_machines().max(1) as f64)
+    };
+    // requested "size" of each set, as average-machine equivalents
+    let demands: Vec<f64> = service_sets
+        .iter()
+        .map(|set| {
+            set.iter()
+                .map(|&s| {
+                    let svc = &problem.services[s.idx()];
+                    svc.total_demand().normalized_magnitude(&avg_cap)
+                })
+                .sum::<f64>()
+                .max(1e-9)
+        })
+        .collect();
+
+    for group in problem.machine_groups() {
+        // which sets can use this group at all?
+        let usable: Vec<usize> = (0..num_sets)
+            .filter(|&k| {
+                service_sets[k].iter().any(|&s| {
+                    problem.services[s.idx()]
+                        .required_features
+                        .subset_of(group.features)
+                })
+            })
+            .collect();
+        if usable.is_empty() {
+            // orphan machines: give to the largest set (they may still host
+            // completion-pass containers)
+            let k = (0..num_sets)
+                .max_by(|&a, &b| demands[a].partial_cmp(&demands[b]).unwrap())
+                .unwrap();
+            out[k].extend(&group.members);
+            continue;
+        }
+        let total_demand: f64 = usable.iter().map(|&k| demands[k]).sum();
+        let count = group.members.len();
+        // largest remainder apportionment
+        let mut base: Vec<usize> = Vec::with_capacity(usable.len());
+        let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(usable.len());
+        let mut assigned = 0usize;
+        for (i, &k) in usable.iter().enumerate() {
+            let exact = count as f64 * demands[k] / total_demand;
+            let b = exact.floor() as usize;
+            base.push(b);
+            assigned += b;
+            remainders.push((exact - b as f64, i));
+        }
+        remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        let mut leftover = count - assigned;
+        for &(_, i) in &remainders {
+            if leftover == 0 {
+                break;
+            }
+            base[i] += 1;
+            leftover -= 1;
+        }
+        let mut cursor = 0usize;
+        for (i, &k) in usable.iter().enumerate() {
+            let take = base[i];
+            out[k].extend(&group.members[cursor..cursor + take]);
+            cursor += take;
+        }
+    }
+    // every non-empty set must end with at least one machine it can use —
+    // steal from the set holding the most machines of a compatible group
+    for k in 0..num_sets {
+        if !service_sets[k].is_empty() && out[k].is_empty() {
+            let donor = (0..num_sets)
+                .filter(|&d| d != k && out[d].len() > 1)
+                .max_by_key(|&d| out[d].len());
+            if let Some(d) = donor {
+                // prefer a machine the set's services can actually run on
+                let pos = out[d].iter().position(|&m| {
+                    service_sets[k].iter().any(|&s| {
+                        problem.services[s.idx()]
+                            .required_features
+                            .subset_of(problem.machines[m.idx()].features)
+                    })
+                });
+                if let Some(pos) = pos {
+                    let m = out[d].remove(pos);
+                    out[k].push(m);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasa_model::{FeatureMask, ProblemBuilder};
+
+    #[test]
+    fn shrink_subtracts_trivial_usage() {
+        let mut b = ProblemBuilder::new();
+        let t = b.add_service("trivial", 2, ResourceVec::cpu_mem(3.0, 4.0));
+        b.add_machine(ResourceVec::cpu_mem(10.0, 10.0), FeatureMask::EMPTY);
+        let p = b.build().unwrap();
+        let mut current = Placement::empty_for(&p);
+        current.add(t, MachineId(0), 2);
+        let caps = shrunk_capacities(&p, Some(&current), &[t]);
+        assert_eq!(caps[0], ResourceVec::cpu_mem(4.0, 2.0));
+    }
+
+    #[test]
+    fn shrink_without_placement_is_identity() {
+        let mut b = ProblemBuilder::new();
+        let t = b.add_service("trivial", 2, ResourceVec::cpu_mem(3.0, 4.0));
+        b.add_machine(ResourceVec::cpu_mem(10.0, 10.0), FeatureMask::EMPTY);
+        let p = b.build().unwrap();
+        let caps = shrunk_capacities(&p, None, &[t]);
+        assert_eq!(caps[0], p.machines[0].capacity);
+    }
+
+    #[test]
+    fn shrink_clamps_at_zero() {
+        let mut b = ProblemBuilder::new();
+        let t = b.add_service("hog", 5, ResourceVec::cpu_mem(4.0, 1.0));
+        b.add_machine(ResourceVec::cpu_mem(10.0, 10.0), FeatureMask::EMPTY);
+        let p = b.build().unwrap();
+        let mut current = Placement::empty_for(&p);
+        current.add(t, MachineId(0), 5); // 20 cpu > capacity (overcommitted input)
+        let caps = shrunk_capacities(&p, Some(&current), &[t]);
+        assert_eq!(caps[0].cpu(), 0.0);
+    }
+
+    #[test]
+    fn machines_split_proportionally_to_demand() {
+        let mut b = ProblemBuilder::new();
+        // set 0 asks 3× the resources of set 1
+        let s0 = b.add_service("big", 6, ResourceVec::cpu_mem(1.0, 1.0));
+        let s1 = b.add_service("small", 2, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_machines(8, ResourceVec::cpu_mem(4.0, 4.0), FeatureMask::EMPTY);
+        let p = b.build().unwrap();
+        let sets = assign_machines(&p, &[vec![s0], vec![s1]]);
+        assert_eq!(sets[0].len(), 6);
+        assert_eq!(sets[1].len(), 2);
+        // no machine lost or duplicated
+        let mut all: Vec<MachineId> = sets.iter().flatten().copied().collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 8);
+    }
+
+    #[test]
+    fn incompatible_groups_go_to_compatible_sets_only() {
+        let mut b = ProblemBuilder::new();
+        let s0 = b.add_service_full(
+            rasa_model::Service::new(ServiceId(0), "gpu", 4, ResourceVec::cpu_mem(1.0, 1.0))
+                .with_features(FeatureMask::bit(0)),
+        );
+        let s1 = b.add_service("plain", 4, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_machines(3, ResourceVec::cpu_mem(4.0, 4.0), FeatureMask::bit(0));
+        b.add_machines(3, ResourceVec::cpu_mem(4.0, 4.0), FeatureMask::EMPTY);
+        let p = b.build().unwrap();
+        let sets = assign_machines(&p, &[vec![s0], vec![s1]]);
+        // gpu machines can host both (bit0 ⊇ empty requirement too), but
+        // plain machines can only host s1 — so s1's set must contain all
+        // plain machines.
+        for mid in 3..6 {
+            assert!(
+                sets[1].contains(&MachineId(mid)),
+                "plain machine {mid} must go to s1"
+            );
+        }
+        assert!(!sets[0].iter().any(|m| m.idx() >= 3));
+    }
+
+    #[test]
+    fn single_set_gets_everything() {
+        let mut b = ProblemBuilder::new();
+        let s = b.add_service("a", 1, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_machines(4, ResourceVec::cpu_mem(4.0, 4.0), FeatureMask::EMPTY);
+        let p = b.build().unwrap();
+        let sets = assign_machines(&p, &[vec![s]]);
+        assert_eq!(sets[0].len(), 4);
+    }
+}

@@ -1,0 +1,104 @@
+//! Master-affinity partitioning (Section IV-B2): keep only the head of the
+//! power-law-distributed total-affinity ranking.
+
+use rasa_graph::AffinityGraph;
+
+/// The paper's empirically-chosen master ratio
+/// `α = 45 · ln^0.66(N) / N`, clamped to `(0, 1]` (Section V-B). For small
+/// `N` the formula exceeds 1, meaning *every* service is a master service.
+pub fn default_master_ratio(n: usize) -> f64 {
+    if n <= 1 {
+        return 1.0;
+    }
+    let n_f = n as f64;
+    let alpha = 45.0 * n_f.ln().powf(0.66) / n_f;
+    alpha.min(1.0)
+}
+
+/// Split vertex ids into `(masters, non_masters)` by total affinity under
+/// ratio `alpha`: the top `⌊αN⌋` (at least 1 when any affinity exists) of
+/// the *affinity* vertices, ranked by `T(s)` descending.
+///
+/// `n_total` is the paper's `N` — the full service count used to size
+/// `⌊αN⌋` — while ranking happens only among vertices that actually carry
+/// affinity (non-affinity services were already removed in stage 1).
+pub fn master_services(
+    graph: &AffinityGraph,
+    affinity_vertices: &[usize],
+    n_total: usize,
+    alpha: f64,
+) -> (Vec<usize>, Vec<usize>) {
+    if affinity_vertices.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let budget = ((alpha * n_total as f64).floor() as usize).clamp(1, affinity_vertices.len());
+    let totals = graph.all_total_affinities();
+    let mut ranked: Vec<usize> = affinity_vertices.to_vec();
+    ranked.sort_by(|&a, &b| {
+        totals[b]
+            .partial_cmp(&totals[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let masters = ranked[..budget].to_vec();
+    let non_masters = ranked[budget..].to_vec();
+    (masters, non_masters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_formula_matches_paper() {
+        // α = 45 · ln^0.66(N) / N at N = 10_000
+        let n = 10_000usize;
+        let expect = 45.0 * (n as f64).ln().powf(0.66) / n as f64;
+        assert!((default_master_ratio(n) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_clamps_to_one_for_small_n() {
+        assert_eq!(default_master_ratio(10), 1.0);
+        assert_eq!(default_master_ratio(0), 1.0);
+        assert_eq!(default_master_ratio(1), 1.0);
+    }
+
+    #[test]
+    fn ratio_decreases_with_scale() {
+        assert!(default_master_ratio(100_000) < default_master_ratio(10_000));
+        assert!(default_master_ratio(10_000) < 0.05);
+    }
+
+    #[test]
+    fn masters_are_the_top_by_total_affinity() {
+        // star: center has the largest T(s)
+        let g = AffinityGraph::from_edges(5, &[(0, 1, 1.0), (0, 2, 2.0), (0, 3, 3.0)]);
+        let affinity: Vec<usize> = vec![0, 1, 2, 3];
+        let (masters, rest) = master_services(&g, &affinity, 5, 0.4); // ⌊0.4·5⌋ = 2
+        assert_eq!(masters, vec![0, 3]); // T: v0=6, v3=3, v2=2, v1=1
+        assert_eq!(rest, vec![2, 1]);
+    }
+
+    #[test]
+    fn at_least_one_master_when_affinity_exists() {
+        let g = AffinityGraph::from_edges(100, &[(0, 1, 1.0)]);
+        let (masters, _) = master_services(&g, &[0, 1], 100, 1e-9);
+        assert_eq!(masters.len(), 1);
+    }
+
+    #[test]
+    fn alpha_one_keeps_everything() {
+        let g = AffinityGraph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let (masters, rest) = master_services(&g, &[0, 1, 2, 3], 4, 1.0);
+        assert_eq!(masters.len(), 4);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn empty_affinity_set() {
+        let g = AffinityGraph::from_edges(3, &[]);
+        let (masters, rest) = master_services(&g, &[], 3, 0.5);
+        assert!(masters.is_empty() && rest.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the multi-stage partitioner: on random clusters the
+//! output must be a true partition (services and machines each appear at
+//! most once), the loss accounting must match the dropped edge weight, and
+//! subproblem budgets must hold.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rasa_partition::{
+    multi_stage_partition, partition_with_strategy, PartitionConfig, PartitionStrategy,
+};
+use rasa_trace::{generate, ClusterSpec};
+
+fn spec_strategy() -> impl Strategy<Value = ClusterSpec> {
+    (10usize..80, 30u64..300, 4usize..20, 0u64..500, 1usize..4).prop_map(
+        |(services, containers, machines, seed, types)| ClusterSpec {
+            name: format!("prop{seed}"),
+            services,
+            target_containers: containers,
+            machines,
+            machine_types: types,
+            seed,
+            ..Default::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn services_and_machines_are_partitioned(spec in spec_strategy()) {
+        let problem = generate(&spec);
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let out = multi_stage_partition(&problem, None, &PartitionConfig::default(), &mut rng);
+
+        // each service appears in at most one place: a subproblem or trivial
+        let mut seen = std::collections::HashSet::new();
+        for s in &out.trivial_services {
+            prop_assert!(seen.insert(*s), "{s} duplicated");
+        }
+        for sub in &out.subproblems {
+            for s in &sub.mapping.service_to_parent {
+                prop_assert!(seen.insert(*s), "{s} duplicated");
+            }
+        }
+        prop_assert_eq!(seen.len(), problem.num_services(), "every service accounted for");
+
+        // machines never shared between subproblems
+        let mut machines = std::collections::HashSet::new();
+        for sub in &out.subproblems {
+            for m in &sub.mapping.machine_to_parent {
+                prop_assert!(machines.insert(*m), "{m} duplicated");
+            }
+        }
+    }
+
+    #[test]
+    fn loss_equals_dropped_edge_weight(spec in spec_strategy()) {
+        let problem = generate(&spec);
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xabcd);
+        let out = multi_stage_partition(&problem, None, &PartitionConfig::default(), &mut rng);
+        let kept: f64 = out
+            .subproblems
+            .iter()
+            .map(|sub| sub.problem.total_affinity())
+            .sum();
+        let total = problem.total_affinity();
+        prop_assert!(
+            (kept + out.affinity_loss - total).abs() < 1e-6,
+            "kept {kept} + loss {} != total {total}",
+            out.affinity_loss
+        );
+    }
+
+    #[test]
+    fn subproblem_budget_is_respected(spec in spec_strategy()) {
+        let problem = generate(&spec);
+        let config = PartitionConfig {
+            max_subproblem_services: 10,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x1111);
+        let out = multi_stage_partition(&problem, None, &config, &mut rng);
+        for sub in &out.subproblems {
+            prop_assert!(
+                sub.problem.num_services() <= 10,
+                "subproblem with {} services over the budget",
+                sub.problem.num_services()
+            );
+        }
+    }
+
+    #[test]
+    fn every_strategy_produces_consistent_outputs(spec in spec_strategy()) {
+        let problem = generate(&spec);
+        for strategy in [
+            PartitionStrategy::NoPartition,
+            PartitionStrategy::Random,
+            PartitionStrategy::Kahip,
+            PartitionStrategy::MultiStage,
+        ] {
+            let mut rng = StdRng::seed_from_u64(spec.seed);
+            let out = partition_with_strategy(
+                &problem,
+                None,
+                strategy,
+                &PartitionConfig::default(),
+                &mut rng,
+            );
+            // loss never negative, never exceeds the total
+            prop_assert!(out.affinity_loss >= -1e-9, "{strategy:?}");
+            prop_assert!(
+                out.affinity_loss <= problem.total_affinity() + 1e-9,
+                "{strategy:?}"
+            );
+            // id maps stay in range
+            for sub in &out.subproblems {
+                for s in &sub.mapping.service_to_parent {
+                    prop_assert!(s.idx() < problem.num_services());
+                }
+                for m in &sub.mapping.machine_to_parent {
+                    prop_assert!(m.idx() < problem.num_machines());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Feature-graph construction (the paper's `Ĝ_k = <S_k, E_k, F_k>`).
+
+use rasa_model::{Problem, ResourceVec};
+use rasa_nn::{GraphInput, Matrix};
+
+/// Build the GCN input for a subproblem: the affinity graph with an `N × 2`
+/// feature matrix per service — normalized resource demand `r_s` and
+/// container count `d_s` (Section IV-D1 defines `F_k`'s rows as
+/// `[r_s, d_s]`).
+///
+/// Scaling: demand is expressed as the fraction of an average machine one
+/// container consumes (dominant share), and `d_s` is log-compressed —
+/// keeping features O(1) across cluster scales so one trained model
+/// transfers between clusters, as the paper's deployment requires.
+pub fn feature_graph(problem: &Problem) -> GraphInput {
+    let avg_cap = average_machine_capacity(problem);
+    let features = Matrix::from_fn(problem.num_services(), 2, |s, c| {
+        let svc = &problem.services[s];
+        match c {
+            0 => svc.demand.dominant_share(&avg_cap).min(10.0),
+            _ => (1.0 + f64::from(svc.replicas)).ln(),
+        }
+    });
+    let edges: Vec<(usize, usize, f64)> = problem
+        .affinity_edges
+        .iter()
+        .map(|e| (e.a.idx(), e.b.idx(), e.weight))
+        .collect();
+    GraphInput::new(features, &edges)
+}
+
+/// Component-wise mean capacity over machines (a neutral scale for demand
+/// normalization). Falls back to all-ones when the problem has no machines.
+pub fn average_machine_capacity(problem: &Problem) -> ResourceVec {
+    if problem.machines.is_empty() {
+        return ResourceVec::new(1.0, 1.0, 1.0, 1.0);
+    }
+    let mut total = ResourceVec::ZERO;
+    for m in &problem.machines {
+        total += m.capacity;
+    }
+    total * (1.0 / problem.machines.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasa_model::{FeatureMask, ProblemBuilder};
+
+    #[test]
+    fn features_have_two_columns_and_edges_carry_weights() {
+        let mut b = ProblemBuilder::new();
+        let s0 = b.add_service("a", 4, ResourceVec::cpu_mem(2.0, 2.0));
+        let s1 = b.add_service("b", 1, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_machine(ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::EMPTY);
+        b.add_affinity(s0, s1, 3.0);
+        let p = b.build().unwrap();
+        let g = feature_graph(&p);
+        assert_eq!(g.features.rows, 2);
+        assert_eq!(g.features.cols, 2);
+        // demand share: 2/8 = 0.25
+        assert!((g.features.get(0, 0) - 0.25).abs() < 1e-12);
+        // log(1 + 4)
+        assert!((g.features.get(0, 1) - 5.0f64.ln()).abs() < 1e-12);
+        // adjacency off-diagonal nonzero for the single edge
+        assert!(g.adjacency.get(0, 1) > 0.0);
+    }
+
+    #[test]
+    fn demand_share_is_capped() {
+        let mut b = ProblemBuilder::new();
+        b.add_service("huge", 1, ResourceVec::cpu_mem(1e9, 1.0));
+        b.add_machine(ResourceVec::cpu_mem(1.0, 1.0), FeatureMask::EMPTY);
+        let p = b.build().unwrap();
+        let g = feature_graph(&p);
+        assert_eq!(g.features.get(0, 0), 10.0);
+    }
+
+    #[test]
+    fn no_machines_does_not_divide_by_zero() {
+        let mut b = ProblemBuilder::new();
+        b.add_service("a", 1, ResourceVec::cpu_mem(2.0, 2.0));
+        let p = b.build().unwrap();
+        let g = feature_graph(&p);
+        assert!(g.features.get(0, 0).is_finite());
+    }
+}

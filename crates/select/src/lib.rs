@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # rasa-select
+//!
+//! Algorithm selection for the RASA scheduling pool (Section IV-D of the
+//! paper): given a subproblem, decide whether the **column generation** or
+//! the **MIP-based** algorithm should solve it.
+//!
+//! Components:
+//!
+//! * [`feature_graph`] — builds the paper's *feature graph*
+//!   `Ĝ = <S, E, F>` for a subproblem, with an `N × 2` feature matrix of
+//!   per-service resource demand and container count (`[r_s, d_s]`);
+//! * [`label_subproblem`] — the paper's labelling procedure: run both pool
+//!   algorithms under a time limit and keep the winner;
+//! * [`AlgorithmSelector`] implementations: [`FixedSelector`] (the CG-only /
+//!   MIP-only ablations), [`HeuristicSelector`] (the paper's empirical
+//!   rule), [`MlpSelector`] (topology-blind) and [`GcnSelector`] (the
+//!   paper's proposal) — the five bars of Fig 8;
+//! * [`training`] — dataset assembly and training loops for the learned
+//!   selectors, plus weight persistence.
+
+pub mod features;
+pub mod labeling;
+pub mod selectors;
+pub mod training;
+
+pub use features::feature_graph;
+pub use labeling::{label_subproblem, LabeledSubproblem};
+pub use selectors::{
+    AlgorithmSelector, FixedSelector, GcnSelector, HeuristicSelector, MlpSelector, PoolAlgorithm,
+};
+pub use training::{train_gcn, train_mlp, TrainReport};

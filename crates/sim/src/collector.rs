@@ -1,0 +1,113 @@
+//! The data-collection component (Section III-A): snapshots the service
+//! list, machine list, current deployments and traffic metrics.
+
+use rand::Rng;
+use rasa_model::{Placement, Problem};
+
+/// A point-in-time snapshot of the cluster — the input to the RASA
+/// algorithm.
+#[derive(Clone, Debug)]
+pub struct ClusterState {
+    /// Services, machines, constraints, and the *measured* affinity edges.
+    pub problem: Problem,
+    /// Current container deployments.
+    pub placement: Placement,
+}
+
+/// Collects cluster snapshots, re-measuring traffic each time.
+///
+/// Production traffic fluctuates; the metrics monitoring system observes
+/// each pair's volume with noise. The collector models this by applying
+/// multiplicative noise (`measurement_noise`) to the ground-truth edge
+/// weights — so the optimizer plans against measurements, not the truth,
+/// like the deployed system.
+#[derive(Clone, Debug)]
+pub struct DataCollector {
+    /// Relative multiplicative measurement noise (0 = perfect metrics).
+    pub measurement_noise: f64,
+}
+
+impl Default for DataCollector {
+    fn default() -> Self {
+        DataCollector {
+            measurement_noise: 0.01,
+        }
+    }
+}
+
+impl DataCollector {
+    /// Snapshot the cluster: clone the problem with re-measured traffic.
+    pub fn collect<R: Rng>(
+        &self,
+        truth: &Problem,
+        placement: &Placement,
+        rng: &mut R,
+    ) -> ClusterState {
+        let mut problem = truth.clone();
+        if self.measurement_noise > 0.0 {
+            for e in problem.affinity_edges.iter_mut() {
+                let noise = 1.0 + rng.gen_range(-self.measurement_noise..self.measurement_noise);
+                e.weight = (e.weight * noise).max(f64::MIN_POSITIVE);
+            }
+        }
+        ClusterState {
+            problem,
+            placement: placement.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rasa_model::{FeatureMask, ProblemBuilder, ResourceVec};
+
+    fn problem() -> Problem {
+        let mut b = ProblemBuilder::new();
+        let s0 = b.add_service("a", 1, ResourceVec::cpu_mem(1.0, 1.0));
+        let s1 = b.add_service("b", 1, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_machine(ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::EMPTY);
+        b.add_affinity(s0, s1, 10.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn noiseless_collection_is_exact() {
+        let p = problem();
+        let placement = Placement::empty_for(&p);
+        let mut rng = StdRng::seed_from_u64(0);
+        let state = DataCollector {
+            measurement_noise: 0.0,
+        }
+        .collect(&p, &placement, &mut rng);
+        assert_eq!(state.problem.affinity_edges[0].weight, 10.0);
+    }
+
+    #[test]
+    fn noisy_collection_stays_near_truth_and_positive() {
+        let p = problem();
+        let placement = Placement::empty_for(&p);
+        let mut rng = StdRng::seed_from_u64(1);
+        let collector = DataCollector {
+            measurement_noise: 0.1,
+        };
+        for _ in 0..50 {
+            let state = collector.collect(&p, &placement, &mut rng);
+            let w = state.problem.affinity_edges[0].weight;
+            assert!(w > 0.0);
+            assert!((w / 10.0 - 1.0).abs() <= 0.1 + 1e-9, "w = {w}");
+        }
+    }
+
+    #[test]
+    fn snapshot_carries_the_placement() {
+        let p = problem();
+        let mut placement = Placement::empty_for(&p);
+        placement.add(rasa_model::ServiceId(0), rasa_model::MachineId(0), 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let state = DataCollector::default().collect(&p, &placement, &mut rng);
+        assert_eq!(state.placement, placement);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # rasa-sim
+//!
+//! The cluster/network simulator standing in for the paper's production
+//! deployment (Sections III and V-F). It reproduces the mechanism behind
+//! Figs 11–13: collocated containers talk over IPC, remote ones over RPC,
+//! so the *localized traffic fraction* (per-pair gained affinity) converts
+//! directly into end-to-end latency and request error rate.
+//!
+//! Components:
+//!
+//! * [`NetworkModel`] — IPC vs RPC latency/error parameters with jitter;
+//! * [`DataCollector`] — produces [`ClusterState`] snapshots, re-measuring
+//!   traffic with observation noise like the metrics monitoring system;
+//! * [`CronJob`] — the half-hourly workflow controller: collect → optimize
+//!   → dry-run below the 3% improvement threshold → otherwise migrate via
+//!   `rasa-migrate`, with verification-and-rollback;
+//! * [`experiment`] — the production experiment: a churning cluster run
+//!   twice (WITH RASA and WITHOUT RASA) plus the ONLY-COLLOCATED bound,
+//!   producing the normalized time series of Figs 11–13.
+
+pub mod collector;
+pub mod cronjob;
+pub mod experiment;
+pub mod failover;
+pub mod network;
+
+pub use collector::{ClusterState, DataCollector};
+pub use cronjob::{CronJob, CronJobConfig, TickOutcome};
+pub use experiment::{run_production_experiment, ExperimentConfig, ExperimentReport, PairSeries};
+pub use failover::{execute_with_failure, FailoverReport};
+pub use network::NetworkModel;

@@ -1,0 +1,136 @@
+//! The IPC-vs-RPC network model behind Figs 1 and 11–13.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Latency/error parameters for local (IPC) and remote (RPC) request paths.
+///
+/// Defaults are calibrated to typical datacenter numbers: intra-host IPC in
+/// the tens of microseconds, cross-host RPC around a millisecond with
+/// occasional congestion-related failures — the gap the paper's production
+/// deployment exploits ("reduce network latency associated with network
+/// I/O … lower request error rates related to network congestion, packet
+/// loss, or connectivity issues").
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Application processing time included in every end-to-end request,
+    /// milliseconds — collocation cannot remove this part, which is why the
+    /// paper's best per-pair improvement tops out around 72%.
+    pub base_latency_ms: f64,
+    /// Application-level error probability independent of the network path.
+    pub base_error_rate: f64,
+    /// Mean latency of an IPC (same-machine) request, milliseconds.
+    pub ipc_latency_ms: f64,
+    /// Mean latency of an RPC (cross-machine) request, milliseconds.
+    pub rpc_latency_ms: f64,
+    /// Error probability of an IPC request.
+    pub ipc_error_rate: f64,
+    /// Error probability of an RPC request.
+    pub rpc_error_rate: f64,
+    /// Relative multiplicative jitter applied per observation (models load
+    /// and congestion variation over time).
+    pub jitter: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel {
+            base_latency_ms: 0.8,
+            base_error_rate: 0.0012,
+            ipc_latency_ms: 0.08,
+            rpc_latency_ms: 1.4,
+            ipc_error_rate: 0.0004,
+            rpc_error_rate: 0.0050,
+            jitter: 0.08,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// Expected end-to-end latency for a service pair whose traffic is
+    /// `localized` ∈ [0, 1] on-machine (no noise).
+    pub fn mean_latency(&self, localized: f64) -> f64 {
+        let f = localized.clamp(0.0, 1.0);
+        self.base_latency_ms + f * self.ipc_latency_ms + (1.0 - f) * self.rpc_latency_ms
+    }
+
+    /// Expected request error rate at localized fraction `localized`.
+    pub fn mean_error_rate(&self, localized: f64) -> f64 {
+        let f = localized.clamp(0.0, 1.0);
+        (self.base_error_rate + f * self.ipc_error_rate + (1.0 - f) * self.rpc_error_rate)
+            .clamp(0.0, 1.0)
+    }
+
+    /// One noisy latency observation.
+    pub fn observe_latency<R: Rng>(&self, localized: f64, rng: &mut R) -> f64 {
+        let noise = 1.0 + rng.gen_range(-self.jitter..self.jitter);
+        self.mean_latency(localized) * noise.max(0.01)
+    }
+
+    /// One noisy error-rate observation.
+    pub fn observe_error_rate<R: Rng>(&self, localized: f64, rng: &mut R) -> f64 {
+        let noise = 1.0 + rng.gen_range(-self.jitter..self.jitter);
+        (self.mean_error_rate(localized) * noise.max(0.01)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn latency_interpolates_between_paths() {
+        let m = NetworkModel::default();
+        assert_eq!(m.mean_latency(1.0), m.base_latency_ms + m.ipc_latency_ms);
+        assert_eq!(m.mean_latency(0.0), m.base_latency_ms + m.rpc_latency_ms);
+        let half = m.mean_latency(0.5);
+        assert!(half > m.mean_latency(1.0) && half < m.mean_latency(0.0));
+    }
+
+    #[test]
+    fn error_rate_interpolates() {
+        let m = NetworkModel::default();
+        assert_eq!(m.mean_error_rate(1.0), m.base_error_rate + m.ipc_error_rate);
+        assert_eq!(m.mean_error_rate(0.0), m.base_error_rate + m.rpc_error_rate);
+    }
+
+    #[test]
+    fn localized_fraction_is_clamped() {
+        let m = NetworkModel::default();
+        assert_eq!(m.mean_latency(2.0), m.mean_latency(1.0));
+        assert_eq!(m.mean_latency(-1.0), m.mean_latency(0.0));
+    }
+
+    #[test]
+    fn improvement_is_bounded_by_the_base_component() {
+        // even full collocation cannot improve past the app-time share —
+        // the reason the paper's best pair gains 72%, not ~100%
+        let m = NetworkModel::default();
+        let best = (m.mean_latency(0.0) - m.mean_latency(1.0)) / m.mean_latency(0.0);
+        assert!(best > 0.3 && best < 0.8, "best possible improvement {best}");
+    }
+
+    #[test]
+    fn observations_jitter_around_the_mean() {
+        let m = NetworkModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..200).map(|_| m.observe_latency(0.3, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let expected = m.mean_latency(0.3);
+        assert!(
+            (mean / expected - 1.0).abs() < 0.05,
+            "mean {mean} vs {expected}"
+        );
+        // and they are not all identical
+        assert!(samples.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn more_localization_is_strictly_better() {
+        let m = NetworkModel::default();
+        assert!(m.mean_latency(0.8) < m.mean_latency(0.2));
+        assert!(m.mean_error_rate(0.8) < m.mean_error_rate(0.2));
+    }
+}

@@ -1,0 +1,95 @@
+//! Integration tests for the CronJob workflow on generated clusters:
+//! optimize → dry-run steady state → churn recovery, plus rollback paths.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rasa_baselines::Original;
+use rasa_model::{normalized_gained_affinity, validate};
+use rasa_sim::{CronJob, CronJobConfig, DataCollector, TickOutcome};
+use rasa_solver::{MipBased, Scheduler};
+use rasa_trace::{generate, tiny_cluster};
+use std::time::Duration;
+
+fn config() -> CronJobConfig {
+    CronJobConfig {
+        optimizer_budget: Duration::from_secs(3),
+        collector: DataCollector {
+            measurement_noise: 0.0,
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn cronjob_converges_then_dry_runs_on_a_generated_cluster() {
+    let problem = generate(&tiny_cluster(21));
+    let mut placement = Original
+        .schedule(&problem, rasa_lp::Deadline::none())
+        .placement;
+    let before = normalized_gained_affinity(&problem, &placement);
+    let cron = CronJob::new(config());
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let mut migrated = 0;
+    for _ in 0..4 {
+        match cron.tick(&problem, &mut placement, &MipBased::new(), &mut rng) {
+            TickOutcome::Migrated { .. } => migrated += 1,
+            TickOutcome::DryRun { .. } => break,
+            TickOutcome::RolledBack { reason } => panic!("rollback: {reason}"),
+        }
+    }
+    assert!(migrated >= 1, "first tick should migrate");
+    let after = normalized_gained_affinity(&problem, &placement);
+    assert!(
+        after > before + 0.03,
+        "affinity should improve: {before} → {after}"
+    );
+    assert!(validate(&problem, &placement, true).is_empty());
+
+    // steady state: next tick dry-runs
+    let outcome = cron.tick(&problem, &mut placement, &MipBased::new(), &mut rng);
+    assert!(
+        matches!(outcome, TickOutcome::DryRun { .. }),
+        "expected dry-run, got {outcome:?}"
+    );
+}
+
+#[test]
+fn zero_rollback_threshold_always_rolls_back() {
+    let problem = generate(&tiny_cluster(22));
+    let mut placement = Original
+        .schedule(&problem, rasa_lp::Deadline::none())
+        .placement;
+    let before = placement.clone();
+    let cron = CronJob::new(CronJobConfig {
+        rollback_load_threshold: 0.0, // any load at all trips the check
+        ..config()
+    });
+    let mut rng = StdRng::seed_from_u64(2);
+    let outcome = cron.tick(&problem, &mut placement, &MipBased::new(), &mut rng);
+    assert!(
+        matches!(outcome, TickOutcome::RolledBack { .. }),
+        "got {outcome:?}"
+    );
+    assert_eq!(placement, before, "rollback must not touch the placement");
+}
+
+#[test]
+fn noisy_measurements_still_produce_feasible_migrations() {
+    let problem = generate(&tiny_cluster(23));
+    let mut placement = Original
+        .schedule(&problem, rasa_lp::Deadline::none())
+        .placement;
+    let cron = CronJob::new(CronJobConfig {
+        collector: DataCollector {
+            measurement_noise: 0.2, // heavy metric noise
+        },
+        ..config()
+    });
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..3 {
+        let _ = cron.tick(&problem, &mut placement, &MipBased::new(), &mut rng);
+        // regardless of what the optimizer saw, the real cluster stays valid
+        assert!(validate(&problem, &placement, true).is_empty());
+    }
+}

@@ -1,0 +1,695 @@
+//! The column-generation scheduling algorithm (Section IV-C2, Algorithm 1).
+//!
+//! RASA's *cutting-stock formulation*: a **pattern** is a feasible placement
+//! of service containers on a single machine (resources, anti-affinity and
+//! schedulable constraints all hold), valued at the gained affinity it
+//! realizes, `v_p = Σ_e w_e · min(p_s/d_s, p_{s'}/d_{s'})`. The restricted
+//! master problem (RMP) chooses how many machines of each group use each
+//! pattern:
+//!
+//! ```text
+//! max  Σ_{g,p} v_p · y_{g,p}
+//! s.t. Σ_p y_{g,p}            <= K_g   ∀ groups g         (dual μ_g)
+//!      Σ_{g,p} p_s · y_{g,p}  <= d_s   ∀ services s       (dual π_s)
+//!      y >= 0
+//! ```
+//!
+//! Each round solves the RMP's LP relaxation (`SolveCuttingStock`), then for
+//! every machine group solves a pricing MIP (`GenPattern`) that searches for
+//! a single-machine pattern with positive reduced cost
+//! `v_p − Σ_s π_s p_s − μ_g`. When no group can price out a new pattern (or
+//! the deadline fires — `IsTerminate`), the master is re-solved as an
+//! integer program over the generated columns (`Round`), falling back to a
+//! greedy rounding if branch-and-bound cannot finish in time.
+
+use crate::completion::complete_placement;
+use crate::formulation::per_machine_cap;
+use crate::scheduler::{ScheduleOutcome, Scheduler};
+use rasa_lp::{Deadline, LpStatus, SimplexOptions};
+use rasa_mip::{MipModel, MipOptions};
+use rasa_model::{MachineGroup, Placement, Problem, ServiceId, NUM_RESOURCES};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Options for [`ColumnGeneration`].
+#[derive(Clone, Debug)]
+pub struct CgOptions {
+    /// Maximum pricing rounds (`while` iterations of Algorithm 1).
+    pub max_rounds: usize,
+    /// Branch-and-bound knobs for the pricing subproblems (kept small — a
+    /// pricing MIP covers one machine).
+    pub pricing_mip: MipOptions,
+    /// Wall-clock slice granted to each pricing MIP.
+    pub pricing_slice: Duration,
+    /// Simplex knobs for the master LP.
+    pub master_lp: SimplexOptions,
+    /// Branch-and-bound knobs for the final integral rounding.
+    pub rounding_mip: MipOptions,
+    /// Reduced-cost threshold for accepting a new pattern.
+    pub reduced_cost_tol: f64,
+    /// Run the completion pass afterwards.
+    pub complete: bool,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        let mut pricing_mip = MipOptions::default();
+        pricing_mip.max_nodes = 2_000;
+        let mut rounding_mip = MipOptions::default();
+        rounding_mip.max_nodes = 20_000;
+        CgOptions {
+            max_rounds: 60,
+            pricing_mip,
+            pricing_slice: Duration::from_millis(500),
+            master_lp: SimplexOptions::default(),
+            rounding_mip,
+            reduced_cost_tol: 1e-6,
+            complete: true,
+        }
+    }
+}
+
+/// Counters describing a column-generation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CgStats {
+    /// Pricing rounds executed.
+    pub rounds: usize,
+    /// Total patterns in the final master.
+    pub patterns: usize,
+    /// Master LP solves.
+    pub master_solves: usize,
+    /// Pricing MIP solves.
+    pub pricing_solves: usize,
+}
+
+/// A single-machine placement pattern for one machine group.
+#[derive(Clone, Debug, PartialEq)]
+struct Pattern {
+    /// `(service, containers)` with positive counts, sorted by service.
+    counts: Vec<(ServiceId, u32)>,
+    /// Exact gained affinity of this pattern on one machine.
+    value: f64,
+}
+
+/// The column-generation member of the scheduling algorithm pool.
+///
+/// *Characteristics* (paper): sub-optimal quality, acceptable runtime —
+/// right for medium-scale subproblems with non-negligible affinity.
+#[derive(Clone, Debug, Default)]
+pub struct ColumnGeneration {
+    /// Options for this run.
+    pub options: CgOptions,
+}
+
+impl ColumnGeneration {
+    /// Column generation with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run and additionally report statistics.
+    pub fn schedule_with_stats(
+        &self,
+        problem: &Problem,
+        deadline: Deadline,
+    ) -> (ScheduleOutcome, CgStats) {
+        let start = Instant::now();
+        let mut stats = CgStats::default();
+
+        let groups = problem.machine_groups();
+        let edge_weight: HashMap<(ServiceId, ServiceId), f64> = problem
+            .affinity_edges
+            .iter()
+            .map(|e| ((e.a, e.b), e.weight))
+            .collect();
+        let active: Vec<ServiceId> = {
+            let mut has_edge = vec![false; problem.num_services()];
+            for e in &problem.affinity_edges {
+                has_edge[e.a.idx()] = true;
+                has_edge[e.b.idx()] = true;
+            }
+            problem
+                .services
+                .iter()
+                .filter(|s| has_edge[s.id.idx()])
+                .map(|s| s.id)
+                .collect()
+        };
+
+        let mut patterns: Vec<Vec<Pattern>> = groups
+            .iter()
+            .map(|g| initial_patterns(problem, g, &active, &edge_weight))
+            .collect();
+        let mut seen: Vec<HashSet<Vec<(ServiceId, u32)>>> = patterns
+            .iter()
+            .map(|ps| ps.iter().map(|p| p.counts.clone()).collect())
+            .collect();
+
+        // ---- Algorithm 1 main loop ----
+        let mut converged = false;
+        for _round in 0..self.options.max_rounds {
+            if deadline.expired() {
+                break;
+            }
+            stats.rounds += 1;
+            let Some(duals) = self.solve_master_lp(problem, &groups, &patterns, &active, deadline)
+            else {
+                break;
+            };
+            stats.master_solves += 1;
+
+            let mut added_any = false;
+            for (gi, g) in groups.iter().enumerate() {
+                if deadline.expired() {
+                    break;
+                }
+                stats.pricing_solves += 1;
+                let mu = duals.group[gi];
+                if let Some(p) = self.price_pattern(
+                    problem,
+                    g,
+                    &active,
+                    &edge_weight,
+                    &duals.service,
+                    mu,
+                    deadline,
+                ) {
+                    if seen[gi].insert(p.counts.clone()) {
+                        patterns[gi].push(p);
+                        added_any = true;
+                    }
+                }
+            }
+            if !added_any {
+                converged = true;
+                break; // no pattern with negative reduced cost remains
+            }
+        }
+
+        stats.patterns = patterns.iter().map(Vec::len).sum();
+
+        // ---- Round: integral master over the generated columns ----
+        let mut placement = self.round_master(problem, &groups, &patterns, &active, deadline);
+        if self.options.complete {
+            complete_placement(problem, &mut placement);
+        }
+        let outcome = ScheduleOutcome::evaluate(problem, placement, start.elapsed(), converged);
+        (outcome, stats)
+    }
+
+    /// Solve the RMP LP relaxation and return its duals.
+    fn solve_master_lp(
+        &self,
+        problem: &Problem,
+        groups: &[MachineGroup],
+        patterns: &[Vec<Pattern>],
+        active: &[ServiceId],
+        deadline: Deadline,
+    ) -> Option<MasterDuals> {
+        let (lp, _vars) = build_master(problem, groups, patterns, active, false);
+        let sol = lp.lp().solve_with(&self.options.master_lp, deadline);
+        if sol.status != LpStatus::Optimal {
+            return None;
+        }
+        let g = groups.len();
+        Some(MasterDuals {
+            group: sol.duals[..g].to_vec(),
+            service: active
+                .iter()
+                .enumerate()
+                .map(|(k, &s)| (s, sol.duals[g + k]))
+                .collect(),
+        })
+    }
+
+    /// `GenPattern`: price a new pattern for group `g`.
+    #[allow(clippy::too_many_arguments)]
+    fn price_pattern(
+        &self,
+        problem: &Problem,
+        g: &MachineGroup,
+        active: &[ServiceId],
+        edge_weight: &HashMap<(ServiceId, ServiceId), f64>,
+        pi: &HashMap<ServiceId, f64>,
+        mu: f64,
+        deadline: Deadline,
+    ) -> Option<Pattern> {
+        let mut mip = MipModel::new();
+        let mut p_vars: HashMap<ServiceId, rasa_mip::VarId> = HashMap::new();
+        for &s in active {
+            let svc = &problem.services[s.idx()];
+            if !svc.required_features.subset_of(g.features) {
+                continue;
+            }
+            let cap1 = per_machine_cap(problem, s, &g.capacity).min(svc.replicas);
+            if cap1 == 0 {
+                continue;
+            }
+            let price = -pi.get(&s).copied().unwrap_or(0.0);
+            p_vars.insert(s, mip.add_int_var(0.0, f64::from(cap1), price));
+        }
+        if p_vars.is_empty() {
+            return None;
+        }
+        // single-machine resources
+        for r in 0..NUM_RESOURCES {
+            let coeffs: Vec<_> = p_vars
+                .iter()
+                .filter_map(|(&s, &v)| {
+                    let dem = problem.services[s.idx()].demand.0[r];
+                    (dem > 0.0).then_some((v, dem))
+                })
+                .collect();
+            if !coeffs.is_empty() {
+                mip.add_row_le(coeffs, g.capacity.0[r]);
+            }
+        }
+        // anti-affinity on one machine
+        for rule in &problem.anti_affinity {
+            let coeffs: Vec<_> = rule
+                .services
+                .iter()
+                .filter_map(|s| p_vars.get(s).map(|&v| (v, 1.0)))
+                .collect();
+            if !coeffs.is_empty() {
+                mip.add_row_le(coeffs, f64::from(rule.max_per_machine));
+            }
+        }
+        // affinity epigraph
+        for e in &problem.affinity_edges {
+            let (Some(&va), Some(&vb)) = (p_vars.get(&e.a), p_vars.get(&e.b)) else {
+                continue;
+            };
+            let da = f64::from(problem.services[e.a.idx()].replicas);
+            let db = f64::from(problem.services[e.b.idx()].replicas);
+            let a = mip.add_var(0.0, e.weight, 1.0);
+            mip.add_row_le(vec![(a, 1.0), (va, -e.weight / da)], 0.0);
+            mip.add_row_le(vec![(a, 1.0), (vb, -e.weight / db)], 0.0);
+        }
+
+        let slice = deadline.min_with(self.options.pricing_slice);
+        let sol = mip.solve_with(&self.options.pricing_mip, slice);
+        if !sol.has_incumbent() {
+            return None;
+        }
+        let counts: Vec<(ServiceId, u32)> = {
+            let mut c: Vec<_> = p_vars
+                .iter()
+                .filter_map(|(&s, &v)| {
+                    let n = sol.x[v.0].round().max(0.0) as u32;
+                    (n > 0).then_some((s, n))
+                })
+                .collect();
+            c.sort_by_key(|&(s, _)| s);
+            c
+        };
+        if counts.is_empty() {
+            return None;
+        }
+        let value = pattern_value(problem, &counts, edge_weight);
+        let priced: f64 = counts
+            .iter()
+            .map(|(s, n)| pi.get(s).copied().unwrap_or(0.0) * f64::from(*n))
+            .sum();
+        let reduced_cost = value - priced - mu;
+        (reduced_cost > self.options.reduced_cost_tol).then_some(Pattern { counts, value })
+    }
+
+    /// `Round`: solve the master as an integer program; greedy fallback.
+    fn round_master(
+        &self,
+        problem: &Problem,
+        groups: &[MachineGroup],
+        patterns: &[Vec<Pattern>],
+        active: &[ServiceId],
+        deadline: Deadline,
+    ) -> Placement {
+        let (mip, vars) = build_master(problem, groups, patterns, active, true);
+        let sol = mip.solve_with(&self.options.rounding_mip, deadline);
+        let copies: Vec<Vec<u32>> = if sol.has_incumbent() {
+            vars.iter()
+                .map(|per_g| {
+                    per_g
+                        .iter()
+                        .map(|&v| sol.x[v.0].round().max(0.0) as u32)
+                        .collect()
+                })
+                .collect()
+        } else {
+            greedy_round(problem, groups, patterns)
+        };
+
+        let mut placement = Placement::empty_for(problem);
+        for (gi, g) in groups.iter().enumerate() {
+            let mut member_cursor = 0usize;
+            // honor remaining coverage when expanding (defensive: the
+            // integral master already enforces it)
+            let mut remaining: HashMap<ServiceId, u32> = problem
+                .services
+                .iter()
+                .map(|s| {
+                    (
+                        s.id,
+                        s.replicas.saturating_sub(placement.placed_count(s.id)),
+                    )
+                })
+                .collect();
+            for (pi_, pattern) in patterns[gi].iter().enumerate() {
+                for _ in 0..copies[gi][pi_] {
+                    if member_cursor >= g.members.len() {
+                        break;
+                    }
+                    let m = g.members[member_cursor];
+                    member_cursor += 1;
+                    for &(s, c) in &pattern.counts {
+                        let left = remaining.get_mut(&s).expect("known service");
+                        let take = c.min(*left);
+                        if take > 0 {
+                            placement.add(s, m, take);
+                            *left -= take;
+                        }
+                    }
+                }
+            }
+        }
+        placement
+    }
+}
+
+impl Scheduler for ColumnGeneration {
+    fn name(&self) -> &'static str {
+        "CG"
+    }
+
+    fn schedule(&self, problem: &Problem, deadline: Deadline) -> ScheduleOutcome {
+        self.schedule_with_stats(problem, deadline).0
+    }
+}
+
+struct MasterDuals {
+    group: Vec<f64>,
+    service: HashMap<ServiceId, f64>,
+}
+
+/// Exact gained affinity of a pattern on one machine.
+fn pattern_value(
+    problem: &Problem,
+    counts: &[(ServiceId, u32)],
+    edge_weight: &HashMap<(ServiceId, ServiceId), f64>,
+) -> f64 {
+    let mut value = 0.0;
+    for (i, &(sa, ca)) in counts.iter().enumerate() {
+        let da = f64::from(problem.services[sa.idx()].replicas);
+        for &(sb, cb) in &counts[i + 1..] {
+            let key = if sa < sb { (sa, sb) } else { (sb, sa) };
+            if let Some(&w) = edge_weight.get(&key) {
+                let db = f64::from(problem.services[sb.idx()].replicas);
+                value += w * (f64::from(ca) / da).min(f64::from(cb) / db);
+            }
+        }
+    }
+    value
+}
+
+/// Seed patterns: per group, singleton packs plus one balanced pack per
+/// affinity edge (both endpoints schedulable).
+fn initial_patterns(
+    problem: &Problem,
+    g: &MachineGroup,
+    active: &[ServiceId],
+    edge_weight: &HashMap<(ServiceId, ServiceId), f64>,
+) -> Vec<Pattern> {
+    let mut out = Vec::new();
+    let mut seen: HashSet<Vec<(ServiceId, u32)>> = HashSet::new();
+    let cap1 = |s: ServiceId| -> u32 {
+        let svc = &problem.services[s.idx()];
+        if !svc.required_features.subset_of(g.features) {
+            return 0;
+        }
+        per_machine_cap(problem, s, &g.capacity).min(svc.replicas)
+    };
+    for &s in active {
+        let c = cap1(s);
+        if c > 0 {
+            let counts = vec![(s, c)];
+            if seen.insert(counts.clone()) {
+                out.push(Pattern { counts, value: 0.0 });
+            }
+        }
+    }
+    for e in &problem.affinity_edges {
+        let (ca, cb) = (cap1(e.a), cap1(e.b));
+        if ca == 0 || cb == 0 {
+            continue;
+        }
+        // grow the pair keeping p_a/d_a ≈ p_b/d_b while one machine fits
+        let da = f64::from(problem.services[e.a.idx()].replicas);
+        let db = f64::from(problem.services[e.b.idx()].replicas);
+        let mut pa = 0u32;
+        let mut pb = 0u32;
+        let mut used = rasa_model::ResourceVec::ZERO;
+        loop {
+            // next container: whichever endpoint has the lower filled ratio
+            let ra = if pa >= ca {
+                f64::INFINITY
+            } else {
+                f64::from(pa) / da
+            };
+            let rb = if pb >= cb {
+                f64::INFINITY
+            } else {
+                f64::from(pb) / db
+            };
+            let (svc, which_a) = if ra <= rb {
+                if pa >= ca {
+                    break;
+                }
+                (&problem.services[e.a.idx()], true)
+            } else {
+                if pb >= cb {
+                    break;
+                }
+                (&problem.services[e.b.idx()], false)
+            };
+            if !(used + svc.demand).fits_within(&g.capacity, 1e-6) {
+                break;
+            }
+            used += svc.demand;
+            if which_a {
+                pa += 1;
+            } else {
+                pb += 1;
+            }
+        }
+        if pa > 0 && pb > 0 {
+            let mut counts = vec![(e.a, pa), (e.b, pb)];
+            counts.sort_by_key(|&(s, _)| s);
+            if seen.insert(counts.clone()) {
+                let value = pattern_value(problem, &counts, edge_weight);
+                out.push(Pattern { counts, value });
+            }
+        }
+    }
+    out
+}
+
+/// Build the master problem. With `integral = false` the returned model's
+/// LP is the relaxation (y continuous); with `true`, y is integer. Row
+/// order: one row per group, then one row per active service — duals are
+/// read positionally.
+fn build_master(
+    problem: &Problem,
+    groups: &[MachineGroup],
+    patterns: &[Vec<Pattern>],
+    active: &[ServiceId],
+    integral: bool,
+) -> (MipModel, Vec<Vec<rasa_mip::VarId>>) {
+    let mut mip = MipModel::new();
+    let mut vars: Vec<Vec<rasa_mip::VarId>> = Vec::with_capacity(groups.len());
+    for (gi, g) in groups.iter().enumerate() {
+        let k = g.members.len() as f64;
+        let per_g: Vec<_> = patterns[gi]
+            .iter()
+            .map(|p| {
+                if integral {
+                    mip.add_int_var(0.0, k, p.value)
+                } else {
+                    mip.add_var(0.0, k, p.value)
+                }
+            })
+            .collect();
+        vars.push(per_g);
+    }
+    // group machine-count rows (order matters for duals)
+    for (gi, g) in groups.iter().enumerate() {
+        let coeffs: Vec<_> = vars[gi].iter().map(|&v| (v, 1.0)).collect();
+        mip.add_row_le(coeffs, g.members.len() as f64);
+    }
+    // service coverage rows
+    for &s in active {
+        let mut coeffs = Vec::new();
+        for (gi, per_g) in vars.iter().enumerate() {
+            for (pi_, &v) in per_g.iter().enumerate() {
+                if let Some(&(_, c)) = patterns[gi][pi_].counts.iter().find(|&&(ps, _)| ps == s) {
+                    coeffs.push((v, f64::from(c)));
+                }
+            }
+        }
+        // always add the row (possibly empty → 0 <= d_s) so dual indexing
+        // stays positional
+        mip.add_row_le(coeffs, f64::from(problem.services[s.idx()].replicas));
+    }
+    (mip, vars)
+}
+
+/// Greedy integral rounding used when the rounding MIP cannot finish:
+/// take patterns in decreasing value order while machines and coverage last.
+fn greedy_round(
+    problem: &Problem,
+    groups: &[MachineGroup],
+    patterns: &[Vec<Pattern>],
+) -> Vec<Vec<u32>> {
+    let mut copies: Vec<Vec<u32>> = patterns.iter().map(|ps| vec![0; ps.len()]).collect();
+    let mut remaining: Vec<u32> = problem.services.iter().map(|s| s.replicas).collect();
+    for (gi, g) in groups.iter().enumerate() {
+        let mut machines_left = g.members.len() as u32;
+        let mut order: Vec<usize> = (0..patterns[gi].len()).collect();
+        order.sort_by(|&a, &b| {
+            patterns[gi][b]
+                .value
+                .partial_cmp(&patterns[gi][a].value)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for pi_ in order {
+            let p = &patterns[gi][pi_];
+            if p.value <= 0.0 {
+                break;
+            }
+            while machines_left > 0 && p.counts.iter().all(|&(s, c)| remaining[s.idx()] >= c) {
+                copies[gi][pi_] += 1;
+                machines_left -= 1;
+                for &(s, c) in &p.counts {
+                    remaining[s.idx()] -= c;
+                }
+            }
+        }
+    }
+    copies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasa_model::{validate, FeatureMask, ProblemBuilder, ResourceVec};
+
+    fn pair_problem(weight: f64) -> Problem {
+        let mut b = ProblemBuilder::new();
+        let a = b.add_service("A", 2, ResourceVec::cpu_mem(2.0, 2.0));
+        let c = b.add_service("B", 4, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_machines(3, ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::EMPTY);
+        b.add_affinity(a, c, weight);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pattern_value_is_min_scaled() {
+        let p = pair_problem(10.0);
+        let ew: HashMap<_, _> = p
+            .affinity_edges
+            .iter()
+            .map(|e| ((e.a, e.b), e.weight))
+            .collect();
+        let v = pattern_value(&p, &[(ServiceId(0), 1), (ServiceId(1), 2)], &ew);
+        assert!((v - 5.0).abs() < 1e-12); // 10 · min(1/2, 2/4)
+    }
+
+    #[test]
+    fn initial_patterns_include_pairs() {
+        let p = pair_problem(1.0);
+        let ew: HashMap<_, _> = p
+            .affinity_edges
+            .iter()
+            .map(|e| ((e.a, e.b), e.weight))
+            .collect();
+        let g = &p.machine_groups()[0];
+        let pats = initial_patterns(&p, g, &[ServiceId(0), ServiceId(1)], &ew);
+        assert!(pats.iter().any(|p| p.counts.len() == 2 && p.value > 0.0));
+    }
+
+    #[test]
+    fn cg_reaches_full_affinity_on_small_problem() {
+        let p = pair_problem(1.0);
+        let (out, stats) = ColumnGeneration::new().schedule_with_stats(&p, Deadline::none());
+        assert!(
+            (out.gained_affinity - 1.0).abs() < 1e-6,
+            "gained {}",
+            out.gained_affinity
+        );
+        assert!(validate(&p, &out.placement, true).is_empty());
+        assert!(stats.rounds >= 1);
+        assert!(stats.patterns > 0);
+    }
+
+    #[test]
+    fn cg_matches_mip_on_chain() {
+        use crate::mip_algorithm::MipBased;
+        use crate::scheduler::Scheduler as _;
+        let mut b = ProblemBuilder::new();
+        let s: Vec<_> = (0..4)
+            .map(|i| b.add_service(format!("s{i}"), 2, ResourceVec::cpu_mem(2.0, 2.0)))
+            .collect();
+        b.add_machines(4, ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::EMPTY);
+        b.add_affinity(s[0], s[1], 10.0);
+        b.add_affinity(s[1], s[2], 1.0);
+        b.add_affinity(s[2], s[3], 10.0);
+        let p = b.build().unwrap();
+        let cg = ColumnGeneration::new().schedule(&p, Deadline::none());
+        let mip = MipBased::new().schedule(&p, Deadline::none());
+        assert!(
+            cg.gained_affinity >= mip.gained_affinity * 0.95 - 1e-9,
+            "CG {} too far below MIP {}",
+            cg.gained_affinity,
+            mip.gained_affinity
+        );
+        assert!(validate(&p, &cg.placement, true).is_empty());
+    }
+
+    #[test]
+    fn greedy_round_respects_coverage_and_machines() {
+        let p = pair_problem(1.0);
+        let groups = p.machine_groups();
+        let patterns = vec![vec![
+            Pattern {
+                counts: vec![(ServiceId(0), 1), (ServiceId(1), 2)],
+                value: 0.5,
+            },
+            Pattern {
+                counts: vec![(ServiceId(1), 4)],
+                value: 0.0,
+            },
+        ]];
+        let copies = greedy_round(&p, &groups, &patterns);
+        // d_A = 2 allows two copies of the pair pattern (uses 2 of 3 machines)
+        assert_eq!(copies[0][0], 2);
+        assert_eq!(copies[0][1], 0, "zero-value patterns are skipped");
+    }
+
+    #[test]
+    fn cg_with_zero_deadline_still_valid() {
+        let p = pair_problem(1.0);
+        let out = ColumnGeneration::new().schedule(&p, Deadline::after(Duration::ZERO));
+        assert!(validate(&p, &out.placement, false).is_empty());
+    }
+
+    #[test]
+    fn cg_handles_problem_without_edges() {
+        let mut b = ProblemBuilder::new();
+        b.add_service("only", 3, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_machines(2, ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::EMPTY);
+        let p = b.build().unwrap();
+        let out = ColumnGeneration::new().schedule(&p, Deadline::none());
+        assert_eq!(out.gained_affinity, 0.0);
+        // completion still satisfies the SLA
+        assert!(validate(&p, &out.placement, true).is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # rasa-solver
+//!
+//! The solver-based scheduling algorithms of the RASA paper's *algorithm
+//! pool* (Section IV-C):
+//!
+//! * [`formulation`] — builds the paper's MIP (Expressions (2)–(9)) from a
+//!   [`Problem`](rasa_model::Problem), in two flavors: the exact
+//!   **per-machine** formulation and the **machine-group aggregated**
+//!   formulation the paper's own notation (`a_{s,s',g}`, Table I) implies.
+//!   Also owns de-aggregation of a group-level solution into concrete
+//!   machines.
+//! * [`mip_algorithm`] — the *MIP-based algorithm*: feed the formulation to
+//!   the branch-and-bound solver, extract the placement (Section IV-C1).
+//! * [`column_generation`] — the *column generation algorithm*
+//!   (Algorithm 1): cutting-stock restricted master problem over per-machine
+//!   *patterns*, pattern-pricing subproblems solved as small MIPs, and
+//!   integral rounding of the final master (Section IV-C2).
+//! * [`completion`] — the affinity-aware first-fit completion pass standing
+//!   in for the cluster's default scheduler, which the paper lets absorb the
+//!   few containers a subproblem fails to deploy (Section IV-B5).
+//! * [`scheduler`] — the [`Scheduler`] trait shared by these algorithms and
+//!   every baseline in `rasa-baselines`, plus [`ScheduleOutcome`].
+
+pub mod column_generation;
+pub mod completion;
+pub mod formulation;
+pub mod mip_algorithm;
+pub mod scheduler;
+
+pub use column_generation::{CgOptions, CgStats, ColumnGeneration};
+pub use completion::complete_placement;
+pub use formulation::{per_machine_cap, FormulationKind, RasaFormulation};
+pub use mip_algorithm::{MipBased, MipBasedOptions};
+pub use scheduler::{ScheduleOutcome, Scheduler};

@@ -1,0 +1,82 @@
+//! The common interface every scheduling algorithm in this repository
+//! implements — RASA's pool members and all baselines.
+
+use rasa_lp::Deadline;
+use rasa_model::{gained_affinity, normalized_gained_affinity, Placement, Problem};
+use std::time::Duration;
+
+/// Result of running a scheduling algorithm on a problem.
+#[derive(Clone, Debug)]
+pub struct ScheduleOutcome {
+    /// The computed container-to-machine mapping. May be partial (SLA not
+    /// fully met) when the deadline fired or capacity ran out; callers run
+    /// [`complete_placement`](crate::complete_placement) or fall back to the
+    /// cluster's default scheduler, as the paper does.
+    pub placement: Placement,
+    /// Absolute gained affinity of `placement` (Definition 1).
+    pub gained_affinity: f64,
+    /// Gained affinity normalized by the problem's total affinity.
+    pub normalized_gained_affinity: f64,
+    /// Wall-clock the algorithm consumed.
+    pub elapsed: Duration,
+    /// `true` if the algorithm ran to completion; `false` if it returned a
+    /// best-so-far under the deadline (or, for all-or-nothing baselines,
+    /// failed entirely — then `placement` is empty).
+    pub completed: bool,
+}
+
+impl ScheduleOutcome {
+    /// Evaluate a placement against `problem` and wrap it.
+    pub fn evaluate(
+        problem: &Problem,
+        placement: Placement,
+        elapsed: Duration,
+        completed: bool,
+    ) -> Self {
+        let ga = gained_affinity(problem, &placement);
+        let nga = normalized_gained_affinity(problem, &placement);
+        ScheduleOutcome {
+            placement,
+            gained_affinity: ga,
+            normalized_gained_affinity: nga,
+            elapsed,
+            completed,
+        }
+    }
+}
+
+/// A scheduling algorithm: computes a placement for a problem under a
+/// deadline. Implemented by the MIP-based and column-generation algorithms
+/// here and by POP / K8s+ / APPLSCI19 / ORIGINAL in `rasa-baselines`.
+pub trait Scheduler {
+    /// Human-readable algorithm name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Compute a placement. Implementations must respect `deadline`
+    /// best-effort and never return an infeasible placement (partial is
+    /// allowed; infeasible is not).
+    fn schedule(&self, problem: &Problem, deadline: Deadline) -> ScheduleOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasa_model::{FeatureMask, MachineId, ProblemBuilder, ResourceVec, ServiceId};
+
+    #[test]
+    fn evaluate_computes_both_objectives() {
+        let mut b = ProblemBuilder::new();
+        let s0 = b.add_service("a", 1, ResourceVec::cpu_mem(1.0, 1.0));
+        let s1 = b.add_service("b", 1, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_machine(ResourceVec::cpu_mem(4.0, 4.0), FeatureMask::EMPTY);
+        b.add_affinity(s0, s1, 8.0);
+        let p = b.build().unwrap();
+        let mut x = Placement::empty_for(&p);
+        x.add(ServiceId(0), MachineId(0), 1);
+        x.add(ServiceId(1), MachineId(0), 1);
+        let out = ScheduleOutcome::evaluate(&p, x, Duration::from_millis(5), true);
+        assert_eq!(out.gained_affinity, 8.0);
+        assert_eq!(out.normalized_gained_affinity, 1.0);
+        assert!(out.completed);
+    }
+}

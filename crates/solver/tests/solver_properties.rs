@@ -1,0 +1,104 @@
+//! Property tests across the solver stack: on random small problems, the
+//! exact formulation's optimum bounds every realized schedule, extraction
+//! is always constraint-feasible, and the pool algorithms never exceed the
+//! model bound.
+
+use proptest::prelude::*;
+use rasa_lp::Deadline;
+use rasa_model::{gained_affinity, validate, FeatureMask, Problem, ProblemBuilder, ResourceVec};
+use rasa_solver::{ColumnGeneration, FormulationKind, MipBased, RasaFormulation, Scheduler};
+
+fn problem_strategy() -> impl Strategy<Value = Problem> {
+    (
+        2usize..6,                                // services
+        proptest::collection::vec(1u32..5, 2..6), // replicas
+        2usize..5,                                // machines
+        1.0f64..4.0,                              // per-container cpu
+        6.0f64..16.0,                             // machine cpu
+        proptest::collection::vec((0usize..6, 0usize..6, 0.5f64..10.0), 1..6),
+    )
+        .prop_map(|(n, replicas, m, cpu, cap, raw_edges)| {
+            let mut b = ProblemBuilder::new();
+            for i in 0..n {
+                b.add_service(
+                    format!("s{i}"),
+                    replicas[i % replicas.len()],
+                    ResourceVec::cpu_mem(cpu, cpu),
+                );
+            }
+            b.add_machines(m, ResourceVec::cpu_mem(cap, cap), FeatureMask::EMPTY);
+            let mut seen = std::collections::HashSet::new();
+            for (a, bidx, w) in raw_edges {
+                let (a, bidx) = (a % n, bidx % n);
+                if a != bidx && seen.insert((a.min(bidx), a.max(bidx))) {
+                    b.add_affinity(
+                        rasa_model::ServiceId(a.min(bidx) as u32),
+                        rasa_model::ServiceId(a.max(bidx) as u32),
+                        w,
+                    );
+                }
+            }
+            b.build().unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn extraction_is_always_feasible(problem in problem_strategy()) {
+        for kind in [FormulationKind::PerMachine, FormulationKind::MachineGroup] {
+            let f = RasaFormulation::build(&problem, kind, false);
+            let sol = f.mip().solve();
+            if sol.has_incumbent() {
+                let placement = f.extract_placement(&problem, &sol.x);
+                let violations = validate(&problem, &placement, false);
+                prop_assert!(violations.is_empty(), "{kind:?}: {violations:?}");
+                // no service over its SLA
+                for svc in &problem.services {
+                    prop_assert!(placement.placed_count(svc.id) <= svc.replicas);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_model_bounds_every_realized_schedule(problem in problem_strategy()) {
+        let exact = RasaFormulation::build(&problem, FormulationKind::PerMachine, false);
+        let bound = exact.mip().solve();
+        prop_assume!(bound.has_incumbent());
+        // exact optimum (within gap) dominates whatever any algorithm realizes
+        let mip = MipBased::new().schedule(&problem, Deadline::none());
+        let cg = ColumnGeneration::new().schedule(&problem, Deadline::none());
+        let ceiling = bound.best_bound + 1e-6;
+        prop_assert!(mip.gained_affinity <= ceiling,
+            "MIP realized {} above exact bound {}", mip.gained_affinity, bound.best_bound);
+        prop_assert!(cg.gained_affinity <= ceiling,
+            "CG realized {} above exact bound {}", cg.gained_affinity, bound.best_bound);
+    }
+
+    #[test]
+    fn aggregated_bound_dominates_exact_bound(problem in problem_strategy()) {
+        // aggregation relaxes per-machine structure, so its optimum is an
+        // upper bound on the exact model's
+        let exact = RasaFormulation::build(&problem, FormulationKind::PerMachine, false);
+        let agg = RasaFormulation::build(&problem, FormulationKind::MachineGroup, false);
+        let se = exact.mip().solve();
+        let sa = agg.mip().solve();
+        prop_assume!(se.has_incumbent() && sa.has_incumbent());
+        prop_assert!(sa.best_bound >= se.objective - 1e-6,
+            "aggregated bound {} below exact optimum {}", sa.best_bound, se.objective);
+    }
+
+    #[test]
+    fn reported_objective_matches_model_for_exact_solutions(problem in problem_strategy()) {
+        let f = RasaFormulation::build(&problem, FormulationKind::PerMachine, false);
+        let sol = f.mip().solve();
+        prop_assume!(sol.status == rasa_mip::MipStatus::Optimal);
+        let placement = f.extract_placement(&problem, &sol.x);
+        // per-machine model: extraction realizes the model objective exactly
+        let realized = gained_affinity(&problem, &placement);
+        prop_assert!((realized - sol.objective).abs() < 1e-6,
+            "realized {} vs model {}", realized, sol.objective);
+    }
+}

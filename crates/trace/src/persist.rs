@@ -1,0 +1,52 @@
+//! Saving and loading generated problems as JSON artifacts, so experiment
+//! inputs can be pinned and shared.
+
+use rasa_model::Problem;
+use std::io;
+use std::path::Path;
+
+/// Write `problem` to `path` as JSON.
+pub fn save_problem(problem: &Problem, path: &Path) -> io::Result<()> {
+    let json = serde_json::to_string(problem)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, json)
+}
+
+/// Load a problem saved by [`save_problem`].
+pub fn load_problem(path: &Path) -> io::Result<Problem> {
+    let json = std::fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+    use crate::specs::tiny_cluster;
+
+    #[test]
+    fn round_trip_preserves_the_problem() {
+        let p = generate(&tiny_cluster(5));
+        let dir = std::env::temp_dir().join("rasa_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.json");
+        save_problem(&p, &path).unwrap();
+        let q = load_problem(&path).unwrap();
+        // JSON float formatting may drift by an ULP; compare structurally
+        // with a tight tolerance.
+        assert_eq!(p.num_services(), q.num_services());
+        assert_eq!(p.num_machines(), q.num_machines());
+        assert_eq!(p.affinity_edges.len(), q.affinity_edges.len());
+        for (a, b) in p.affinity_edges.iter().zip(&q.affinity_edges) {
+            assert_eq!((a.a, a.b), (b.a, b.b));
+            assert!((a.weight - b.weight).abs() < 1e-9);
+        }
+        assert_eq!(p.anti_affinity, q.anti_affinity);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_problem(Path::new("/nonexistent/rasa.json")).is_err());
+    }
+}

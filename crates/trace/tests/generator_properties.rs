@@ -1,0 +1,102 @@
+//! Property tests for the trace generator: every generated cluster must be
+//! structurally sound and schedulable enough that the baseline first-fit
+//! can place nearly everything.
+
+use proptest::prelude::*;
+use rasa_model::FeatureMask;
+use rasa_trace::{generate, ClusterSpec};
+
+fn spec_strategy() -> impl Strategy<Value = ClusterSpec> {
+    (
+        5usize..120,
+        20u64..600,
+        3usize..40,
+        1.1f64..2.2,
+        0.2f64..0.9,
+        1.0f64..6.0,
+        1usize..5,
+        0.0f64..0.5,
+        0.0f64..0.4,
+        0u64..10_000,
+    )
+        .prop_map(
+            |(services, containers, machines, beta, frac, density, types, fm, fs, seed)| {
+                ClusterSpec {
+                    name: format!("prop{seed}"),
+                    services,
+                    target_containers: containers,
+                    machines,
+                    affinity_beta: beta,
+                    affinity_fraction: frac,
+                    edge_density: density,
+                    machine_types: types,
+                    feature_machine_fraction: fm,
+                    // never require more features than are provided
+                    feature_service_fraction: fs.min(fm),
+                    seed,
+                    ..Default::default()
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_problems_are_structurally_sound(spec in spec_strategy()) {
+        let p = generate(&spec);
+        prop_assert_eq!(p.num_services(), spec.services);
+        prop_assert_eq!(p.num_machines(), spec.machines);
+        // edges reference valid, distinct services with positive weights
+        for e in &p.affinity_edges {
+            prop_assert!(e.a.idx() < p.num_services());
+            prop_assert!(e.b.idx() < p.num_services());
+            prop_assert!(e.a != e.b);
+            prop_assert!(e.weight > 0.0);
+        }
+        // every feature-requiring service has at least one host
+        for s in &p.services {
+            if s.required_features != FeatureMask::EMPTY {
+                prop_assert!(
+                    p.machines.iter().any(|m| m.can_host(s.required_features)),
+                    "service {} has no compatible machine",
+                    s.id
+                );
+            }
+        }
+        // anti-affinity rules reference valid services with positive caps
+        for rule in &p.anti_affinity {
+            prop_assert!(!rule.services.is_empty());
+            prop_assert!(rule.max_per_machine >= 1);
+        }
+    }
+
+    #[test]
+    fn utilization_guard_holds(spec in spec_strategy()) {
+        let p = generate(&spec);
+        let mut demand = rasa_model::ResourceVec::ZERO;
+        for s in &p.services {
+            demand += s.total_demand();
+        }
+        let mut cap = rasa_model::ResourceVec::ZERO;
+        for m in &p.machines {
+            cap += m.capacity;
+        }
+        // the guard targets 0.55; allow slack for the per-service floor of
+        // one replica on very small clusters
+        prop_assert!(
+            demand.dominant_share(&cap) < 1.0,
+            "over-committed: {:.2}",
+            demand.dominant_share(&cap)
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic(spec in spec_strategy()) {
+        let a = generate(&spec);
+        let b = generate(&spec);
+        prop_assert_eq!(a.stats(), b.stats());
+        prop_assert_eq!(a.affinity_edges.len(), b.affinity_edges.len());
+    }
+}

@@ -1,0 +1,59 @@
+//! Compare RASA against the paper's baselines on a generated microservice
+//! cluster — a miniature of the Fig 9 experiment.
+//!
+//! Run with: `cargo run -p rasa-core --release --example microservice_cluster`
+
+use rasa_baselines::{Applsci19, K8sPlus, Original, Pop};
+use rasa_core::{Deadline, RasaConfig, RasaPipeline};
+use rasa_solver::Scheduler;
+use rasa_trace::{generate, ClusterSpec};
+use std::time::Duration;
+
+fn main() {
+    let spec = ClusterSpec {
+        name: "demo".into(),
+        services: 120,
+        target_containers: 600,
+        machines: 30,
+        affinity_beta: 1.5,
+        affinity_fraction: 0.6,
+        edge_density: 3.0,
+        machine_types: 3,
+        seed: 42,
+        ..Default::default()
+    };
+    let problem = generate(&spec);
+    let stats = problem.stats();
+    println!(
+        "cluster: {} services, {} containers, {} machines, {} affinity edges",
+        stats.services, stats.containers, stats.machines, stats.edges
+    );
+
+    let budget = Duration::from_secs(5);
+    let rasa = RasaPipeline::new(RasaConfig::default());
+    let k8s_plus = K8sPlus::default();
+    let pop = Pop::default();
+    let applsci = Applsci19::default();
+    let algorithms: Vec<(&str, &dyn Scheduler)> = vec![
+        ("ORIGINAL", &Original),
+        ("K8s+", &k8s_plus),
+        ("POP", &pop),
+        ("APPLSCI19", &applsci),
+        ("RASA", &rasa),
+    ];
+
+    println!(
+        "\n{:<12} {:>16} {:>12} {:>10}",
+        "algorithm", "gained affinity", "normalized", "time (s)"
+    );
+    for (name, alg) in algorithms {
+        let out = alg.schedule(&problem, Deadline::after(budget));
+        println!(
+            "{:<12} {:>16.1} {:>11.1}% {:>10.2}",
+            name,
+            out.gained_affinity,
+            100.0 * out.normalized_gained_affinity,
+            out.elapsed.as_secs_f64()
+        );
+    }
+}

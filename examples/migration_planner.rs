@@ -1,0 +1,59 @@
+//! Compute and print an executable migration path (Algorithm 2): the
+//! ordered delete/create command sets that move a running cluster to the
+//! optimized mapping while honoring the 75%-alive SLA and resource limits.
+//!
+//! Run with: `cargo run -p rasa-core --example migration_planner`
+
+use rasa_baselines::Original;
+use rasa_core::{Deadline, MigrateConfig, RasaConfig, RasaPipeline};
+use rasa_migrate::replay_plan;
+use rasa_model::ContainerAssignment;
+use rasa_solver::Scheduler;
+use rasa_trace::{generate, tiny_cluster};
+
+fn main() {
+    let problem = generate(&tiny_cluster(3));
+
+    // current state: the affinity-blind ORIGINAL placement
+    let current_placement = Original.schedule(&problem, Deadline::none()).placement;
+    let current = ContainerAssignment::materialize(&problem, &current_placement);
+
+    // the Fig 3 flow: optimize, then plan the transition
+    let pipeline = RasaPipeline::new(RasaConfig::default());
+    let (run, plan) = pipeline
+        .optimize_and_plan(
+            &problem,
+            &current,
+            Deadline::none(),
+            &MigrateConfig::default(),
+        )
+        .expect("migration plan");
+
+    println!(
+        "optimized schedule localizes {:.1}% of traffic (was {:.1}%)",
+        100.0 * run.outcome.normalized_gained_affinity,
+        100.0 * rasa_model::normalized_gained_affinity(&problem, &current_placement)
+    );
+    println!(
+        "migration: {} containers move in {} sequential command sets\n",
+        plan.total_moves(),
+        plan.steps.len()
+    );
+    for (i, step) in plan.steps.iter().enumerate().take(6) {
+        println!("step {i}:");
+        for (c, m) in &step.deletes {
+            println!("  (delete, {c}, {m})");
+        }
+        for (c, m) in &step.creates {
+            println!("  (create, {c}, {m})");
+        }
+    }
+    if plan.steps.len() > 6 {
+        println!("  … {} more steps", plan.steps.len() - 6);
+    }
+
+    // prove the plan is executable
+    replay_plan(&problem, &current, &run.outcome.placement, &plan, 0.75)
+        .expect("plan verifies: SLA floor and capacities hold at every step");
+    println!("\nplan verified: ≥75% of every service stayed alive; no machine overflowed.");
+}

@@ -1,0 +1,109 @@
+//! Property-based integration tests spanning crates: every scheduler in the
+//! repository must emit constraint-respecting placements on randomized
+//! clusters, and migration plans between any two schedules must verify.
+
+use proptest::prelude::*;
+use rasa_baselines::{Applsci19, K8sPlus, Original, Pop};
+use rasa_core::{Deadline, RasaConfig, RasaPipeline, Scheduler};
+use rasa_migrate::{plan_migration, replay_plan, MigrateConfig};
+use rasa_model::{gained_affinity, validate, ContainerAssignment};
+use rasa_trace::{generate, ClusterSpec};
+use std::time::Duration;
+
+fn spec_strategy() -> impl Strategy<Value = ClusterSpec> {
+    (
+        10usize..40, // services
+        40u64..160,  // containers
+        6usize..16,  // machines
+        1.2f64..2.0, // beta
+        0.3f64..0.8, // affinity fraction
+        1.5f64..4.0, // edge density
+        1usize..4,   // machine types
+        0u64..1000,  // seed
+    )
+        .prop_map(
+            |(services, containers, machines, beta, frac, density, types, seed)| ClusterSpec {
+                name: format!("prop-{seed}"),
+                services,
+                target_containers: containers,
+                machines,
+                affinity_beta: beta,
+                affinity_fraction: frac,
+                edge_density: density,
+                machine_types: types,
+                utilization: 0.5,
+                seed,
+                ..Default::default()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_scheduler_respects_constraints(spec in spec_strategy()) {
+        let problem = generate(&spec);
+        let deadline = Deadline::after(Duration::from_secs(8));
+        let rasa = RasaPipeline::new(RasaConfig::default());
+        let k8s_plus = K8sPlus::default();
+        let pop = Pop::default();
+        let applsci = Applsci19::default();
+        let schedulers: Vec<(&str, &dyn Scheduler)> = vec![
+            ("ORIGINAL", &Original),
+            ("K8s+", &k8s_plus),
+            ("POP", &pop),
+            ("APPLSCI19", &applsci),
+            ("RASA", &rasa),
+        ];
+        for (name, s) in schedulers {
+            let out = s.schedule(&problem, deadline);
+            let violations = validate(&problem, &out.placement, false);
+            prop_assert!(violations.is_empty(), "{}: {:?}", name, violations);
+            // reported objective must match a recomputation
+            let recomputed = gained_affinity(&problem, &out.placement);
+            prop_assert!((recomputed - out.gained_affinity).abs() < 1e-6,
+                "{}: reported {} vs recomputed {}", name, out.gained_affinity, recomputed);
+            // no service over its SLA count
+            for svc in &problem.services {
+                prop_assert!(out.placement.placed_count(svc.id) <= svc.replicas,
+                    "{}: {} overplaced", name, svc.id);
+            }
+        }
+    }
+
+    #[test]
+    fn migration_between_any_two_schedules_verifies(spec in spec_strategy()) {
+        let problem = generate(&spec);
+        let from_placement = Original.schedule(&problem, Deadline::none()).placement;
+        let to_placement = K8sPlus::default().schedule(&problem, Deadline::none()).placement;
+        // only migrate when both schedulers placed identical per-service counts
+        let counts_match = problem.services.iter().all(|s| {
+            from_placement.placed_count(s.id) == to_placement.placed_count(s.id)
+        });
+        prop_assume!(counts_match);
+        let from = ContainerAssignment::materialize(&problem, &from_placement);
+        match plan_migration(&problem, &from, &to_placement, &MigrateConfig::default()) {
+            Ok(plan) => {
+                replay_plan(&problem, &from, &to_placement, &plan, 0.75)
+                    .expect("verified plan");
+            }
+            Err(rasa_migrate::MigrateError::Stuck { .. }) => {
+                // legal outcome for adversarial instances; nothing to verify
+            }
+            Err(e) => prop_assert!(false, "unexpected planning error: {e}"),
+        }
+    }
+
+    #[test]
+    fn rasa_dominates_original(spec in spec_strategy()) {
+        let problem = generate(&spec);
+        let rasa = RasaPipeline::new(RasaConfig::default())
+            .schedule(&problem, Deadline::after(Duration::from_secs(8)));
+        let orig = Original.schedule(&problem, Deadline::none());
+        prop_assert!(
+            rasa.gained_affinity >= orig.gained_affinity - 1e-6,
+            "RASA {} < ORIGINAL {}", rasa.gained_affinity, orig.gained_affinity
+        );
+    }
+}
