@@ -15,8 +15,9 @@ impl Scheduler for Original {
         "ORIGINAL"
     }
 
-    fn schedule(&self, problem: &Problem, _deadline: Deadline) -> ScheduleOutcome {
+    fn schedule(&self, problem: &Problem, deadline: Deadline) -> ScheduleOutcome {
         let start = Instant::now();
+        let mut expired = deadline.expired();
         let mut placement = Placement::empty_for(problem);
         let mut usage = vec![ResourceVec::ZERO; problem.num_machines()];
         let mut aa_counts: Vec<Vec<u32>> = problem
@@ -36,8 +37,14 @@ impl Scheduler for Original {
         // services in arrival (id) order; containers go to the first
         // machine that passes the filters
         let mut cursor = 0usize; // rotating start approximates spreading in K8s
-        for svc in &problem.services {
+        'services: for svc in &problem.services {
             for _ in 0..svc.replicas {
+                if expired || deadline.expired() {
+                    // out of budget: return the partial (still feasible)
+                    // prefix instead of overrunning
+                    expired = true;
+                    break 'services;
+                }
                 let mut placed = false;
                 for probe in 0..problem.num_machines() {
                     let mi = (cursor + probe) % problem.num_machines();
@@ -68,7 +75,7 @@ impl Scheduler for Original {
                 }
             }
         }
-        ScheduleOutcome::evaluate(problem, placement, start.elapsed(), true)
+        ScheduleOutcome::evaluate(problem, placement, start.elapsed(), !expired)
     }
 }
 

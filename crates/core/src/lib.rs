@@ -39,16 +39,21 @@
 
 pub mod pipeline;
 pub mod selector_choice;
+pub mod solve_guard;
 pub mod training;
 
 pub use pipeline::{RasaConfig, RasaPipeline, RasaRun, SubproblemReport};
 pub use rasa_lp::Deadline;
 pub use selector_choice::SelectorChoice;
+pub use solve_guard::{
+    guarded_schedule, FaultInjection, GuardedOutcome, PanickingScheduler, SolveStatus,
+};
 pub use training::generate_training_set;
 
 // Re-export the pieces users compose with.
 pub use rasa_migrate::{plan_migration, MigrateConfig, MigrationPlan};
 pub use rasa_model as model;
+pub use rasa_model::RasaError;
 pub use rasa_partition::{PartitionConfig, PartitionStrategy};
 pub use rasa_select::PoolAlgorithm;
 pub use rasa_solver::{ScheduleOutcome, Scheduler};

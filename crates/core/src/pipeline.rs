@@ -1,12 +1,21 @@
 //! The RASA pipeline: partition → select → solve (in parallel) → combine →
 //! complete → (optionally) plan the migration.
+//!
+//! Every per-subproblem solve goes through the fault-isolated layer in
+//! [`crate::solve_guard`]: a panicking, infeasible-result-producing, or
+//! deadline-starved pool member degrades its own subproblem (recorded in
+//! [`SubproblemReport::status`]) and the run still completes with a
+//! feasible merged placement.
 
 use crate::selector_choice::SelectorChoice;
+use crate::solve_guard::{
+    guarded_schedule, FaultInjection, GuardedOutcome, PanickingScheduler, SolveStatus,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rasa_lp::Deadline;
 use rasa_migrate::{plan_migration, MigrateConfig, MigrateError, MigrationPlan};
-use rasa_model::{ContainerAssignment, Placement, Problem};
+use rasa_model::{ContainerAssignment, Placement, Problem, RasaError};
 use rasa_partition::{
     partition_with_strategy, PartitionConfig, PartitionOutcome, PartitionStrategy, Subproblem,
 };
@@ -15,7 +24,7 @@ use rasa_solver::{
     complete_placement, CgOptions, ColumnGeneration, MipBased, MipBasedOptions, ScheduleOutcome,
     Scheduler,
 };
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Full pipeline configuration.
 #[derive(Clone, Debug)]
@@ -39,16 +48,23 @@ pub struct RasaConfig {
     pub complete: bool,
     /// Seed for the partitioner's randomized stage.
     pub seed: u64,
+    /// Deterministic fault injection (tests and chaos drills only; the
+    /// default injects nothing).
+    pub fault_injection: FaultInjection,
 }
 
 impl Default for RasaConfig {
     fn default() -> Self {
         // pool members skip their own completion pass; the pipeline runs
         // one global pass at the end
-        let mut mip = MipBasedOptions::default();
-        mip.complete = false;
-        let mut cg = CgOptions::default();
-        cg.complete = false;
+        let mip = MipBasedOptions {
+            complete: false,
+            ..Default::default()
+        };
+        let cg = CgOptions {
+            complete: false,
+            ..Default::default()
+        };
         RasaConfig {
             strategy: PartitionStrategy::MultiStage,
             partition: PartitionConfig::default(),
@@ -58,6 +74,7 @@ impl Default for RasaConfig {
             parallel: true,
             complete: true,
             seed: 0,
+            fault_injection: FaultInjection::None,
         }
     }
 }
@@ -75,6 +92,11 @@ pub struct SubproblemReport {
     pub gained_affinity: f64,
     /// Whether the algorithm ran to completion within its deadline.
     pub completed: bool,
+    /// How the guarded solve ended ([`SolveStatus::Ok`] on the happy path;
+    /// otherwise which fallback rung produced the result).
+    pub status: SolveStatus,
+    /// The primary failure that degraded this subproblem, if any.
+    pub error: Option<RasaError>,
 }
 
 /// Result of one pipeline run.
@@ -88,6 +110,23 @@ pub struct RasaRun {
     pub partition_loss: f64,
     /// One report per subproblem.
     pub subproblems: Vec<SubproblemReport>,
+}
+
+impl RasaRun {
+    /// Errors from degraded subproblems, in subproblem order. Empty on a
+    /// fully healthy run.
+    pub fn errors(&self) -> Vec<RasaError> {
+        self.subproblems
+            .iter()
+            .filter_map(|r| r.error.clone())
+            .collect()
+    }
+
+    /// `true` when any subproblem needed the fallback ladder (or ran out
+    /// of deadline budget).
+    pub fn is_degraded(&self) -> bool {
+        self.subproblems.iter().any(|r| r.status.is_degraded())
+    }
 }
 
 /// The RASA optimizer.
@@ -129,8 +168,8 @@ impl RasaPipeline {
             .map(|sub| self.config.selector.select(&sub.problem))
             .collect();
 
-        // solve
-        let solved: Vec<ScheduleOutcome> = if self.config.parallel {
+        // solve (each subproblem behind the fault-isolation guard)
+        let solved: Vec<GuardedOutcome> = if self.config.parallel {
             self.solve_parallel(&partition.subproblems, &choices, deadline)
         } else {
             self.solve_sequential(&partition.subproblems, &choices, deadline)
@@ -139,9 +178,9 @@ impl RasaPipeline {
         // combine
         let mut placement = Placement::empty_for(problem);
         let mut reports = Vec::with_capacity(solved.len());
-        for ((sub, outcome), &alg) in partition.subproblems.iter().zip(&solved).zip(&choices) {
+        for ((sub, guarded), &alg) in partition.subproblems.iter().zip(&solved).zip(&choices) {
             placement.merge_subplacement(
-                &outcome.placement,
+                &guarded.outcome.placement,
                 &sub.mapping.service_to_parent,
                 &sub.mapping.machine_to_parent,
             );
@@ -149,8 +188,10 @@ impl RasaPipeline {
                 services: sub.problem.num_services(),
                 machines: sub.problem.num_machines(),
                 algorithm: alg,
-                gained_affinity: outcome.gained_affinity,
-                completed: outcome.completed,
+                gained_affinity: guarded.outcome.gained_affinity,
+                completed: guarded.outcome.completed,
+                status: guarded.status,
+                error: guarded.error.clone(),
             });
         }
 
@@ -181,21 +222,59 @@ impl RasaPipeline {
         Ok((run, plan))
     }
 
+    /// Solve one subproblem behind the fault-isolation guard: the
+    /// selector's choice is the primary, the other pool member is the
+    /// fallback, greedy completion is the floor.
     fn solve_one(
         &self,
+        index: usize,
         sub: &Subproblem,
         alg: PoolAlgorithm,
         deadline: Deadline,
-    ) -> ScheduleOutcome {
-        match alg {
-            PoolAlgorithm::Mip => MipBased {
-                options: self.config.mip.clone(),
-            }
-            .schedule(&sub.problem, deadline),
-            PoolAlgorithm::Cg => ColumnGeneration {
-                options: self.config.cg.clone(),
-            }
-            .schedule(&sub.problem, deadline),
+    ) -> GuardedOutcome {
+        let deadline = if self.config.fault_injection.starves(index) {
+            Deadline::after(Duration::ZERO)
+        } else {
+            deadline
+        };
+        let mip = MipBased {
+            options: self.config.mip.clone(),
+        };
+        let cg = ColumnGeneration {
+            options: self.config.cg.clone(),
+        };
+        let (primary, fallback_alg): (&dyn Scheduler, PoolAlgorithm) = match alg {
+            PoolAlgorithm::Mip => (&mip, PoolAlgorithm::Cg),
+            PoolAlgorithm::Cg => (&cg, PoolAlgorithm::Mip),
+        };
+        let fallback: &dyn Scheduler = match fallback_alg {
+            PoolAlgorithm::Mip => &mip,
+            PoolAlgorithm::Cg => &cg,
+        };
+        let panicking = PanickingScheduler;
+        let primary: &dyn Scheduler = if self.config.fault_injection.panics(index) {
+            &panicking
+        } else {
+            primary
+        };
+        guarded_schedule(
+            index,
+            (alg, primary),
+            &[(fallback_alg, fallback)],
+            &sub.problem,
+            deadline,
+        )
+    }
+
+    /// A fair per-subproblem slice of the global budget, measured from the
+    /// *live* remaining budget at call time. Re-measuring per subproblem
+    /// (instead of slicing a snapshot taken before the loop) means an
+    /// overrunning early solve shrinks the later slices, so the global
+    /// deadline holds even when individual solvers overshoot their slice.
+    fn slice_deadline(deadline: Deadline, remaining_subs: usize) -> Deadline {
+        match deadline.remaining() {
+            Some(rem) => deadline.min_with(rem / remaining_subs.max(1) as u32),
+            None => Deadline::none(),
         }
     }
 
@@ -204,15 +283,11 @@ impl RasaPipeline {
         subs: &[Subproblem],
         choices: &[PoolAlgorithm],
         deadline: Deadline,
-    ) -> Vec<ScheduleOutcome> {
+    ) -> Vec<GuardedOutcome> {
         let mut out = Vec::with_capacity(subs.len());
         for (i, (sub, &alg)) in subs.iter().zip(choices).enumerate() {
-            // split the remaining budget evenly over the remaining subproblems
-            let slice = match deadline.remaining() {
-                Some(rem) => deadline.min_with(rem / (subs.len() - i).max(1) as u32),
-                None => Deadline::none(),
-            };
-            out.push(self.solve_one(sub, alg, slice));
+            let slice = Self::slice_deadline(deadline, subs.len() - i);
+            out.push(self.solve_one(i, sub, alg, slice));
         }
         out
     }
@@ -222,7 +297,7 @@ impl RasaPipeline {
         subs: &[Subproblem],
         choices: &[PoolAlgorithm],
         deadline: Deadline,
-    ) -> Vec<ScheduleOutcome> {
+    ) -> Vec<GuardedOutcome> {
         if subs.is_empty() {
             return Vec::new();
         }
@@ -236,10 +311,13 @@ impl RasaPipeline {
             // subproblem starve the rest
             return self.solve_sequential(subs, choices, deadline);
         }
-        let slots: Vec<slot::Slot<ScheduleOutcome>> =
+        let slots: Vec<slot::Slot<GuardedOutcome>> =
             (0..subs.len()).map(|_| slot::Slot::new()).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
+        // `solve_one` catches panics internally, so a worker dying here is
+        // already a second-order failure; ignore the scope error and let
+        // the per-slot fallback below fill in whatever was lost.
+        let _ = crossbeam::thread::scope(|scope| {
             for _ in 0..threads {
                 let next = &next;
                 let slots = &slots;
@@ -248,14 +326,17 @@ impl RasaPipeline {
                     if i >= subs.len() {
                         break;
                     }
-                    slots[i].set(self.solve_one(&subs[i], choices[i], deadline));
+                    slots[i].set(self.solve_one(i, &subs[i], choices[i], deadline));
                 });
             }
-        })
-        .expect("worker threads do not panic");
+        });
         slots
             .into_iter()
-            .map(|s| s.take().expect("every subproblem was solved"))
+            .enumerate()
+            .map(|(i, s)| {
+                s.take()
+                    .unwrap_or_else(|| GuardedOutcome::lost_slot(i, &subs[i].problem))
+            })
             .collect()
     }
 }
@@ -349,6 +430,82 @@ mod tests {
         let via_optimize = pipeline.optimize(&p, None, Deadline::none()).outcome;
         assert!((via_trait.gained_affinity - via_optimize.gained_affinity).abs() < 1e-9);
         assert_eq!(pipeline.name(), "RASA");
+    }
+
+    #[test]
+    fn panicking_pool_member_degrades_without_aborting() {
+        // the acceptance scenario: every primary solve panics, yet the run
+        // completes, reports the fallback, and the merged placement is valid
+        let p = pair_problem();
+        for parallel in [false, true] {
+            let run = RasaPipeline::new(RasaConfig {
+                fault_injection: FaultInjection::PanicAlways,
+                parallel,
+                ..Default::default()
+            })
+            .optimize(&p, None, Deadline::none());
+            assert_eq!(run.subproblems.len(), 1);
+            let report = &run.subproblems[0];
+            assert!(
+                matches!(report.status, SolveStatus::FellBackTo(_)),
+                "parallel={parallel}: status {:?}",
+                report.status
+            );
+            assert!(!report.completed);
+            assert!(matches!(
+                report.error,
+                Some(RasaError::SolvePanicked { subproblem: 0, .. })
+            ));
+            assert!(run.is_degraded());
+            assert_eq!(run.errors().len(), 1);
+            assert!(
+                validate(&p, &run.outcome.placement, true).is_empty(),
+                "parallel={parallel}: merged placement must stay feasible and complete"
+            );
+            assert!(!run.outcome.completed);
+        }
+    }
+
+    #[test]
+    fn starved_subproblem_reports_deadline_expired() {
+        let p = pair_problem();
+        let run = RasaPipeline::new(RasaConfig {
+            fault_injection: FaultInjection::StarveSubproblems(vec![0]),
+            ..Default::default()
+        })
+        .optimize(&p, None, Deadline::none());
+        assert_eq!(run.subproblems[0].status, SolveStatus::DeadlineExpired);
+        assert!(run.is_degraded());
+        assert!(validate(&p, &run.outcome.placement, true).is_empty());
+    }
+
+    #[test]
+    fn healthy_run_reports_no_errors() {
+        let p = pair_problem();
+        let run = RasaPipeline::default().optimize(&p, None, Deadline::none());
+        assert!(!run.is_degraded());
+        assert!(run.errors().is_empty());
+        assert_eq!(run.subproblems[0].status, SolveStatus::Ok);
+    }
+
+    #[test]
+    fn slice_deadline_remeasures_live_budget() {
+        use std::time::Duration;
+        // unlimited budget stays unlimited
+        assert!(RasaPipeline::slice_deadline(Deadline::none(), 4)
+            .remaining()
+            .is_none());
+        // a finite budget split over 2 remaining subs gives about half
+        let d = Deadline::after(Duration::from_millis(200));
+        let slice = RasaPipeline::slice_deadline(d, 2);
+        let rem = slice.remaining().expect("finite slice");
+        assert!(rem <= Duration::from_millis(101), "slice {rem:?}");
+        // after the budget is consumed, later slices are already expired
+        // instead of re-granting the original share
+        let spent = Deadline::after(Duration::ZERO);
+        assert!(RasaPipeline::slice_deadline(spent, 3).expired());
+        // zero remaining subproblems must not divide by zero
+        assert!(!RasaPipeline::slice_deadline(Deadline::none(), 0).expired());
     }
 
     #[test]

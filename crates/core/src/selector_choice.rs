@@ -9,9 +9,10 @@ use rasa_select::{
 /// Which algorithm-selection strategy the pipeline uses (Section IV-D /
 /// Fig 8). The paper deploys GCN-BASED; HEURISTIC is the zero-setup
 /// default here because it needs no training data.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub enum SelectorChoice {
     /// The paper's empirical rule — no training required.
+    #[default]
     Heuristic,
     /// Always column generation (ablation).
     AlwaysCg,
@@ -21,12 +22,6 @@ pub enum SelectorChoice {
     Gcn(GcnSelector),
     /// A trained MLP over pooled features (topology-blind ablation).
     Mlp(MlpSelector),
-}
-
-impl Default for SelectorChoice {
-    fn default() -> Self {
-        SelectorChoice::Heuristic
-    }
 }
 
 impl SelectorChoice {

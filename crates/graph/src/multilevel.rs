@@ -81,10 +81,8 @@ fn heavy_edge_matching<R: Rng>(graph: &AffinityGraph, rng: &mut R) -> Option<(Ve
         // heaviest unmatched neighbor
         let mut best: Option<(usize, f64)> = None;
         for (u, w) in graph.neighbors(v) {
-            if u != v && matched[u] == usize::MAX {
-                if best.map_or(true, |(_, bw)| w > bw) {
-                    best = Some((u, w));
-                }
+            if u != v && matched[u] == usize::MAX && best.map_or(true, |(_, bw)| w > bw) {
+                best = Some((u, w));
             }
         }
         match best {
@@ -137,7 +135,7 @@ fn contract(
     }
     let mut edges: Vec<(usize, usize, f64)> =
         edge_acc.into_iter().map(|((a, b), w)| (a, b, w)).collect();
-    edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    edges.sort_by_key(|&(a, b, _)| (a, b));
     (AffinityGraph::from_edges(coarse_n, &edges), cw)
 }
 
@@ -159,6 +157,7 @@ fn initial_partition(
     // looser `max_part_weight` cap only constrains refinement and spilling.
     let total_weight: usize = vweight.iter().sum();
     let target = total_weight.div_ceil(k).min(max_part_weight);
+    #[allow(clippy::needless_range_loop)] // p is a part id, not just an index
     for p in 0..k {
         // seed: heaviest unassigned vertex
         let Some(&seed) = order.iter().find(|&&v| part[v] == usize::MAX) else {
@@ -482,7 +481,7 @@ mod tests {
                 edges.push((a.min(b), a.max(b), rng.gen_range(0.1..5.0)));
             }
         }
-        edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        edges.sort_by_key(|&(a, b, _)| (a, b));
         edges.dedup_by_key(|e| (e.0, e.1));
         let g = AffinityGraph::from_edges(n, &edges);
         let cfg = MultilevelConfig::with_parts(8);

@@ -169,8 +169,8 @@ impl LpModel {
         if x.len() != self.num_vars() {
             return false;
         }
-        for j in 0..self.num_vars() {
-            if x[j] < self.lower[j] - tol || x[j] > self.upper[j] + tol {
+        for ((&xj, &l), &u) in x.iter().zip(&self.lower).zip(&self.upper) {
+            if xj < l - tol || xj > u + tol {
                 return false;
             }
         }

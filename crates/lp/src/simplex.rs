@@ -22,6 +22,8 @@
 //! a permanent switch to Bland's rule if a long degenerate stall indicates
 //! cycling risk.
 
+#![allow(clippy::needless_range_loop)] // dense index arithmetic over parallel arrays
+
 use crate::model::{LpModel, RowSense};
 use crate::solution::{LpSolution, LpStatus};
 use crate::time::Deadline;

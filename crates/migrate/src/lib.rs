@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// the planner is controller hot-path code: invariants surface as
+// `MigrateError::Internal` or `expect` with an invariant message, never
+// as a bare unwrap
+#![warn(clippy::unwrap_used)]
 
 //! # rasa-migrate
 //!

@@ -74,6 +74,10 @@ pub enum MigrateError {
         /// Containers still waiting to move when progress stopped.
         remaining: usize,
     },
+    /// A planner bookkeeping invariant failed. This indicates a bug, but it
+    /// is surfaced as an error instead of a panic so one bad subproblem
+    /// cannot abort an entire optimization run.
+    Internal(String),
 }
 
 impl std::fmt::Display for MigrateError {
@@ -93,11 +97,18 @@ impl std::fmt::Display for MigrateError {
                     "migration deadlocked with {remaining} containers left to move"
                 )
             }
+            MigrateError::Internal(msg) => write!(f, "planner invariant failed: {msg}"),
         }
     }
 }
 
 impl std::error::Error for MigrateError {}
+
+impl From<MigrateError> for rasa_model::RasaError {
+    fn from(e: MigrateError) -> Self {
+        rasa_model::RasaError::Migration(e.to_string())
+    }
+}
 
 /// Compute a migration path from the running assignment `from` to the
 /// optimizer's `target` mapping (Algorithm 2).
@@ -161,8 +172,9 @@ pub fn plan_migration(
     }
 
     // --- running state ---
+    let start_placement = state.to_placement();
     let mut free: Vec<ResourceVec> = {
-        let usage = state.to_placement().machine_usage(problem);
+        let usage = start_placement.machine_usage(problem);
         problem
             .machines
             .iter()
@@ -170,6 +182,36 @@ pub fn plan_migration(
             .map(|(m, u)| m.capacity - u)
             .collect()
     };
+    // Per-rule per-machine occupancy of every anti-affinity rule, maintained
+    // as commands are selected: even when both endpoints satisfy a rule, a
+    // create scheduled before the outgoing rule-member's delete would push
+    // the *intermediate* state past the cap, so creates are gated on the
+    // occupancy at that point in the plan.
+    let mut aa_used: Vec<Vec<u32>> = problem
+        .anti_affinity
+        .iter()
+        .map(|rule| {
+            (0..problem.num_machines())
+                .map(|mi| {
+                    rule.services
+                        .iter()
+                        .map(|&s| start_placement.count(s, MachineId(mi as u32)))
+                        .sum()
+                })
+                .collect()
+        })
+        .collect();
+    let rules_of: Vec<Vec<usize>> = (0..num_services)
+        .map(|si| {
+            problem
+                .anti_affinity
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.services.contains(&ServiceId(si as u32)))
+                .map(|(k, _)| k)
+                .collect()
+        })
+        .collect();
     let mut alive: Vec<u32> = (0..num_services)
         .map(|s| state.alive_count(ServiceId(s as u32)))
         .collect();
@@ -211,7 +253,9 @@ pub fn plan_migration(
                         b.service.idx(),
                         problem.services[b.service.idx()].replicas,
                     );
-                    ra.partial_cmp(&rb).unwrap().then(a.cmp(b))
+                    // total_cmp: offline ratios are finite by construction,
+                    // but a NaN slipping in must not abort the whole run
+                    ra.total_cmp(&rb).then(a.cmp(b))
                 })
                 .copied()
             else {
@@ -222,11 +266,15 @@ pub fn plan_migration(
             state.unassign(best);
             alive[si] -= 1;
             free[mi] += problem.services[si].demand;
+            for &k in &rules_of[si] {
+                aa_used[k][mi] -= 1;
+            }
             offline_pool[si].push_back(best);
-            let pos = to_migrate[mi]
-                .iter()
-                .position(|&x| x == best)
-                .expect("deleted container was queued");
+            let Some(pos) = to_migrate[mi].iter().position(|&x| x == best) else {
+                return Err(MigrateError::Internal(format!(
+                    "deleted container {best:?} was not queued on machine {mi}"
+                )));
+            };
             to_migrate[mi].remove(pos);
         }
 
@@ -243,22 +291,32 @@ pub fn plan_migration(
                         && problem.services[s.idx()]
                             .demand
                             .fits_within(&free[mi], 1e-6)
+                        && rules_of[s.idx()]
+                            .iter()
+                            .all(|&k| aa_used[k][mi] < problem.anti_affinity[k].max_per_machine)
                 })
                 .max_by(|(_, (sa, _)), (_, (sb, _))| {
                     let ra =
                         offline_ratio(&offline_pool, sa.idx(), problem.services[sa.idx()].replicas);
                     let rb =
                         offline_ratio(&offline_pool, sb.idx(), problem.services[sb.idx()].replicas);
-                    ra.partial_cmp(&rb).unwrap().then(sb.cmp(sa))
+                    ra.total_cmp(&rb).then(sb.cmp(sa))
                 })
                 .map(|(idx, (s, _))| (idx, *s));
             let Some((didx, s)) = candidate else { continue };
-            let c = offline_pool[s.idx()].pop_front().expect("non-empty pool");
+            let Some(c) = offline_pool[s.idx()].pop_front() else {
+                return Err(MigrateError::Internal(format!(
+                    "create selected for service {s} with an empty offline pool"
+                )));
+            };
             creates.push((c, MachineId(mi as u32)));
             deficit[mi][didx].1 -= 1;
             state.assign(c, MachineId(mi as u32));
             alive[s.idx()] += 1;
             free[mi] -= problem.services[s.idx()].demand;
+            for &k in &rules_of[s.idx()] {
+                aa_used[k][mi] += 1;
+            }
             total_pending -= 1;
         }
 
@@ -399,6 +457,54 @@ mod tests {
         // with the paper's 75% relaxation the swap succeeds
         let plan = plan_migration(&p, &from, &target, &MigrateConfig::default()).unwrap();
         assert_eq!(plan.total_moves(), 2);
+    }
+
+    #[test]
+    fn creates_never_transit_through_anti_affinity_violations() {
+        // m0 starts with rule members {b, c} at the cap (2) plus an
+        // unconstrained z; the target keeps b, evicts z and c, and brings a
+        // in. A planner that gates creates on resources alone deletes z
+        // first (lowest service id wins the tie-break) and creates a onto
+        // m0 in the same step — three rule members on one machine, a
+        // transient violation between two feasible endpoints.
+        let mut b = ProblemBuilder::new();
+        let z = b.add_service("z", 1, ResourceVec::cpu_mem(1.0, 1.0));
+        let a = b.add_service("a", 1, ResourceVec::cpu_mem(1.0, 1.0));
+        let sb = b.add_service("b", 1, ResourceVec::cpu_mem(1.0, 1.0));
+        let sc = b.add_service("c", 1, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_machines(2, ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::EMPTY);
+        b.add_anti_affinity(vec![a, sb, sc], 2);
+        let p = b.build().unwrap();
+
+        let mut start = Placement::empty_for(&p);
+        start.add(z, MachineId(0), 1);
+        start.add(sb, MachineId(0), 1);
+        start.add(sc, MachineId(0), 1);
+        start.add(a, MachineId(1), 1);
+        let from = ContainerAssignment::materialize(&p, &start);
+        let mut target = Placement::empty_for(&p);
+        target.add(a, MachineId(0), 1);
+        target.add(sb, MachineId(0), 1);
+        target.add(sc, MachineId(1), 1);
+        target.add(z, MachineId(1), 1);
+
+        let plan = plan_migration(&p, &from, &target, &MigrateConfig::default()).unwrap();
+        // replay the plan and audit the intermediate state after every step
+        let mut state = from.clone();
+        for step in &plan.steps {
+            for &(c, _) in &step.deletes {
+                state.unassign(c);
+            }
+            for &(c, m) in &step.creates {
+                state.assign(c, m);
+            }
+            let violations = rasa_model::validate(&p, &state.to_placement(), false);
+            assert!(
+                violations.is_empty(),
+                "intermediate state violates constraints: {violations:?}"
+            );
+        }
+        assert_eq!(state.to_placement(), target);
     }
 
     #[test]

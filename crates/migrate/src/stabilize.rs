@@ -77,9 +77,9 @@ pub fn stabilize_placement(
         }
         // leftovers (empty candidate contents or unmatched): first free member
         let mut free_members: Vec<usize> = (0..k).filter(|&mi| !member_taken[mi]).collect();
-        for ci in 0..k {
-            if assignment[ci].is_none() {
-                assignment[ci] = free_members.pop();
+        for slot in assignment.iter_mut() {
+            if slot.is_none() {
+                *slot = free_members.pop();
             }
         }
         for (ci, slot) in assignment.iter().enumerate() {

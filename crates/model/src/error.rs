@@ -35,9 +35,97 @@ impl fmt::Display for ModelError {
 
 impl std::error::Error for ModelError {}
 
+/// Unified error type for the whole RASA stack.
+///
+/// Lower layers keep their precise error enums ([`ModelError`],
+/// `MigrateError`, …); this type is the common currency fault-tolerant
+/// callers — the pipeline's guarded solve layer, the chaos harness —
+/// convert into so a failure in any layer can be *reported* instead of
+/// unwinding through the stack.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RasaError {
+    /// A model construction/manipulation error.
+    Model(ModelError),
+    /// A solver-layer invariant did not hold (malformed solution vector,
+    /// inconsistent formulation state, …).
+    SolverInvariant(String),
+    /// The migration planner failed; the message carries the lower-level
+    /// `MigrateError` description.
+    Migration(String),
+    /// A worker panicked while solving the given subproblem; the message
+    /// is the panic payload when it was a string.
+    SolvePanicked {
+        /// Index of the subproblem whose solve panicked.
+        subproblem: usize,
+        /// Stringified panic payload (`"<non-string panic payload>"` when
+        /// the payload was not a string).
+        message: String,
+    },
+    /// The deadline expired before the given subproblem produced a
+    /// complete result.
+    DeadlineExpired {
+        /// Index of the subproblem that ran out of budget.
+        subproblem: usize,
+    },
+    /// A solver returned a placement that violates problem constraints;
+    /// the fault-isolation layer discarded it.
+    InfeasibleResult {
+        /// Index of the subproblem with the infeasible result.
+        subproblem: usize,
+    },
+}
+
+impl fmt::Display for RasaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RasaError::Model(e) => write!(f, "model error: {e}"),
+            RasaError::SolverInvariant(msg) => write!(f, "solver invariant violated: {msg}"),
+            RasaError::Migration(msg) => write!(f, "migration planning failed: {msg}"),
+            RasaError::SolvePanicked {
+                subproblem,
+                message,
+            } => write!(f, "subproblem {subproblem} solve panicked: {message}"),
+            RasaError::DeadlineExpired { subproblem } => {
+                write!(f, "subproblem {subproblem} ran out of deadline budget")
+            }
+            RasaError::InfeasibleResult { subproblem } => {
+                write!(f, "subproblem {subproblem} produced an infeasible placement")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RasaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RasaError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for RasaError {
+    fn from(e: ModelError) -> Self {
+        RasaError::Model(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rasa_error_display_and_source() {
+        let e = RasaError::from(ModelError::UnknownMachine(MachineId(7)));
+        assert_eq!(e.to_string(), "model error: unknown machine m7");
+        assert!(std::error::Error::source(&e).is_some());
+        let p = RasaError::SolvePanicked {
+            subproblem: 3,
+            message: "boom".into(),
+        };
+        assert_eq!(p.to_string(), "subproblem 3 solve panicked: boom");
+        assert!(std::error::Error::source(&p).is_none());
+    }
 
     #[test]
     fn display_is_informative() {

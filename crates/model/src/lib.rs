@@ -38,7 +38,7 @@ pub mod service;
 pub mod validate;
 
 pub use affinity::{AffinityEdge, EdgeId};
-pub use error::ModelError;
+pub use error::{ModelError, RasaError};
 pub use ids::{ContainerId, MachineId, ServiceId};
 pub use machine::{FeatureMask, Machine, MachineGroup};
 pub use objective::{gained_affinity, gained_affinity_of_edge, normalized_gained_affinity};

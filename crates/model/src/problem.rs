@@ -194,7 +194,7 @@ impl Problem {
                     .iter()
                     .filter_map(|s| svc_old_to_new.get(s).copied())
                     .collect();
-                (!services.is_empty()).then(|| AntiAffinityRule {
+                (!services.is_empty()).then_some(AntiAffinityRule {
                     services,
                     max_per_machine: rule.max_per_machine,
                 })

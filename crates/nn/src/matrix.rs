@@ -114,8 +114,8 @@ impl Matrix {
         assert_eq!(bias.len(), self.cols);
         let mut out = self.clone();
         for r in 0..out.rows {
-            for c in 0..out.cols {
-                out.data[r * out.cols + c] += bias[c];
+            for (c, &b) in bias.iter().enumerate() {
+                out.data[r * out.cols + c] += b;
             }
         }
         out

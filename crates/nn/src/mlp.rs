@@ -148,9 +148,9 @@ impl Mlp {
                     grad_acc[g_off + c] += dlogits[c];
                 }
                 let mut dh1 = vec![0.0; hdim];
-                for i in 0..hdim {
-                    for c in 0..cdim {
-                        dh1[i] += dlogits[c] * self.w2.get(i, c);
+                for (i, dh) in dh1.iter_mut().enumerate() {
+                    for (c, &dl) in dlogits.iter().enumerate() {
+                        *dh += dl * self.w2.get(i, c);
                     }
                 }
                 // dz1 = dh1 ⊙ relu'(z1); dW1 = xᵀ dz1; db1 = dz1

@@ -173,7 +173,7 @@ pub fn multi_stage_partition<R: Rng>(
             components[c].push(i);
         }
         // first-fit-decreasing packing of whole components into sets
-        components.sort_by(|a, b| b.len().cmp(&a.len()));
+        components.sort_by_key(|c| std::cmp::Reverse(c.len()));
         let mut packed: Vec<Vec<usize>> = Vec::new(); // local indices
         for comp in components {
             if comp.len() > config.max_subproblem_services {

@@ -184,7 +184,7 @@ impl CronJob {
 /// `current` does, so `plan_migration` accepts the pair: shortfalls are
 /// topped up on the machines the service currently occupies (or any
 /// feasible machine), surpluses trimmed from the fullest machines.
-fn reconcile_counts(problem: &Problem, current: &Placement, candidate: &mut Placement) {
+pub(crate) fn reconcile_counts(problem: &Problem, current: &Placement, candidate: &mut Placement) {
     for svc in &problem.services {
         let s = svc.id;
         let cur = current.placed_count(s);
@@ -207,14 +207,52 @@ fn reconcile_counts(problem: &Problem, current: &Placement, candidate: &mut Plac
                 .zip(usage)
                 .map(|(m, u)| m.capacity - u)
                 .collect();
+            // per-machine occupancy of every anti-affinity rule containing
+            // `s`: a top-up must never push a rule past its cap, or the
+            // reconciled target hands the planner an infeasible goal
+            let rules: Vec<usize> = problem
+                .anti_affinity
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.services.contains(&s))
+                .map(|(k, _)| k)
+                .collect();
+            let mut aa_used: Vec<Vec<u32>> = rules
+                .iter()
+                .map(|&k| {
+                    problem
+                        .machines
+                        .iter()
+                        .map(|m| {
+                            problem.anti_affinity[k]
+                                .services
+                                .iter()
+                                .map(|&rs| candidate.count(rs, m.id))
+                                .sum()
+                        })
+                        .collect()
+                })
+                .collect();
+            let aa_allows = |aa_used: &[Vec<u32>], m: MachineId| {
+                rules
+                    .iter()
+                    .zip(aa_used)
+                    .all(|(&k, used)| used[m.idx()] < problem.anti_affinity[k].max_per_machine)
+            };
             let mut prefer: Vec<MachineId> = candidate.machines_of(s).map(|(m, _)| m).collect();
             prefer.extend(current.machines_of(s).map(|(m, _)| m));
             prefer.extend(problem.machines.iter().map(|m| m.id));
             'fill: while cand < cur {
                 for &m in &prefer {
-                    if problem.schedulable(s, m) && svc.demand.fits_within(&free[m.idx()], 1e-6) {
+                    if problem.schedulable(s, m)
+                        && svc.demand.fits_within(&free[m.idx()], 1e-6)
+                        && aa_allows(&aa_used, m)
+                    {
                         candidate.add(s, m, 1);
                         free[m.idx()] -= svc.demand;
+                        for used in aa_used.iter_mut() {
+                            used[m.idx()] += 1;
+                        }
                         cand += 1;
                         continue 'fill;
                     }
@@ -223,7 +261,6 @@ fn reconcile_counts(problem: &Problem, current: &Placement, candidate: &mut Plac
             }
         }
     }
-    let _ = problem;
 }
 
 /// Churn model: re-deploys a random subset of services affinity-blind

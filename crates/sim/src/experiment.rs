@@ -228,13 +228,12 @@ pub fn run_production_experiment(
         );
 
         // WITH arm: the CronJob may re-optimize
-        match cron.tick(problem, &mut with_placement, scheduler, &mut rng_with) {
-            crate::cronjob::TickOutcome::Migrated { moves, .. } => {
-                total_moves += moves;
-                migrations += 1;
-                moves_per_migration_fraction.push(moves as f64 / total_containers);
-            }
-            _ => {}
+        if let crate::cronjob::TickOutcome::Migrated { moves, .. } =
+            cron.tick(problem, &mut with_placement, scheduler, &mut rng_with)
+        {
+            total_moves += moves;
+            migrations += 1;
+            moves_per_migration_fraction.push(moves as f64 / total_containers);
         }
 
         // observe tracked pairs

@@ -4,7 +4,7 @@
 //! handles the milder version of this).
 
 use rasa_migrate::{plan_migration, MigrateConfig, MigrateError, MigrationPlan};
-use rasa_model::{ContainerAssignment, MachineId, Placement, Problem};
+use rasa_model::{ContainerAssignment, ContainerId, MachineId, Placement, Problem};
 use rasa_solver::complete_placement;
 
 /// Outcome of executing a plan under failure injection.
@@ -27,12 +27,36 @@ pub struct FailoverReport {
 /// containers, and computes a recovery migration plan toward the repaired
 /// target. Returns the report; `state` ends at the final (recovered)
 /// assignment.
+///
+/// Single-failure convenience wrapper around [`execute_with_failures`].
 pub fn execute_with_failure(
     problem: &Problem,
     state: &mut ContainerAssignment,
     plan: &MigrationPlan,
     target: &Placement,
     fail: Option<(usize, MachineId)>,
+    migrate: &MigrateConfig,
+) -> Result<FailoverReport, MigrateError> {
+    match fail {
+        Some((step, machine)) => {
+            execute_with_failures(problem, state, plan, target, Some((step, &[machine])), migrate)
+        }
+        None => execute_with_failures(problem, state, plan, target, None, migrate),
+    }
+}
+
+/// Generalization of [`execute_with_failure`] to a *correlated* failure
+/// burst: all machines in `fail.1` die together right after step `fail.0`
+/// (think a rack or power-domain loss). Every container on any dead
+/// machine is lost and the machines become unschedulable; recovery
+/// re-places the lost containers on the surviving capacity and migrates to
+/// the repaired target.
+pub fn execute_with_failures(
+    problem: &Problem,
+    state: &mut ContainerAssignment,
+    plan: &MigrationPlan,
+    target: &Placement,
+    fail: Option<(usize, &[MachineId])>,
     migrate: &MigrateConfig,
 ) -> Result<FailoverReport, MigrateError> {
     let mut executed_steps = 0usize;
@@ -66,23 +90,25 @@ pub fn execute_with_failure(
 fn recover(
     problem: &Problem,
     state: &mut ContainerAssignment,
-    dead: MachineId,
+    dead: &[MachineId],
     migrate: &MigrateConfig,
     executed_steps: usize,
 ) -> Result<FailoverReport, MigrateError> {
-    // 1. the machine dies: lose its containers
+    // 1. the machines die together: lose their containers
     let lost: Vec<_> = state
         .iter_assigned()
-        .filter(|&(_, m)| m == dead)
+        .filter(|&(_, m)| dead.contains(&m))
         .map(|(c, _)| c)
         .collect();
     for &c in &lost {
         state.unassign(c);
     }
 
-    // 2. degraded problem: the dead machine has no capacity
+    // 2. degraded problem: no dead machine has capacity
     let mut degraded = problem.clone();
-    degraded.machines[dead.idx()].capacity = rasa_model::ResourceVec::ZERO;
+    for &d in dead {
+        degraded.machines[d.idx()].capacity = rasa_model::ResourceVec::ZERO;
+    }
 
     // 3. repaired target: current placement + lost containers re-placed by
     // the default scheduler on the degraded cluster
@@ -91,34 +117,9 @@ fn recover(
     complete_placement(&degraded, &mut repaired);
 
     // 4. the lost containers are already offline, so they can be recreated
-    // immediately into the repaired target's new slots (which completion
-    // capacity-checked against the current usage) — no SLA risk, no
+    // immediately into the repaired target's new slots — no SLA risk, no
     // resource wait
-    let mut recreated = 0usize;
-    let mut lost_by_service: std::collections::HashMap<rasa_model::ServiceId, Vec<_>> =
-        Default::default();
-    for &c in &lost {
-        lost_by_service.entry(c.service).or_default().push(c);
-    }
-    for (s, replicas) in lost_by_service {
-        let mut deficit: Vec<(MachineId, u32)> = repaired
-            .machines_of(s)
-            .map(|(m, tc)| (m, tc.saturating_sub(current.count(s, m))))
-            .filter(|&(_, d)| d > 0)
-            .collect();
-        let mut di = 0usize;
-        for c in replicas {
-            while di < deficit.len() && deficit[di].1 == 0 {
-                di += 1;
-            }
-            let Some(&mut (m, ref mut left)) = deficit.get_mut(di) else {
-                break;
-            };
-            state.assign(c, m);
-            *left -= 1;
-            recreated += 1;
-        }
-    }
+    let recreated = recreate_lost(state, &current, &repaired, &lost);
 
     // 5. any residual difference (none in the common case) goes through the
     // normal migration planner
@@ -142,6 +143,45 @@ fn recover(
         recovery_steps: recovery.steps.len(),
         recovery_moves: recovery.total_moves() + recreated,
     })
+}
+
+/// Recreate already-offline `lost` containers directly into the slots that
+/// `repaired` added relative to `current`. Completion capacity-checked those
+/// slots against the current usage, and offline containers carry no SLA
+/// wait, so the assignments are immediate. Returns how many were recreated
+/// (fewer than `lost.len()` when surviving capacity cannot hold them all).
+pub(crate) fn recreate_lost(
+    state: &mut ContainerAssignment,
+    current: &Placement,
+    repaired: &Placement,
+    lost: &[ContainerId],
+) -> usize {
+    let mut recreated = 0usize;
+    let mut lost_by_service: std::collections::HashMap<rasa_model::ServiceId, Vec<_>> =
+        Default::default();
+    for &c in lost {
+        lost_by_service.entry(c.service).or_default().push(c);
+    }
+    for (s, replicas) in lost_by_service {
+        let mut deficit: Vec<(MachineId, u32)> = repaired
+            .machines_of(s)
+            .map(|(m, tc)| (m, tc.saturating_sub(current.count(s, m))))
+            .filter(|&(_, d)| d > 0)
+            .collect();
+        let mut di = 0usize;
+        for c in replicas {
+            while di < deficit.len() && deficit[di].1 == 0 {
+                di += 1;
+            }
+            let Some(&mut (m, ref mut left)) = deficit.get_mut(di) else {
+                break;
+            };
+            state.assign(c, m);
+            *left -= 1;
+            recreated += 1;
+        }
+    }
+    recreated
 }
 
 #[cfg(test)]
@@ -206,6 +246,45 @@ mod tests {
         degraded.machines[1].capacity = ResourceVec::ZERO;
         assert!(validate(&degraded, &final_placement, true).is_empty());
         assert_eq!(report.executed_steps, fail_step + 1);
+    }
+
+    #[test]
+    fn correlated_two_machine_failure_recovers_to_feasible_state() {
+        // 4 machines so two can die and capacity still covers the SLA
+        let mut b = ProblemBuilder::new();
+        b.add_service("svc", 6, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_machines(4, ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::EMPTY);
+        let p = b.build().unwrap();
+        let mut start = Placement::empty_for(&p);
+        start.add(ServiceId(0), MachineId(0), 6);
+        let from = ContainerAssignment::materialize(&p, &start);
+        let mut target = Placement::empty_for(&p);
+        for m in 0..3 {
+            target.add(ServiceId(0), MachineId(m), 2);
+        }
+        let plan = plan_migration(&p, &from, &target, &MigrateConfig::default()).unwrap();
+        let mut state = from.clone();
+        let dead = [MachineId(1), MachineId(2)];
+        let report = execute_with_failures(
+            &p,
+            &mut state,
+            &plan,
+            &target,
+            Some((plan.steps.len() / 2, &dead)),
+            &MigrateConfig::default(),
+        )
+        .unwrap();
+        let final_placement = state.to_placement();
+        assert_eq!(final_placement.placed_count(ServiceId(0)), 6);
+        for d in dead {
+            assert_eq!(final_placement.count(ServiceId(0), d), 0);
+        }
+        let mut degraded = p.clone();
+        for d in dead {
+            degraded.machines[d.idx()].capacity = ResourceVec::ZERO;
+        }
+        assert!(validate(&degraded, &final_placement, true).is_empty());
+        assert!(report.lost_containers <= 6);
     }
 
     #[test]

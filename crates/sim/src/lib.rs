@@ -18,16 +18,21 @@
 //!   `rasa-migrate`, with verification-and-rollback;
 //! * [`experiment`] — the production experiment: a churning cluster run
 //!   twice (WITH RASA and WITHOUT RASA) plus the ONLY-COLLOCATED bound,
-//!   producing the normalized time series of Figs 11–13.
+//!   producing the normalized time series of Figs 11–13;
+//! * [`chaos`] — seeded deterministic fault schedules (correlated machine
+//!   deaths, mid-solve deaths, deadline starvation) with a per-step
+//!   invariant checker, generalizing the single-failure [`failover`] drill.
 
+pub mod chaos;
 pub mod collector;
 pub mod cronjob;
 pub mod experiment;
 pub mod failover;
 pub mod network;
 
+pub use chaos::{run_chaos, ChaosEvent, ChaosReport, ChaosSchedule, InvariantChecker};
 pub use collector::{ClusterState, DataCollector};
 pub use cronjob::{CronJob, CronJobConfig, TickOutcome};
 pub use experiment::{run_production_experiment, ExperimentConfig, ExperimentReport, PairSeries};
-pub use failover::{execute_with_failure, FailoverReport};
+pub use failover::{execute_with_failure, execute_with_failures, FailoverReport};
 pub use network::NetworkModel;

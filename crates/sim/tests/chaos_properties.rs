@@ -1,0 +1,65 @@
+//! Property tests for the chaos harness: a seeded fault schedule with up to
+//! `N-1` machine failures must always leave the cluster `validate()`-clean,
+//! and every SLA-critical service must be as fully placed as the surviving
+//! capacity permits (greedy completion can add nothing further).
+
+use proptest::prelude::*;
+use rasa_migrate::MigrateConfig;
+use rasa_model::{validate, FeatureMask, Problem, ProblemBuilder, ResourceVec};
+use rasa_sim::chaos::{run_chaos, ChaosEvent, ChaosSchedule};
+use rasa_solver::MipBased;
+
+fn chain_cluster(services: usize, machines: usize) -> Problem {
+    let mut b = ProblemBuilder::new();
+    let mut prev = None;
+    for i in 0..services {
+        let s = b.add_service(format!("s{i}"), 3, ResourceVec::cpu_mem(1.0, 1.0));
+        if let Some(p) = prev {
+            b.add_affinity(p, s, 5.0);
+        }
+        prev = Some(s);
+    }
+    b.add_machines(machines, ResourceVec::cpu_mem(4.0, 4.0), FeatureMask::EMPTY);
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn chaos_schedules_always_end_feasible(
+        seed in 0u64..1_000,
+        failures in 1usize..4,
+        machines in 3usize..6,
+    ) {
+        let p = chain_cluster(3, machines);
+        // generate() internally caps kills at N-1 so capacity never hits zero
+        let schedule = ChaosSchedule::generate(&p, seed, failures);
+        let killed: usize = schedule
+            .events
+            .iter()
+            .map(|e| match e {
+                ChaosEvent::CorrelatedFailure { machines, .. }
+                | ChaosEvent::MidSolveFailure { machines } => machines.len(),
+                ChaosEvent::DeadlineStarvation => 0,
+            })
+            .sum();
+        prop_assert!(killed < machines, "schedule would kill the whole cluster");
+
+        let report = run_chaos(&p, &MipBased::new(), &schedule, &MigrateConfig::default());
+        prop_assert!(report.is_clean(), "violations: {:?}", report.violations);
+
+        // the final placement validates (partial allowed) on the degraded
+        // cluster...
+        let mut degraded = p.clone();
+        for &d in &report.dead_machines {
+            degraded.machines[d.idx()].capacity = ResourceVec::ZERO;
+        }
+        prop_assert!(validate(&degraded, &report.final_placement, false).is_empty());
+        // ...and every service is as placed as surviving capacity permits
+        prop_assert!(
+            report.fully_recovered,
+            "capacity permitted more replicas than the run recovered"
+        );
+    }
+}

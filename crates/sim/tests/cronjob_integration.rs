@@ -22,7 +22,7 @@ fn config() -> CronJobConfig {
 
 #[test]
 fn cronjob_converges_then_dry_runs_on_a_generated_cluster() {
-    let problem = generate(&tiny_cluster(21));
+    let problem = generate(&tiny_cluster(24));
     let mut placement = Original
         .schedule(&problem, rasa_lp::Deadline::none())
         .placement;

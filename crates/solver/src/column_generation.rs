@@ -53,10 +53,14 @@ pub struct CgOptions {
 
 impl Default for CgOptions {
     fn default() -> Self {
-        let mut pricing_mip = MipOptions::default();
-        pricing_mip.max_nodes = 2_000;
-        let mut rounding_mip = MipOptions::default();
-        rounding_mip.max_nodes = 20_000;
+        let pricing_mip = MipOptions {
+            max_nodes: 2_000,
+            ..MipOptions::default()
+        };
+        let rounding_mip = MipOptions {
+            max_nodes: 20_000,
+            ..MipOptions::default()
+        };
         CgOptions {
             max_rounds: 60,
             pricing_mip,
@@ -448,6 +452,23 @@ fn initial_patterns(
         let mut pa = 0u32;
         let mut pb = 0u32;
         let mut used = rasa_model::ResourceVec::ZERO;
+        // adding one more container of `s` must not break any anti-affinity
+        // rule, counting both endpoints' contributions on the same machine
+        let aa_allows = |s: ServiceId, pa: u32, pb: u32| -> bool {
+            problem.anti_affinity.iter().all(|rule| {
+                if !rule.services.contains(&s) {
+                    return true;
+                }
+                let mut count = 0u32;
+                if rule.services.contains(&e.a) {
+                    count += pa;
+                }
+                if rule.services.contains(&e.b) {
+                    count += pb;
+                }
+                count < rule.max_per_machine
+            })
+        };
         loop {
             // next container: whichever endpoint has the lower filled ratio
             let ra = if pa >= ca {
@@ -472,6 +493,9 @@ fn initial_patterns(
                 (&problem.services[e.b.idx()], false)
             };
             if !(used + svc.demand).fits_within(&g.capacity, 1e-6) {
+                break;
+            }
+            if !aa_allows(svc.id, pa, pb) {
                 break;
             }
             used += svc.demand;

@@ -20,7 +20,9 @@
 //! are left to the completion pass / default scheduler.
 
 use rasa_mip::{MipModel, VarId};
-use rasa_model::{MachineGroup, Placement, Problem, ResourceVec, ServiceId, NUM_RESOURCES};
+use rasa_model::{
+    MachineGroup, Placement, Problem, RasaError, ResourceVec, ServiceId, NUM_RESOURCES,
+};
 use std::collections::HashMap;
 
 /// Which formulation to build.
@@ -55,7 +57,9 @@ pub fn per_machine_cap(problem: &Problem, service: ServiceId, cap: &ResourceVec)
         }
     }
     for rule in &problem.anti_affinity {
-        if rule.services.len() == 1 && rule.services[0] == service {
+        // any rule containing the service caps it: other members contribute
+        // ≥ 0 to the rule's per-machine count, so this is a valid clamp
+        if rule.services.contains(&service) {
             fit = fit.min(rule.max_per_machine);
         }
     }
@@ -240,7 +244,47 @@ impl RasaFormulation {
     /// resource and anti-affinity limits; containers that do not fit are
     /// dropped (the paper accepts a small number of failed deployments,
     /// Section IV-B5).
+    ///
+    /// Panics if `x` is shorter than the formulation's variable count or
+    /// contains non-finite entries; use [`try_extract_placement`]
+    /// (`RasaFormulation::try_extract_placement`) for a checked variant.
     pub fn extract_placement(&self, problem: &Problem, x: &[f64]) -> Placement {
+        self.try_extract_placement(problem, x)
+            .expect("invariant: solution vector matches the formulation it was solved from")
+    }
+
+    /// Checked variant of [`extract_placement`](Self::extract_placement):
+    /// rejects solution vectors that do not match the formulation (too
+    /// short, or non-finite values) with [`RasaError::SolverInvariant`]
+    /// instead of panicking. The fault-isolated pipeline uses this so a
+    /// malformed solver result degrades one subproblem, not the run.
+    pub fn try_extract_placement(
+        &self,
+        problem: &Problem,
+        x: &[f64],
+    ) -> Result<Placement, RasaError> {
+        for &v in self.x_vars.values() {
+            match x.get(v.0) {
+                None => {
+                    return Err(RasaError::SolverInvariant(format!(
+                        "solution vector has {} entries but the formulation references x[{}]",
+                        x.len(),
+                        v.0
+                    )))
+                }
+                Some(val) if !val.is_finite() => {
+                    return Err(RasaError::SolverInvariant(format!(
+                        "solution vector entry x[{}] is {val}",
+                        v.0
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(self.extract_placement_unchecked(problem, x))
+    }
+
+    fn extract_placement_unchecked(&self, problem: &Problem, x: &[f64]) -> Placement {
         // Apportion each service's (possibly fractional — e.g. from an LP
         // relaxation) group shares to integers by floor + largest
         // remainder, preserving the service's total. Independent per-group
@@ -274,7 +318,7 @@ impl RasaFormulation {
                 if let Some(slot) = counts
                     .iter_mut()
                     .filter(|c| c.1 > 0)
-                    .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+                    .min_by(|a, b| a.2.total_cmp(&b.2))
                 {
                     slot.1 -= 1;
                     assigned -= 1;
@@ -282,7 +326,7 @@ impl RasaFormulation {
                     break;
                 }
             }
-            counts.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)));
+            counts.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
             let mut i = 0;
             let len = counts.len();
             while assigned < target && len > 0 {
@@ -568,8 +612,7 @@ pub(crate) fn deaggregate_group(
                         .min_by(|&a, &b| {
                             usage[a]
                                 .dominant_share(&g.capacity)
-                                .partial_cmp(&usage[b].dominant_share(&g.capacity))
-                                .unwrap()
+                                .total_cmp(&usage[b].dominant_share(&g.capacity))
                         });
                     let Some(mj) = dest else { continue };
                     // only evict toward emptier machines, and never at an

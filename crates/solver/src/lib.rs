@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// solver code runs inside the fault-isolated solve layer: invariants
+// surface as `RasaError` or `expect` with an invariant message, never as
+// a bare unwrap
+#![warn(clippy::unwrap_used)]
 
 //! # rasa-solver
 //!

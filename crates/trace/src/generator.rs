@@ -257,9 +257,9 @@ pub fn generate(spec: &ClusterSpec) -> Problem {
 
     // ---- anti-affinity ----
     let spread_count = ((spec.services as f64) * spec.spread_rule_fraction) as usize;
-    for i in 0..spread_count {
+    for (i, &raw) in raw_replicas.iter().enumerate().take(spread_count) {
         let s = ServiceId(i as u32);
-        let replicas = raw_replicas[i] as u32;
+        let replicas = raw as u32;
         // realistic spread rules leave room to collocate a few containers
         // per machine (operators cap skew, they do not forbid stacking)
         let h = (3 * replicas).div_ceil(spec.machines.max(1) as u32).max(2);

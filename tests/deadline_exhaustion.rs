@@ -1,0 +1,79 @@
+//! Deadline-exhaustion suite: every `Scheduler` implementation, handed an
+//! already-expired `Deadline`, must return a *feasible* (possibly partial)
+//! placement, must not panic, and must report `completed = false`. This is
+//! the contract the fault-isolated solve layer (`rasa_core::solve_guard`)
+//! and the chaos harness (`rasa_sim::chaos`) rely on: an out-of-budget
+//! solver degrades, it never aborts.
+
+use rasa_baselines::{Applsci19, K8sPlus, Original, Pop};
+use rasa_core::{Deadline, RasaConfig, RasaPipeline};
+use rasa_model::validate;
+use rasa_solver::{ColumnGeneration, MipBased, Scheduler};
+use rasa_trace::{generate, tiny_cluster};
+use std::time::Duration;
+
+fn expired() -> Deadline {
+    Deadline::after(Duration::ZERO)
+}
+
+#[test]
+fn every_scheduler_survives_an_expired_deadline() {
+    let problem = generate(&tiny_cluster(5));
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(MipBased::new()),
+        Box::new(ColumnGeneration::new()),
+        Box::new(Original),
+        Box::new(K8sPlus::default()),
+        Box::new(Pop::default()),
+        Box::new(Applsci19::default()),
+    ];
+    for s in &schedulers {
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.schedule(&problem, expired())
+        }))
+        .unwrap_or_else(|_| panic!("{} panicked under an expired deadline", s.name()));
+        assert!(
+            !out.completed,
+            "{} claims completion with zero budget",
+            s.name()
+        );
+        // partial is fine; infeasible is not (SLA check off for partials)
+        assert!(
+            validate(&problem, &out.placement, false).is_empty(),
+            "{} returned an infeasible placement under an expired deadline",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn pipeline_survives_an_expired_deadline() {
+    let problem = generate(&tiny_cluster(5));
+    for parallel in [false, true] {
+        let pipeline = RasaPipeline::new(RasaConfig {
+            parallel,
+            ..Default::default()
+        });
+        let run = pipeline.optimize(&problem, None, expired());
+        // the guarded solve layer falls back to greedy completion per
+        // subproblem, so the merged result is feasible end to end
+        assert!(
+            validate(&problem, &run.outcome.placement, false).is_empty(),
+            "pipeline (parallel={parallel}) produced an infeasible placement"
+        );
+        assert!(!run.outcome.completed);
+    }
+}
+
+#[test]
+fn sequential_slicing_under_a_tiny_live_budget_stays_feasible() {
+    // not yet expired, but far too small for the solvers: the per-subproblem
+    // slices shrink as the budget drains and the run must stay feasible
+    let problem = generate(&tiny_cluster(6));
+    let pipeline = RasaPipeline::new(RasaConfig {
+        parallel: false,
+        ..Default::default()
+    });
+    let run = pipeline.optimize(&problem, None, Deadline::after(Duration::from_micros(200)));
+    assert!(validate(&problem, &run.outcome.placement, false).is_empty());
+}

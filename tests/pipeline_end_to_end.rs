@@ -41,7 +41,7 @@ fn pipeline_produces_feasible_complete_schedules() {
 #[test]
 fn pipeline_beats_a_scattered_baseline_substantially() {
     use rasa_baselines::Original;
-    let problem = medium_cluster(2);
+    let problem = medium_cluster(3);
     let pipeline = RasaPipeline::new(RasaConfig::default());
     let rasa = pipeline.schedule(&problem, Deadline::after(Duration::from_secs(20)));
     let original = Original.schedule(&problem, Deadline::none());

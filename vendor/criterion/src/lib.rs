@@ -1,0 +1,165 @@
+//! Offline-compatible stand-in for `criterion`, covering the API surface
+//! this workspace's micro-benchmarks use: `Criterion::default()`,
+//! `sample_size`, `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `criterion_group!`, and `criterion_main!`.
+//!
+//! Instead of criterion's statistical pipeline, each benchmark runs one
+//! warm-up iteration plus a small fixed number of timed iterations and
+//! prints mean time per iteration — enough to keep `cargo bench` and
+//! bench-target builds under `cargo test` working and fast offline.
+
+use std::time::{Duration, Instant};
+
+/// Timed iterations per benchmark (after one warm-up).
+const MEASURE_ITERS: u32 = 3;
+
+/// Prevent the optimizer from discarding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`]; only API compatibility
+/// here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input every iteration.
+    PerIteration,
+}
+
+/// Benchmark driver handed to the routine closure.
+pub struct Bencher {
+    iters: u32,
+    /// Mean time per iteration, recorded for the summary line.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed() / self.iters;
+    }
+
+    /// Time `routine` with a fresh `setup()` input per iteration; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total / self.iters;
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the nominal sample size (kept for API compatibility; the stub
+    /// always runs a small fixed number of iterations).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark and print its mean iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: MEASURE_ITERS,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("bench {name:<40} {:>12.3?}/iter", b.elapsed);
+        self
+    }
+}
+
+/// Declare a benchmark group: either `criterion_group!(name, target, ...)`
+/// or the long form with `name = …; config = …; targets = …`.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut runs = 0u32;
+        Criterion::default().bench_function("counter", |b| {
+            b.iter(|| runs += 1);
+        });
+        assert!(runs >= MEASURE_ITERS);
+    }
+
+    #[test]
+    fn iter_batched_uses_fresh_inputs() {
+        let mut produced = 0u32;
+        Criterion::default().sample_size(5).bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    produced += 1;
+                    vec![1u32; 8]
+                },
+                |v| v.iter().sum::<u32>(),
+                BatchSize::SmallInput,
+            );
+        });
+        assert!(produced >= MEASURE_ITERS);
+    }
+}

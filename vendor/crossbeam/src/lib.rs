@@ -1,0 +1,118 @@
+//! Offline-compatible stand-in for the `crossbeam` crate, implementing the
+//! scoped-thread subset this workspace uses on top of `std::thread::scope`
+//! (stable since Rust 1.63).
+//!
+//! The one semantic crossbeam adds over std scopes — a panicking worker is
+//! reported as an `Err` from `scope()` instead of propagating the panic —
+//! is preserved: every spawned closure runs under `catch_unwind` and the
+//! first captured payload is returned as the error.
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+
+    /// Panic payload captured from a worker thread.
+    pub type Payload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// Scope handle passed to [`scope`]'s closure and to every spawned
+    /// worker closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        panics: Arc<Mutex<Vec<Payload>>>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker inside the scope. The worker receives a reference
+        /// to the scope so it can spawn further workers, like crossbeam's.
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let panics = Arc::clone(&self.panics);
+            let inner = self.inner;
+            inner.spawn(move || {
+                let scope = Scope {
+                    inner,
+                    panics: Arc::clone(&panics),
+                };
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&scope))) {
+                    panics.lock().unwrap_or_else(|p| p.into_inner()).push(payload);
+                }
+            });
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing local state is allowed.
+    /// Returns `Err` with the first captured panic payload if any worker
+    /// panicked, mirroring `crossbeam::thread::scope`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let panics: Arc<Mutex<Vec<Payload>>> = Arc::new(Mutex::new(Vec::new()));
+        let collected = Arc::clone(&panics);
+        let result = std::thread::scope(|s| {
+            let scope = Scope { inner: s, panics };
+            f(&scope)
+        });
+        let mut captured = std::mem::take(
+            &mut *collected.lock().unwrap_or_else(|p| p.into_inner()),
+        );
+        if captured.is_empty() {
+            Ok(result)
+        } else {
+            Err(captured.swap_remove(0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_workers_and_collects_results() {
+        let mut out = vec![0u32; 4];
+        let slots: Vec<std::sync::Mutex<u32>> =
+            (0..4).map(|_| std::sync::Mutex::new(0)).collect();
+        crate::thread::scope(|s| {
+            for i in 0..4 {
+                let slots = &slots;
+                s.spawn(move |_| {
+                    *slots[i].lock().unwrap() = i as u32 * 10;
+                });
+            }
+        })
+        .unwrap();
+        for (i, slot) in slots.iter().enumerate() {
+            out[i] = *slot.lock().unwrap();
+        }
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_err() {
+        let result = crate::thread::scope(|s| {
+            s.spawn(|_| panic!("worker dies"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn surviving_workers_finish_when_one_panics() {
+        let done = std::sync::Mutex::new(0u32);
+        let result = crate::thread::scope(|s| {
+            for i in 0..4 {
+                let done = &done;
+                s.spawn(move |_| {
+                    if i == 2 {
+                        panic!("worker {i} dies");
+                    }
+                    *done.lock().unwrap() += 1;
+                });
+            }
+        });
+        assert!(result.is_err());
+        assert_eq!(*done.lock().unwrap(), 3);
+    }
+}

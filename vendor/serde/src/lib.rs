@@ -1,0 +1,392 @@
+//! Offline-compatible stand-in for `serde`, exposing the surface this
+//! workspace uses: `derive(Serialize, Deserialize)` plus the trait bounds
+//! `serde_json` needs.
+//!
+//! Instead of serde's visitor architecture, both traits go through a small
+//! self-describing [`Value`] tree: `Serialize` renders into it,
+//! `Deserialize` reads back out of it, and `serde_json` converts it to and
+//! from JSON text. Struct fields become [`Value::Map`] entries with string
+//! keys; ordered maps (`BTreeMap`) serialize as sequences of `[key, value]`
+//! pairs so non-string keys (e.g. `MachineId`) round-trip exactly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialized form — the interchange point between the
+/// derive macros and `serde_json`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (negative JSON numbers).
+    I64(i64),
+    /// Unsigned integer (non-negative JSON integers).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (JSON array).
+    Seq(Vec<Value>),
+    /// String-keyed record (JSON object) — struct fields in order.
+    Map(Vec<(Value, Value)>),
+}
+
+/// Deserialization error: a message naming the type and the mismatch.
+#[derive(Clone, Debug)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Build an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Value {
+    /// The map entries, or an error naming `ty`.
+    pub fn as_map(&self, ty: &str) -> Result<&[(Value, Value)], DeError> {
+        match self {
+            Value::Map(entries) => Ok(entries),
+            other => Err(DeError::new(format!("{ty}: expected map, got {other:?}"))),
+        }
+    }
+
+    /// The sequence elements, or an error naming `ty`.
+    pub fn as_seq(&self, ty: &str) -> Result<&[Value], DeError> {
+        match self {
+            Value::Seq(items) => Ok(items),
+            other => Err(DeError::new(format!("{ty}: expected seq, got {other:?}"))),
+        }
+    }
+
+    /// A sequence of exactly `n` elements, or an error naming `ty`.
+    pub fn as_seq_len(&self, n: usize, ty: &str) -> Result<&[Value], DeError> {
+        let items = self.as_seq(ty)?;
+        if items.len() == n {
+            Ok(items)
+        } else {
+            Err(DeError::new(format!(
+                "{ty}: expected {n} elements, got {}",
+                items.len()
+            )))
+        }
+    }
+
+    /// The string contents, or an error naming `ty`.
+    pub fn as_str(&self, ty: &str) -> Result<&str, DeError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(DeError::new(format!(
+                "{ty}: expected string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Look up a struct field by name in map entries (derive-macro helper).
+pub fn map_field<'v>(
+    entries: &'v [(Value, Value)],
+    field: &str,
+    ty: &str,
+) -> Result<&'v Value, DeError> {
+    entries
+        .iter()
+        .find(|(k, _)| matches!(k, Value::Str(s) if s == field))
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::new(format!("{ty}: missing field `{field}`")))
+}
+
+/// Index into a tuple-struct sequence (derive-macro helper).
+pub fn seq_item<'v>(items: &'v [Value], index: usize, ty: &str) -> Result<&'v Value, DeError> {
+    items
+        .get(index)
+        .ok_or_else(|| DeError::new(format!("{ty}: missing element {index}")))
+}
+
+/// Types renderable into a [`Value`] tree.
+pub trait Serialize {
+    /// Render into the interchange tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct from the interchange tree.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("bool: got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let raw = match v {
+                    Value::U64(u) => *u,
+                    Value::I64(i) if *i >= 0 => *i as u64,
+                    other => {
+                        return Err(DeError::new(format!(
+                            concat!(stringify!($t), ": got {:?}"), other
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    DeError::new(format!(concat!(stringify!($t), ": {} out of range"), raw))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let val = *self as i64;
+                if val >= 0 { Value::U64(val as u64) } else { Value::I64(val) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let raw: i64 = match v {
+                    Value::I64(i) => *i,
+                    Value::U64(u) => i64::try_from(*u).map_err(|_| {
+                        DeError::new(format!(concat!(stringify!($t), ": {} out of range"), u))
+                    })?,
+                    other => {
+                        return Err(DeError::new(format!(
+                            concat!(stringify!($t), ": got {:?}"), other
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    DeError::new(format!(concat!(stringify!($t), ": {} out of range"), raw))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::F64(f) => Ok(*f as $t),
+                    Value::U64(u) => Ok(*u as $t),
+                    Value::I64(i) => Ok(*i as $t),
+                    other => Err(DeError::new(format!(
+                        concat!(stringify!($t), ": got {:?}"), other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_str("String").map(str::to_string)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_seq("Vec")?.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_seq_len(N, "array")?;
+        let parsed: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError::new("array: length changed during parse"))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Seq(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_seq_len(2, "pair")?;
+        Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Seq(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_seq_len(3, "triple")?;
+        Ok((
+            A::deserialize(&items[0])?,
+            B::deserialize(&items[1])?,
+            C::deserialize(&items[2])?,
+        ))
+    }
+}
+
+// Ordered maps serialize as sequences of [key, value] pairs, keeping
+// non-string keys (machine ids) exact instead of stringifying them.
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.serialize(), v.serialize()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_seq("BTreeMap")?
+            .iter()
+            .map(|pair| {
+                let kv = pair.as_seq_len(2, "BTreeMap entry")?;
+                Ok((K::deserialize(&kv[0])?, V::deserialize(&kv[1])?))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::deserialize(&7u32.serialize()).unwrap(), 7);
+        assert_eq!(i64::deserialize(&(-3i64).serialize()).unwrap(), -3);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u32>::deserialize(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.serialize()).unwrap(), v);
+        let arr = [1.0f64, 2.0, 3.0, 4.0];
+        assert_eq!(<[f64; 4]>::deserialize(&arr.serialize()).unwrap(), arr);
+        let mut map = BTreeMap::new();
+        map.insert(4u32, 9u32);
+        map.insert(2u32, 1u32);
+        assert_eq!(
+            BTreeMap::<u32, u32>::deserialize(&map.serialize()).unwrap(),
+            map
+        );
+    }
+}

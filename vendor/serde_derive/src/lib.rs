@@ -1,0 +1,304 @@
+//! Offline-compatible stand-in for `serde_derive`, generating impls of the
+//! vendored `serde` crate's simplified `Serialize`/`Deserialize` traits
+//! (value-tree based, not visitor based).
+//!
+//! The input is parsed directly from the `proc_macro::TokenStream` — no
+//! `syn`/`quote`, which are unavailable offline. Supported shapes cover
+//! everything this workspace derives:
+//!   - structs with named fields
+//!   - tuple structs (1-field newtypes serialize transparently)
+//!   - fieldless enums (unit variants serialize as their name)
+//!
+//! `#[serde(...)]` attributes and generic parameters are not supported and
+//! produce a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the deriving type.
+enum Input {
+    /// `struct Foo { a: A, b: B }` — field names in declaration order.
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Foo(A, B);` — field count.
+    TupleStruct { name: String, arity: usize },
+    /// `enum Foo { A, B }` — variant names.
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Split a token sequence on top-level commas, tracking `<...>` depth so
+/// commas inside generic arguments (e.g. `BTreeMap<MachineId, u32>`) do not
+/// split a field. Delimited groups are single `TokenTree`s, so only angle
+/// brackets need explicit tracking.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.last_mut().expect("non-empty").push(tt.clone());
+    }
+    out.retain(|chunk| !chunk.is_empty());
+    out
+}
+
+/// Drop leading outer attributes (`#[...]`, including expanded `///` doc
+/// comments) and a `pub` / `pub(...)` visibility prefix from a field or
+/// variant chunk.
+fn skip_attrs_and_vis(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match (chunk.get(i), chunk.get(i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            (Some(TokenTree::Ident(id)), next) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = next {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return &chunk[i..],
+        }
+    }
+}
+
+fn parse_input(input: TokenStream, trait_name: &str) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // skip container attributes and visibility
+    let body = skip_attrs_and_vis(&tokens);
+    // reject #[serde(...)] anywhere in the raw input, up front
+    for w in tokens.windows(2) {
+        if let (TokenTree::Punct(p), TokenTree::Group(g)) = (&w[0], &w[1]) {
+            if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde")
+                {
+                    return Err(format!(
+                        "derive({trait_name}): #[serde(...)] attributes are not supported by the vendored serde_derive"
+                    ));
+                }
+            }
+        }
+    }
+    let kind = match body.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err(format!("derive({trait_name}): expected `struct` or `enum`")),
+    };
+    i += 1;
+    let name = match body.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err(format!("derive({trait_name}): expected type name")),
+    };
+    i += 1;
+    if matches!(body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive({trait_name}) on `{name}`: generic types are not supported by the vendored serde_derive"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut fields = Vec::new();
+                for chunk in split_top_level_commas(&inner) {
+                    let chunk = skip_attrs_and_vis(&chunk);
+                    match chunk.first() {
+                        Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+                        _ => {
+                            return Err(format!(
+                                "derive({trait_name}) on `{name}`: unsupported field syntax"
+                            ))
+                        }
+                    }
+                }
+                Ok(Input::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let arity = split_top_level_commas(&inner).len();
+                Ok(Input::TupleStruct { name, arity })
+            }
+            _ => Err(format!(
+                "derive({trait_name}) on `{name}`: unsupported struct body"
+            )),
+        },
+        "enum" => match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut variants = Vec::new();
+                for chunk in split_top_level_commas(&inner) {
+                    let chunk = skip_attrs_and_vis(&chunk);
+                    match (chunk.first(), chunk.get(1)) {
+                        (Some(TokenTree::Ident(id)), rest) => {
+                            if matches!(rest, Some(TokenTree::Group(_))) {
+                                return Err(format!(
+                                    "derive({trait_name}) on `{name}`: enum variants with data are not supported by the vendored serde_derive"
+                                ));
+                            }
+                            variants.push(id.to_string());
+                        }
+                        _ => {
+                            return Err(format!(
+                                "derive({trait_name}) on `{name}`: unsupported variant syntax"
+                            ))
+                        }
+                    }
+                }
+                Ok(Input::UnitEnum { name, variants })
+            }
+            _ => Err(format!(
+                "derive({trait_name}) on `{name}`: unsupported enum body"
+            )),
+        },
+        other => Err(format!(
+            "derive({trait_name}): unsupported item kind `{other}`"
+        )),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input, "Serialize") {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match parsed {
+        Input::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::serde::Value::Str({f:?}.to_string()), ::serde::Serialize::serialize(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::serialize(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Input::TupleStruct { name, arity } => {
+            let entries: String = (0..arity)
+                .map(|k| format!("::serde::Serialize::serialize(&self.{k}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input, "Deserialize") {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match parsed {
+        Input::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(::serde::map_field(map, {f:?}, {name:?})?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let map = v.as_map({name:?})?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Input::TupleStruct { name, arity } => {
+            let inits: String = (0..arity)
+                .map(|k| {
+                    format!("::serde::Deserialize::deserialize(::serde::seq_item(seq, {k}, {name:?})?)?,")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let seq = v.as_seq_len({arity}, {name:?})?;\n\
+                         ::std::result::Result::Ok({name}({inits}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let s = v.as_str({name:?})?;\n\
+                         match s {{\n\
+                             {arms}\n\
+                             other => ::std::result::Result::Err(::serde::DeError::new(format!(\n\
+                                 \"unknown {name} variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated impl parses")
+}
