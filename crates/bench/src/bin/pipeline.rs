@@ -1,0 +1,241 @@
+//! **BENCH_pipeline** — end-to-end pipeline benchmark with solver
+//! telemetry, the smoke artifact CI uploads on every push.
+//!
+//! Runs the full partition → select → solve → combine pipeline on seeded
+//! traces (four tiny clusters at the default `small` scale — fast enough
+//! for a CI smoke job and comfortably inside the solver deadline — or the
+//! T-clusters at `full`), once with the default heuristic selector and
+//! once forcing column generation (so the CG counters are exercised even
+//! where the heuristic would route everything to MIP), then emits
+//! `BENCH_pipeline.json`: per-stage latency percentiles (p50/p95 from the
+//! `rasa-obs` histograms) plus every solver counter (simplex pivots,
+//! branch-and-bound nodes, CG pricing rounds, guard status tallies).
+//!
+//! Environment:
+//!
+//! * `RASA_BENCH_OUT` — artifact path (default `BENCH_pipeline.json`);
+//! * `RASA_BENCH_STRICT` — unset or `1`: exit nonzero when any subproblem
+//!   reports a degraded [`SolveStatus`] or a hot-path counter (simplex
+//!   pivots, B&B nodes, CG rounds) stayed at zero; `0`: report only;
+//! * `RASA_SCALE` / `RASA_TIMEOUT_SECS` — as for every rasa-bench binary.
+
+use rasa_bench::{print_table, scale, timeout, Scale};
+use rasa_core::{Deadline, RasaConfig, RasaPipeline, SelectorChoice, SolveStatus};
+use rasa_trace::{generate, t_clusters, tiny_cluster};
+use serde::{Deserialize, Serialize};
+
+/// One pipeline run on one trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct RunRecord {
+    trace: String,
+    selector: String,
+    services: usize,
+    machines: usize,
+    subproblems: usize,
+    normalized_gained_affinity: f64,
+    elapsed_secs: f64,
+    degraded: bool,
+    /// `SolveStatus` tallies for this run, e.g. `[["ok", 7]]`.
+    statuses: Vec<(String, u64)>,
+}
+
+/// p50/p95 for one obs histogram, in milliseconds.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct StageLatency {
+    stage: String,
+    count: u64,
+    p50_ms: f64,
+    p95_ms: f64,
+    mean_ms: f64,
+}
+
+/// The full artifact.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct BenchArtifact {
+    scale: String,
+    timeout_secs: f64,
+    runs: Vec<RunRecord>,
+    stages: Vec<StageLatency>,
+    counters: Vec<(String, u64)>,
+}
+
+fn status_key(s: SolveStatus) -> &'static str {
+    match s {
+        SolveStatus::Ok => "ok",
+        SolveStatus::DeadlineExpired => "deadline_expired",
+        SolveStatus::Panicked => "panicked",
+        SolveStatus::Infeasible => "infeasible",
+        SolveStatus::FellBackTo(_) => "fell_back",
+    }
+}
+
+fn main() {
+    let obs = rasa_obs::global();
+    obs.reset();
+
+    let strict = std::env::var("RASA_BENCH_STRICT").as_deref() != Ok("0");
+    let out_path =
+        std::env::var("RASA_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
+    let budget = timeout();
+
+    let specs = match scale() {
+        Scale::Full => t_clusters(7),
+        Scale::Small => (1..=4u64)
+            .map(|seed| {
+                let mut spec = tiny_cluster(seed);
+                spec.name = format!("tiny-{seed}");
+                spec
+            })
+            .collect(),
+    };
+    let traces: Vec<_> = specs
+        .into_iter()
+        .map(|spec| (spec.name.clone(), generate(&spec)))
+        .collect();
+
+    let selectors = [
+        ("heuristic", SelectorChoice::Heuristic),
+        ("always-cg", SelectorChoice::AlwaysCg),
+    ];
+
+    let mut runs = Vec::new();
+    for (name, problem) in &traces {
+        for (sel_name, sel) in &selectors {
+            let pipeline = RasaPipeline::new(RasaConfig {
+                selector: sel.clone(),
+                ..Default::default()
+            });
+            let run = pipeline.optimize(problem, None, Deadline::after(budget));
+            let mut statuses: Vec<(String, u64)> = Vec::new();
+            for report in &run.subproblems {
+                let key = status_key(report.status);
+                match statuses.iter_mut().find(|(k, _)| k == key) {
+                    Some((_, n)) => *n += 1,
+                    None => statuses.push((key.to_string(), 1)),
+                }
+            }
+            runs.push(RunRecord {
+                trace: name.clone(),
+                selector: sel_name.to_string(),
+                services: problem.num_services(),
+                machines: problem.num_machines(),
+                subproblems: run.subproblems.len(),
+                normalized_gained_affinity: run.outcome.normalized_gained_affinity,
+                elapsed_secs: run.outcome.elapsed.as_secs_f64(),
+                degraded: run.is_degraded(),
+                statuses,
+            });
+        }
+    }
+
+    let snapshot = obs.snapshot();
+    let stages: Vec<StageLatency> = [
+        "pipeline.partition_seconds",
+        "pipeline.solve_seconds",
+        "pipeline.combine_seconds",
+        "pipeline.complete_seconds",
+        "guard.subproblem_seconds",
+        "cg.solve_seconds",
+    ]
+    .iter()
+    .filter_map(|name| {
+        snapshot.histogram(name).map(|h| StageLatency {
+            stage: name.to_string(),
+            count: h.count,
+            p50_ms: h.quantile(0.5) * 1e3,
+            p95_ms: h.quantile(0.95) * 1e3,
+            mean_ms: h.mean() * 1e3,
+        })
+    })
+    .collect();
+
+    let artifact = BenchArtifact {
+        scale: match scale() {
+            Scale::Small => "small".into(),
+            Scale::Full => "full".into(),
+        },
+        timeout_secs: budget.as_secs_f64(),
+        runs,
+        stages,
+        counters: snapshot.counters.clone(),
+    };
+
+    println!("BENCH_pipeline — {} traces × {} selectors\n", traces.len(), selectors.len());
+    print_table(
+        &["trace", "selector", "subs", "affinity", "elapsed", "degraded"],
+        &artifact
+            .runs
+            .iter()
+            .map(|r| {
+                vec![
+                    r.trace.clone(),
+                    r.selector.clone(),
+                    r.subproblems.to_string(),
+                    format!("{:.3}", r.normalized_gained_affinity),
+                    format!("{:.2}s", r.elapsed_secs),
+                    r.degraded.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!();
+    print_table(
+        &["stage", "count", "p50 ms", "p95 ms", "mean ms"],
+        &artifact
+            .stages
+            .iter()
+            .map(|s| {
+                vec![
+                    s.stage.clone(),
+                    s.count.to_string(),
+                    format!("{:.2}", s.p50_ms),
+                    format!("{:.2}", s.p95_ms),
+                    format!("{:.2}", s.mean_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!();
+    for (name, v) in &artifact.counters {
+        println!("{name:>32}  {v}");
+    }
+
+    match serde_json::to_string_pretty(&artifact) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&out_path, json) {
+                eprintln!("failed to write {out_path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("\n[artifact] {out_path}");
+        }
+        Err(e) => {
+            eprintln!("failed to serialize artifact: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if strict {
+        let mut failures = Vec::new();
+        for r in &artifact.runs {
+            if r.degraded {
+                failures.push(format!(
+                    "run {}/{} degraded: {:?}",
+                    r.trace, r.selector, r.statuses
+                ));
+            }
+        }
+        for counter in ["simplex.pivots", "bnb.nodes", "cg.rounds"] {
+            if snapshot.counter(counter) == 0 {
+                failures.push(format!("hot-path counter {counter} stayed at zero"));
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!("\nSTRICT MODE FAILURES:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(2);
+        }
+        eprintln!("strict checks passed: no degraded solves, all hot-path counters nonzero");
+    }
+}

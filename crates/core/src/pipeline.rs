@@ -152,14 +152,21 @@ impl RasaPipeline {
         deadline: Deadline,
     ) -> RasaRun {
         let start = Instant::now();
+        let obs = rasa_obs::global();
+        obs.inc("pipeline.runs");
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let partition: PartitionOutcome = partition_with_strategy(
-            problem,
-            current,
-            self.config.strategy,
-            &self.config.partition,
-            &mut rng,
-        );
+        let partition: PartitionOutcome = {
+            let _t = obs.span("pipeline.partition_seconds");
+            partition_with_strategy(
+                problem,
+                current,
+                self.config.strategy,
+                &self.config.partition,
+                &mut rng,
+            )
+        };
+        obs.add("pipeline.subproblems", partition.subproblems.len() as u64);
+        obs.record("pipeline.partition_loss", partition.affinity_loss);
 
         // decide the algorithm per subproblem up front (cheap)
         let choices: Vec<PoolAlgorithm> = partition
@@ -167,15 +174,25 @@ impl RasaPipeline {
             .iter()
             .map(|sub| self.config.selector.select(&sub.problem))
             .collect();
+        for &alg in &choices {
+            obs.inc(match alg {
+                PoolAlgorithm::Mip => "pipeline.alg.mip",
+                PoolAlgorithm::Cg => "pipeline.alg.cg",
+            });
+        }
 
         // solve (each subproblem behind the fault-isolation guard)
-        let solved: Vec<GuardedOutcome> = if self.config.parallel {
-            self.solve_parallel(&partition.subproblems, &choices, deadline)
-        } else {
-            self.solve_sequential(&partition.subproblems, &choices, deadline)
+        let solved: Vec<GuardedOutcome> = {
+            let _t = obs.span("pipeline.solve_seconds");
+            if self.config.parallel {
+                self.solve_parallel(&partition.subproblems, &choices, deadline)
+            } else {
+                self.solve_sequential(&partition.subproblems, &choices, deadline)
+            }
         };
 
         // combine
+        let _t_combine = obs.span("pipeline.combine_seconds");
         let mut placement = Placement::empty_for(problem);
         let mut reports = Vec::with_capacity(solved.len());
         for ((sub, guarded), &alg) in partition.subproblems.iter().zip(&solved).zip(&choices) {
@@ -194,8 +211,10 @@ impl RasaPipeline {
                 error: guarded.error.clone(),
             });
         }
+        drop(_t_combine);
 
         if self.config.complete {
+            let _t = obs.span("pipeline.complete_seconds");
             complete_placement(problem, &mut placement);
         }
         let completed = reports.iter().all(|r| r.completed);
@@ -278,6 +297,33 @@ impl RasaPipeline {
         }
     }
 
+    /// The parallel counterpart of [`Self::slice_deadline`], giving both
+    /// paths the same fairness guarantee: no subproblem may consume budget
+    /// that later queue entries still need. Workers pull indices from a
+    /// shared queue, so when subproblem `index` starts, the `total - index`
+    /// entries not yet started will run in about
+    /// `ceil((total - index) / threads)` more waves across the pool; this
+    /// slot's slice is the live remaining budget divided by that wave
+    /// count. With one thread this reduces exactly to the sequential
+    /// formula, and like it, re-measuring the live remaining budget means
+    /// an overrunning early wave shrinks the later slices instead of
+    /// pushing the run past the global deadline.
+    fn parallel_slice_deadline(
+        deadline: Deadline,
+        index: usize,
+        total: usize,
+        threads: usize,
+    ) -> Deadline {
+        let waves = total
+            .saturating_sub(index)
+            .div_ceil(threads.max(1))
+            .max(1);
+        match deadline.remaining() {
+            Some(rem) => deadline.min_with(rem / waves as u32),
+            None => Deadline::none(),
+        }
+    }
+
     fn solve_sequential(
         &self,
         subs: &[Subproblem],
@@ -326,7 +372,13 @@ impl RasaPipeline {
                     if i >= subs.len() {
                         break;
                     }
-                    slots[i].set(self.solve_one(i, &subs[i], choices[i], deadline));
+                    // slice the global budget by queue position, exactly as
+                    // the sequential path does — handing every worker the
+                    // full deadline let one slow subproblem starve the rest
+                    // of the queue
+                    let slice =
+                        Self::parallel_slice_deadline(deadline, i, subs.len(), threads);
+                    slots[i].set(self.solve_one(i, &subs[i], choices[i], slice));
                 });
             }
         });
@@ -334,8 +386,10 @@ impl RasaPipeline {
             .into_iter()
             .enumerate()
             .map(|(i, s)| {
-                s.take()
-                    .unwrap_or_else(|| GuardedOutcome::lost_slot(i, &subs[i].problem))
+                s.take().unwrap_or_else(|| {
+                    rasa_obs::global().inc("pipeline.lost_slots");
+                    GuardedOutcome::lost_slot(i, &subs[i].problem)
+                })
             })
             .collect()
     }
@@ -506,6 +560,82 @@ mod tests {
         assert!(RasaPipeline::slice_deadline(spent, 3).expired());
         // zero remaining subproblems must not divide by zero
         assert!(!RasaPipeline::slice_deadline(Deadline::none(), 0).expired());
+    }
+
+    #[test]
+    fn parallel_slice_gives_the_sequential_fairness_guarantee() {
+        use std::time::Duration;
+        let tol = Duration::from_millis(5);
+        // unlimited budget stays unlimited
+        assert!(
+            RasaPipeline::parallel_slice_deadline(Deadline::none(), 0, 8, 4)
+                .remaining()
+                .is_none()
+        );
+        let budget = Duration::from_millis(400);
+        // with one worker the parallel formula reduces exactly to the
+        // sequential one: index i of n gets remaining / (n - i)
+        for (i, n) in [(0usize, 4usize), (1, 4), (3, 4)] {
+            let par = RasaPipeline::parallel_slice_deadline(Deadline::after(budget), i, n, 1)
+                .remaining()
+                .expect("finite");
+            let seq = RasaPipeline::slice_deadline(Deadline::after(budget), n - i)
+                .remaining()
+                .expect("finite");
+            let diff = if par > seq { par - seq } else { seq - par };
+            assert!(diff <= tol, "i={i}: par={par:?} seq={seq:?}");
+        }
+        // a first-wave slot must NOT receive the full global budget while
+        // later waves still need it (the historical bug handed every worker
+        // the whole deadline): 8 subs on 2 threads = 4 waves → 1/4 each
+        let first = RasaPipeline::parallel_slice_deadline(Deadline::after(budget), 0, 8, 2)
+            .remaining()
+            .expect("finite");
+        assert!(first <= budget / 4 + tol, "first-wave slice {first:?}");
+        // the final wave gets the whole live remainder, not 1/8 of it
+        let last = RasaPipeline::parallel_slice_deadline(Deadline::after(budget), 7, 8, 2)
+            .remaining()
+            .expect("finite");
+        assert!(last > budget / 2, "last-wave slice {last:?}");
+        // consumed budget stays consumed for later slots
+        assert!(
+            RasaPipeline::parallel_slice_deadline(Deadline::after(Duration::ZERO), 0, 3, 2)
+                .expired()
+        );
+    }
+
+    #[test]
+    fn expired_global_deadline_degrades_all_subproblems_on_both_paths() {
+        use std::time::Duration;
+        // two disjoint affinity pairs → two subproblems; with the budget
+        // already gone, BOTH paths must report every subproblem starved
+        // (before the fix the parallel path handed workers the unexpired
+        // remainder of whatever deadline state they observed)
+        let mut b = ProblemBuilder::new();
+        let s0 = b.add_service("a", 1, ResourceVec::cpu_mem(1.0, 1.0));
+        let s1 = b.add_service("b", 1, ResourceVec::cpu_mem(1.0, 1.0));
+        let s2 = b.add_service("c", 1, ResourceVec::cpu_mem(1.0, 1.0));
+        let s3 = b.add_service("d", 1, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_machines(4, ResourceVec::cpu_mem(4.0, 4.0), FeatureMask::EMPTY);
+        b.add_affinity(s0, s1, 2.0);
+        b.add_affinity(s2, s3, 2.0);
+        let p = b.build().unwrap();
+        for parallel in [false, true] {
+            let run = RasaPipeline::new(RasaConfig {
+                parallel,
+                ..Default::default()
+            })
+            .optimize(&p, None, Deadline::after(Duration::ZERO));
+            assert!(!run.subproblems.is_empty());
+            for (i, r) in run.subproblems.iter().enumerate() {
+                assert_eq!(
+                    r.status,
+                    SolveStatus::DeadlineExpired,
+                    "parallel={parallel} subproblem={i}"
+                );
+            }
+            assert!(validate(&p, &run.outcome.placement, true).is_empty());
+        }
     }
 
     #[test]

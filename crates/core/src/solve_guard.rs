@@ -184,7 +184,47 @@ fn completion_outcome(problem: &Problem, start: Instant) -> ScheduleOutcome {
 /// or infeasible output. `index` identifies the subproblem in error
 /// reports. The returned placement always passes
 /// [`validate`](rasa_model::validate) (ignoring SLA completeness).
+///
+/// Each guarded solve flushes telemetry into the global [`rasa_obs`]
+/// registry: a `guard.status.*` tally, the per-subproblem wall time
+/// (`guard.subproblem_seconds`), and how far down the fallback ladder the
+/// result came from (`guard.ladder_depth`: 0 = primary, `k` = k-th
+/// fallback, `fallbacks.len() + 1` = greedy completion floor).
 pub fn guarded_schedule(
+    index: usize,
+    primary: (PoolAlgorithm, &dyn Scheduler),
+    fallbacks: &[(PoolAlgorithm, &dyn Scheduler)],
+    problem: &Problem,
+    deadline: Deadline,
+) -> GuardedOutcome {
+    let start = Instant::now();
+    let g = guarded_schedule_impl(index, primary, fallbacks, problem, deadline);
+    let obs = rasa_obs::global();
+    if obs.enabled() {
+        obs.inc(match g.status {
+            SolveStatus::Ok => "guard.status.ok",
+            SolveStatus::DeadlineExpired => "guard.status.deadline_expired",
+            SolveStatus::Panicked => "guard.status.panicked",
+            SolveStatus::Infeasible => "guard.status.infeasible",
+            SolveStatus::FellBackTo(_) => "guard.status.fell_back",
+        });
+        let depth = match g.status {
+            // deadline exits keep the primary's (or completion's) result
+            // without walking the ladder; count them at the primary rung
+            SolveStatus::Ok | SolveStatus::DeadlineExpired => 0,
+            SolveStatus::FellBackTo(alg) => fallbacks
+                .iter()
+                .position(|&(a, _)| a == alg)
+                .map_or(1, |p| p + 1),
+            SolveStatus::Panicked | SolveStatus::Infeasible => fallbacks.len() + 1,
+        };
+        obs.record("guard.ladder_depth", depth as f64);
+        obs.record_duration("guard.subproblem_seconds", start.elapsed());
+    }
+    g
+}
+
+fn guarded_schedule_impl(
     index: usize,
     primary: (PoolAlgorithm, &dyn Scheduler),
     fallbacks: &[(PoolAlgorithm, &dyn Scheduler)],

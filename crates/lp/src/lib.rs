@@ -43,5 +43,5 @@ pub mod time;
 
 pub use model::{LpModel, RowSense, VarId};
 pub use simplex::SimplexOptions;
-pub use solution::{LpSolution, LpStatus};
+pub use solution::{LpSolution, LpStatus, SimplexStats};
 pub use time::Deadline;

@@ -25,7 +25,7 @@
 #![allow(clippy::needless_range_loop)] // dense index arithmetic over parallel arrays
 
 use crate::model::{LpModel, RowSense};
-use crate::solution::{LpSolution, LpStatus};
+use crate::solution::{LpSolution, LpStatus, SimplexStats};
 use crate::time::Deadline;
 
 /// Tunable knobs for [`solve_simplex`].
@@ -86,6 +86,7 @@ struct State {
     pivots_since_refactor: usize,
     use_bland: bool,
     stall: usize,
+    stats: SimplexStats,
 }
 
 impl Tableau {
@@ -175,6 +176,7 @@ fn refactorize(tab: &Tableau, state: &mut State) -> bool {
     }
     state.binv = inv;
     state.pivots_since_refactor = 0;
+    state.stats.refactorizations += 1;
     true
 }
 
@@ -349,6 +351,7 @@ fn run_phase(
         match leave {
             None => {
                 // bound flip: q jumps to its other bound, basis unchanged
+                state.stats.bound_flips += 1;
                 state.at_upper[q] = !state.at_upper[q];
                 // snap exactly onto the bound to avoid drift
                 state.x[q] = if state.at_upper[q] {
@@ -358,6 +361,7 @@ fn run_phase(
                 };
             }
             Some((r, to_upper)) => {
+                state.stats.pivots += 1;
                 let leaving = state.basis[r];
                 // snap the leaving variable onto the bound it reached
                 state.x[leaving] = if to_upper {
@@ -413,12 +417,17 @@ fn run_phase(
                 .map(|j| cost[j] * state.x[j])
                 .sum::<f64>();
         if obj > last_obj + options.opt_tol {
+            // progress resets the stall counter but NOT `use_bland`: the
+            // switch to Bland's rule is permanent for the rest of the solve.
+            // Degenerate LPs alternate improving and stalled stretches, and
+            // re-arming Dantzig pricing after one improving step restores
+            // exactly the cycling risk the switch exists to prevent.
             state.stall = 0;
-            state.use_bland = false;
         } else {
             state.stall += 1;
-            if state.stall >= options.degenerate_stall {
+            if state.stall >= options.degenerate_stall && !state.use_bland {
                 state.use_bland = true;
+                state.stats.bland_activations += 1;
             }
         }
         last_obj = obj;
@@ -436,7 +445,26 @@ fn run_phase(
 pub const MAX_DENSE_ROWS: usize = 12_000;
 
 /// Solve `model` (maximization) with the given options and deadline.
+///
+/// Per-solve counters come back in [`LpSolution::stats`] (deterministic,
+/// for tests) and are also flushed into the global [`rasa_obs`] registry
+/// under `simplex.*` (aggregate telemetry).
 pub fn solve_simplex(model: &LpModel, options: &SimplexOptions, deadline: Deadline) -> LpSolution {
+    let sol = solve_simplex_impl(model, options, deadline);
+    let obs = rasa_obs::global();
+    if obs.enabled() {
+        obs.add("simplex.solves", 1);
+        obs.add("simplex.pivots", sol.stats.pivots as u64);
+        obs.add("simplex.bound_flips", sol.stats.bound_flips as u64);
+        obs.add("simplex.refactorizations", sol.stats.refactorizations as u64);
+        obs.add("simplex.bland_activations", sol.stats.bland_activations as u64);
+        obs.add("simplex.phase1_iterations", sol.stats.phase1_iterations as u64);
+        obs.add("simplex.phase2_iterations", sol.stats.phase2_iterations as u64);
+    }
+    sol
+}
+
+fn solve_simplex_impl(model: &LpModel, options: &SimplexOptions, deadline: Deadline) -> LpSolution {
     let n = model.num_vars();
     let m = model.num_rows();
 
@@ -463,6 +491,7 @@ pub fn solve_simplex(model: &LpModel, options: &SimplexOptions, deadline: Deadli
                         duals: vec![],
                         feasible: true,
                         iterations: 0,
+                        stats: SimplexStats::default(),
                     };
                 }
             } else if c < 0.0 {
@@ -476,6 +505,7 @@ pub fn solve_simplex(model: &LpModel, options: &SimplexOptions, deadline: Deadli
                         duals: vec![],
                         feasible: true,
                         iterations: 0,
+                        stats: SimplexStats::default(),
                     };
                 }
             } else if l.is_finite() {
@@ -494,6 +524,7 @@ pub fn solve_simplex(model: &LpModel, options: &SimplexOptions, deadline: Deadli
             duals: vec![],
             feasible: true,
             iterations: 0,
+            stats: SimplexStats::default(),
         };
     }
 
@@ -608,6 +639,7 @@ pub fn solve_simplex(model: &LpModel, options: &SimplexOptions, deadline: Deadli
         pivots_since_refactor: 0,
         use_bland: false,
         stall: 0,
+        stats: SimplexStats::default(),
     };
 
     // ---- phase 1 ----
@@ -626,19 +658,25 @@ pub fn solve_simplex(model: &LpModel, options: &SimplexOptions, deadline: Deadli
             options.max_iterations,
         );
         let infeasibility: f64 = (total - n_art..total).map(|j| state.x[j]).sum();
+        state.stats.phase1_iterations = state.iterations;
         match outcome {
             PhaseOutcome::Done => {
                 if infeasibility > 1e-6 {
-                    return LpSolution::infeasible(n, m, state.iterations);
+                    let mut sol = LpSolution::infeasible(n, m, state.iterations);
+                    sol.stats = state.stats;
+                    return sol;
                 }
             }
             PhaseOutcome::Unbounded => {
                 // cannot happen: phase-1 objective is bounded above by 0
-                return LpSolution::infeasible(n, m, state.iterations);
+                let mut sol = LpSolution::infeasible(n, m, state.iterations);
+                sol.stats = state.stats;
+                return sol;
             }
             PhaseOutcome::IterationLimit => {
                 let mut sol = LpSolution::infeasible(n, m, state.iterations);
                 sol.status = LpStatus::IterationLimit;
+                sol.stats = state.stats;
                 return sol;
             }
         }
@@ -655,6 +693,7 @@ pub fn solve_simplex(model: &LpModel, options: &SimplexOptions, deadline: Deadli
     cost2[..n].copy_from_slice(&model.objective);
     let budget = options.max_iterations.saturating_sub(state.iterations);
     let outcome = run_phase(&tab, &mut state, &cost2, options, deadline, budget);
+    state.stats.phase2_iterations = state.iterations - state.stats.phase1_iterations;
 
     // duals at the final basis
     let mut cb = vec![0.0f64; m];
@@ -680,5 +719,6 @@ pub fn solve_simplex(model: &LpModel, options: &SimplexOptions, deadline: Deadli
         duals,
         feasible,
         iterations: state.iterations,
+        stats: state.stats,
     }
 }

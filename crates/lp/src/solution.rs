@@ -1,5 +1,26 @@
 //! Solver results.
 
+/// Per-solve simplex telemetry, returned on every [`LpSolution`] and
+/// flushed into the global [`rasa_obs`] registry under `simplex.*`.
+/// Deterministic tests assert on this struct; the registry is best-effort
+/// aggregate telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimplexStats {
+    /// Basis-exchange pivots (excludes bound flips).
+    pub pivots: usize,
+    /// Nonbasic bound-to-bound flips.
+    pub bound_flips: usize,
+    /// From-scratch basis-inverse refactorizations.
+    pub refactorizations: usize,
+    /// Times the pricing rule switched to Bland's rule (sticky within a
+    /// solve, so at most 1 unless the solve is restarted).
+    pub bland_activations: usize,
+    /// Iterations spent driving artificials out (phase 1).
+    pub phase1_iterations: usize,
+    /// Iterations spent on the true objective (phase 2).
+    pub phase2_iterations: usize,
+}
+
 /// Termination status of a simplex run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum LpStatus {
@@ -33,6 +54,8 @@ pub struct LpSolution {
     pub feasible: bool,
     /// Simplex iterations performed (both phases).
     pub iterations: usize,
+    /// Per-solve telemetry (pivots, refactorizations, Bland activations).
+    pub stats: SimplexStats,
 }
 
 impl LpSolution {
@@ -45,6 +68,7 @@ impl LpSolution {
             duals: vec![0.0; num_rows],
             feasible: false,
             iterations,
+            stats: SimplexStats::default(),
         }
     }
 }

@@ -188,12 +188,49 @@ fn rounding_heuristic(model: &MipModel, x: &[f64], int_tol: f64) -> Option<(Vec<
     }
 }
 
+/// Counters private to one solve, flushed into the global telemetry
+/// registry by the [`solve_branch_and_bound`] wrapper.
+#[derive(Default)]
+struct BnbCounters {
+    /// Nodes discarded because the relaxation was infeasible.
+    pruned_infeasible: u64,
+    /// Nodes discarded because their relaxation bound could not beat the
+    /// incumbent.
+    pruned_bound: u64,
+    /// Times the incumbent was set or improved (heuristics and integral
+    /// nodes alike).
+    incumbent_updates: u64,
+}
+
 /// Solve `model` by branch-and-bound. See [`MipOptions`] for knobs;
 /// `deadline` makes the solve anytime (incumbent returned on expiry).
 pub fn solve_branch_and_bound(
     model: &MipModel,
     options: &MipOptions,
     deadline: Deadline,
+) -> MipSolution {
+    let mut counters = BnbCounters::default();
+    let sol = solve_bnb_impl(model, options, deadline, &mut counters);
+    let obs = rasa_obs::global();
+    if obs.enabled() {
+        obs.add("bnb.solves", 1);
+        obs.add("bnb.nodes", sol.nodes as u64);
+        obs.add("bnb.lp_iterations", sol.lp_iterations as u64);
+        obs.add("bnb.pruned_infeasible", counters.pruned_infeasible);
+        obs.add("bnb.pruned_bound", counters.pruned_bound);
+        obs.add("bnb.incumbent_updates", counters.incumbent_updates);
+        if sol.gap.is_finite() {
+            obs.record("bnb.final_gap", sol.gap);
+        }
+    }
+    sol
+}
+
+fn solve_bnb_impl(
+    model: &MipModel,
+    options: &MipOptions,
+    deadline: Deadline,
+    counters: &mut BnbCounters,
 ) -> MipSolution {
     let mut lp: LpModel = model.lp.clone();
     let mut lp_iterations = 0usize;
@@ -244,12 +281,15 @@ pub fn solve_branch_and_bound(
             };
         }
         LpStatus::Unbounded => {
+            // objective and bound agree at +inf — nothing left to prove,
+            // so the gap is 0 (same convention as the infeasible exits,
+            // where both sit at -inf).
             return MipSolution {
                 status: MipStatus::Unbounded,
                 objective: f64::INFINITY,
                 x: root.x,
                 best_bound: f64::INFINITY,
-                gap: f64::INFINITY,
+                gap: 0.0,
                 nodes: 1,
                 lp_iterations,
             };
@@ -287,11 +327,15 @@ pub fn solve_branch_and_bound(
     }
     if options.rounding_every > 0 {
         incumbent = rounding_heuristic(model, &root.x, options.int_tol);
+        if incumbent.is_some() {
+            counters.incumbent_updates += 1;
+        }
     }
     if options.dive {
         if let Some((x, obj)) = diving_heuristic(model, &lp, options, deadline) {
             if incumbent.as_ref().map_or(true, |(_, best)| obj > *best) {
                 incumbent = Some((x, obj));
+                counters.incumbent_updates += 1;
             }
         }
     }
@@ -325,19 +369,32 @@ pub fn solve_branch_and_bound(
                     lp_iterations,
                 }
             }
-            None => MipSolution {
-                status: if status == MipStatus::Optimal {
-                    MipStatus::Infeasible
-                } else {
-                    MipStatus::NoSolution
-                },
-                objective: f64::NEG_INFINITY,
-                x: vec![0.0; model.num_vars()],
-                best_bound: bound,
-                gap: f64::INFINITY,
-                nodes,
-                lp_iterations,
-            },
+            None => {
+                // Exhausting the tree without an incumbent proves
+                // infeasibility: bound and objective both collapse to -inf
+                // and the gap is 0, matching the root infeasible exits.
+                // Stopping early (budget/deadline) proves nothing: the
+                // bound stays at whatever was established and the gap is
+                // infinite.
+                let proven_infeasible = status == MipStatus::Optimal;
+                MipSolution {
+                    status: if proven_infeasible {
+                        MipStatus::Infeasible
+                    } else {
+                        MipStatus::NoSolution
+                    },
+                    objective: f64::NEG_INFINITY,
+                    x: vec![0.0; model.num_vars()],
+                    best_bound: if proven_infeasible {
+                        f64::NEG_INFINITY
+                    } else {
+                        bound
+                    },
+                    gap: if proven_infeasible { 0.0 } else { f64::INFINITY },
+                    nodes,
+                    lp_iterations,
+                }
+            }
         }
     };
 
@@ -376,7 +433,10 @@ pub fn solve_branch_and_bound(
         let relax = lp.solve_with(&options.lp, deadline);
         lp_iterations += relax.iterations;
         match relax.status {
-            LpStatus::Infeasible => continue,
+            LpStatus::Infeasible => {
+                counters.pruned_infeasible += 1;
+                continue;
+            }
             LpStatus::IterationLimit => {
                 // deadline mid-node: return what we have
                 return finish(
@@ -398,6 +458,7 @@ pub fn solve_branch_and_bound(
         // prune by bound
         if let Some((_, inc_obj)) = &incumbent {
             if relax.objective <= *inc_obj + options.gap_tol {
+                counters.pruned_bound += 1;
                 continue;
             }
         }
@@ -408,6 +469,7 @@ pub fn solve_branch_and_bound(
                 let obj = relax.objective;
                 if incumbent.as_ref().map_or(true, |(_, best)| obj > *best) {
                     incumbent = Some((relax.x.clone(), obj));
+                    counters.incumbent_updates += 1;
                 }
             }
             Some(j) => {
@@ -416,6 +478,7 @@ pub fn solve_branch_and_bound(
                     if let Some((x, obj)) = rounding_heuristic(model, &relax.x, options.int_tol) {
                         if incumbent.as_ref().map_or(true, |(_, best)| obj > *best) {
                             incumbent = Some((x, obj));
+                            counters.incumbent_updates += 1;
                         }
                     }
                 }

@@ -17,6 +17,20 @@ pub enum MipStatus {
 }
 
 /// Result of a branch-and-bound run.
+///
+/// Every exit path follows one sign convention for this maximization
+/// solver:
+///
+/// | status       | `objective` | `best_bound`            | `gap`      |
+/// |--------------|-------------|-------------------------|------------|
+/// | `Optimal`    | incumbent   | `>= objective`, finite  | `<= tol`   |
+/// | `Feasible`   | incumbent   | `>= objective`          | finite     |
+/// | `Infeasible` | `-inf`      | `-inf`                  | `0`        |
+/// | `Unbounded`  | `+inf`      | `+inf`                  | `0`        |
+/// | `NoSolution` | `-inf`      | best proven (may `+inf`)| `+inf`     |
+///
+/// Proven verdicts (`Infeasible`, `Unbounded`) have objective and bound
+/// agreeing, hence gap 0; `NoSolution` proves nothing, hence gap infinity.
 #[derive(Clone, Debug)]
 pub struct MipSolution {
     /// Final status.
@@ -25,9 +39,11 @@ pub struct MipSolution {
     pub objective: f64,
     /// Incumbent point (integral within tolerance).
     pub x: Vec<f64>,
-    /// Best proven upper bound on the optimum.
+    /// Best proven upper bound on the optimum. Never below `objective`
+    /// when an incumbent exists.
     pub best_bound: f64,
-    /// Relative optimality gap `(best_bound − objective) / max(|objective|, 1)`.
+    /// Relative optimality gap `(best_bound − objective) / max(|objective|, 1)`,
+    /// clamped to `>= 0`.
     pub gap: f64,
     /// Branch-and-bound nodes processed.
     pub nodes: usize,

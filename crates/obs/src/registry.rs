@@ -1,0 +1,234 @@
+//! The named-metric registry, the process-wide [`global()`] instance the
+//! solver crates flush into, and the scoped [`Span`] timer.
+
+use crate::metrics::{Counter, Histogram};
+use crate::snapshot::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// A thread-safe registry of named counters and histograms.
+///
+/// Metric names are dot-separated paths (`"simplex.pivots"`,
+/// `"pipeline.stage.solve_secs"`). Recording through
+/// [`add`](MetricsRegistry::add) / [`record`](MetricsRegistry::record)
+/// takes one short lock to resolve the name; hot paths that record often
+/// should hold the [`Arc`] handle from
+/// [`counter`](MetricsRegistry::counter) /
+/// [`histogram`](MetricsRegistry::histogram) and record lock-free.
+///
+/// When disabled, every recording call is a relaxed atomic load and a
+/// branch — near-zero cost, so instrumented code needs no `cfg` gates.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: AtomicBool,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An enabled, empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            enabled: AtomicBool::new(true),
+            ..Default::default()
+        }
+    }
+
+    /// A disabled registry: all recording calls are no-ops until
+    /// [`set_enabled`](MetricsRegistry::set_enabled)`(true)`.
+    pub fn disabled() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Turn recording on or off. Snapshots work either way.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Is recording on?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The counter registered under `name` (created on first use). The
+    /// handle records lock-free and ignores the enabled flag — callers on
+    /// hot paths check [`enabled`](MetricsRegistry::enabled) once.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The histogram registered under `name` (created on first use).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Add `n` to the counter `name`. No-op when disabled. Adding zero
+    /// still registers the name, so always-reported counters (e.g.
+    /// `pipeline.lost_slots`) appear in snapshots even when they never
+    /// fired.
+    pub fn add(&self, name: &str, n: u64) {
+        if self.enabled() {
+            self.counter(name).add(n);
+        }
+    }
+
+    /// Add one to the counter `name`. No-op when disabled.
+    pub fn inc(&self, name: &str) {
+        if self.enabled() {
+            self.counter(name).inc();
+        }
+    }
+
+    /// Record `v` into the histogram `name`. No-op when disabled.
+    pub fn record(&self, name: &str, v: f64) {
+        if self.enabled() {
+            self.histogram(name).record(v);
+        }
+    }
+
+    /// Record a duration (in seconds) into the histogram `name`.
+    pub fn record_duration(&self, name: &str, d: std::time::Duration) {
+        self.record(name, d.as_secs_f64());
+    }
+
+    /// A scoped timer that records its elapsed seconds into the histogram
+    /// `name` when dropped. Returns an inert span when disabled.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            target: self
+                .enabled()
+                .then(|| (self.histogram(name), Instant::now())),
+        }
+    }
+
+    /// Freeze every metric into a serializable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters: Vec<(String, u64)> = self
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Reset every metric to zero/empty (names stay registered, handles
+    /// stay valid).
+    pub fn reset(&self) {
+        for c in self
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            c.reset();
+        }
+        for h in self
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            h.reset();
+        }
+    }
+}
+
+/// Scoped timer from [`MetricsRegistry::span`]; records on drop.
+#[must_use = "a span records when dropped — bind it with `let _span = …`"]
+pub struct Span {
+    target: Option<(Arc<Histogram>, Instant)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((hist, start)) = self.target.take() {
+            hist.record_duration(start.elapsed());
+        }
+    }
+}
+
+/// The process-wide registry every solver layer flushes into. Enabled by
+/// default; `global().set_enabled(false)` silences all built-in telemetry.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_record_round_trip_through_snapshot() {
+        let reg = MetricsRegistry::new();
+        reg.add("a.count", 3);
+        reg.inc("a.count");
+        reg.record("a.secs", 0.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a.count"), 4);
+        assert_eq!(snap.histogram("a.secs").map(|h| h.count), Some(1));
+        reg.reset();
+        assert_eq!(reg.snapshot().counter("a.count"), 0);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = MetricsRegistry::disabled();
+        reg.add("x", 5);
+        reg.record("y", 1.0);
+        {
+            let _span = reg.span("z");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("x"), 0);
+        assert!(snap.histogram("y").is_none());
+        assert!(snap.histogram("z").is_none());
+        reg.set_enabled(true);
+        reg.add("x", 5);
+        assert_eq!(reg.snapshot().counter("x"), 5);
+    }
+
+    #[test]
+    fn span_records_elapsed_time() {
+        let reg = MetricsRegistry::new();
+        {
+            let _span = reg.span("timed");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = reg.snapshot();
+        let h = snap.histogram("timed").expect("span recorded");
+        assert_eq!(h.count, 1);
+        assert!(h.max >= 0.002, "max {}", h.max);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let name = "obs.registry_test.global";
+        let before = global().snapshot().counter(name);
+        global().add(name, 2);
+        assert!(global().snapshot().counter(name) >= before + 2);
+    }
+}

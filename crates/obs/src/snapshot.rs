@@ -1,0 +1,148 @@
+//! Frozen, serializable metric state: what `rasa-bench` writes into
+//! `BENCH_pipeline.json` and what tests assert on.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram frozen at snapshot time. `buckets` holds only the non-empty
+/// buckets as `(upper_bound, count)` pairs, upper bounds ascending — the
+/// layout is stable across runs so artifacts diff cleanly.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Non-empty `(bucket upper bound, count)` pairs, ascending.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the bucket counts:
+    /// the upper bound of the first bucket at which the cumulative count
+    /// reaches `q · count`, clamped into `[min, max]`. Exact to within one
+    /// log₂ bucket, which is plenty for p50/p95 latency reporting.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(upper, c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Everything a [`MetricsRegistry`](crate::MetricsRegistry) held at
+/// snapshot time, name-sorted for stable JSON output.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter, name-ascending.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, histogram)` per histogram, name-ascending.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The histogram `name`, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Counters whose name starts with `prefix`.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .iter()
+            .filter(move |(n, _)| n.starts_with(prefix))
+            .map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parse a snapshot back from [`to_json`](MetricsSnapshot::to_json)
+    /// output.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(values: &[f64]) -> HistogramSnapshot {
+        let h = crate::Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h.snapshot()
+    }
+
+    #[test]
+    fn quantile_tracks_distribution_within_a_bucket() {
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        let h = hist(&values);
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        // log2 buckets: p50 within a factor of 2 of the true median 50
+        assert!((32.0..=128.0).contains(&p50), "p50 {p50}");
+        assert!(p95 >= p50, "p95 {p95} < p50 {p50}");
+        assert!(p95 <= 100.0, "clamped to max");
+        assert!(h.quantile(0.0) >= h.min);
+    }
+
+    #[test]
+    fn quantile_of_empty_and_singleton() {
+        assert_eq!(hist(&[]).quantile(0.5), 0.0);
+        let one = hist(&[3.5]);
+        assert_eq!(one.quantile(0.5), 3.5);
+        assert_eq!(one.quantile(0.99), 3.5);
+    }
+
+    #[test]
+    fn prefix_and_lookup_helpers() {
+        let reg = crate::MetricsRegistry::new();
+        reg.add("cg.rounds", 4);
+        reg.add("cg.patterns", 9);
+        reg.add("bnb.nodes", 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("cg.rounds"), 4);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.counters_with_prefix("cg.").count(), 2);
+        assert!(snap.histogram("none").is_none());
+    }
+}

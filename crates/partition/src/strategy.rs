@@ -49,6 +49,29 @@ pub fn partition_with_strategy<R: Rng>(
     config: &PartitionConfig,
     rng: &mut R,
 ) -> PartitionOutcome {
+    let outcome = partition_with_strategy_impl(problem, current, strategy, config, rng);
+    let obs = rasa_obs::global();
+    if obs.enabled() {
+        obs.add("partition.runs", 1);
+        obs.add("partition.subproblems", outcome.subproblems.len() as u64);
+        obs.add("partition.trivial_services", outcome.trivial_services.len() as u64);
+        obs.add("partition.stage1_non_affinity", outcome.stats.non_affinity as u64);
+        obs.add("partition.stage2_masters", outcome.stats.masters as u64);
+        obs.add("partition.stage3_compat_blocks", outcome.stats.compat_blocks as u64);
+        obs.add("partition.stage4_final_sets", outcome.stats.final_sets as u64);
+        obs.record("partition.cut_weight", outcome.affinity_loss);
+        obs.record("partition.elapsed_seconds", outcome.stats.elapsed_secs);
+    }
+    outcome
+}
+
+fn partition_with_strategy_impl<R: Rng>(
+    problem: &Problem,
+    current: Option<&Placement>,
+    strategy: PartitionStrategy,
+    config: &PartitionConfig,
+    rng: &mut R,
+) -> PartitionOutcome {
     match strategy {
         PartitionStrategy::MultiStage => multi_stage_partition(problem, current, config, rng),
         PartitionStrategy::NoPartition => {

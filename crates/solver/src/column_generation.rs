@@ -198,6 +198,15 @@ impl ColumnGeneration {
             complete_placement(problem, &mut placement);
         }
         let outcome = ScheduleOutcome::evaluate(problem, placement, start.elapsed(), converged);
+        let obs = rasa_obs::global();
+        if obs.enabled() {
+            obs.add("cg.solves", 1);
+            obs.add("cg.rounds", stats.rounds as u64);
+            obs.add("cg.master_solves", stats.master_solves as u64);
+            obs.add("cg.pricing_solves", stats.pricing_solves as u64);
+            obs.add("cg.patterns", stats.patterns as u64);
+            obs.record_duration("cg.solve_seconds", outcome.elapsed);
+        }
         (outcome, stats)
     }
 
