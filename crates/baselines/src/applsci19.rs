@@ -1,4 +1,4 @@
-//! APPLSCI19 (Hu et al., Applied Sciences 2019 [46], extended): min-weight
+//! APPLSCI19 (Hu et al., Applied Sciences 2019 \[46\], extended): min-weight
 //! graph partitioning followed by heuristic packing.
 //!
 //! The original targets microservice placement with **one machine size**:

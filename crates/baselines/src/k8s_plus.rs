@@ -1,4 +1,4 @@
-//! K8s+: the online Kubernetes-style scheduler of [14] — per-container
+//! K8s+: the online Kubernetes-style scheduler of \[14\] — per-container
 //! *filter* (predicates) then *score* (priorities), where the scoring
 //! function includes a service-affinity term (Section V-A).
 

@@ -7,15 +7,15 @@
 //!
 //! * [`Original`] — ByteDance's pre-RASA production scheduler: first-fit
 //!   with Kubernetes-style filtering, no affinity awareness.
-//! * [`K8sPlus`] — the online filter-and-score scheduler of [14] with an
+//! * [`K8sPlus`] — the online filter-and-score scheduler of \[14\] with an
 //!   affinity-aware scoring function.
-//! * [`Pop`] — POP (SOSP'21 [23]): random client-granular partitioning
+//! * [`Pop`] — POP (SOSP'21 \[23\]): random client-granular partitioning
 //!   into `k` subproblems, each solved with an off-the-shelf solver; here
 //!   each part runs our MIP-based algorithm on a slice of the deadline.
 //!   As the paper notes, RASA's coupled services make the problem
 //!   non-granular, so random partitioning loses the affinity crossing
 //!   part boundaries.
-//! * [`Applsci19`] — the extended offline heuristic of [46]: min-weight
+//! * [`Applsci19`] — the extended offline heuristic of \[46\]: min-weight
 //!   graph partitioning followed by heuristic packing that assumes a
 //!   single machine size — the assumption that degrades it on
 //!   heterogeneous pools (Section V-D).

@@ -1,4 +1,4 @@
-//! POP (Narayanan et al., SOSP'21 [23]): partition a large allocation
+//! POP (Narayanan et al., SOSP'21 \[23\]): partition a large allocation
 //! problem into `k` random subproblems, solve each with a solver, and union
 //! the results. Designed for *granular* problems; RASA's affinity couples
 //! services, so the random split loses cross-part affinity — exactly the

@@ -11,20 +11,42 @@
 //! `rasa-obs` histograms) plus every solver counter (simplex pivots,
 //! branch-and-bound nodes, CG pricing rounds, guard status tallies).
 //!
+//! Each (trace, selector) pair is optimized for `--rounds N` consecutive
+//! rounds (default 3) sharing one [`SolveCache`]: round 1 is the cold
+//! solve, later rounds warm-start from the cache, and the artifact records
+//! cold-vs-warm per-round latency plus cache hit/miss/invalidation tallies.
+//!
 //! Environment:
 //!
 //! * `RASA_BENCH_OUT` — artifact path (default `BENCH_pipeline.json`);
 //! * `RASA_BENCH_STRICT` — unset or `1`: exit nonzero when any subproblem
-//!   reports a degraded [`SolveStatus`] or a hot-path counter (simplex
-//!   pivots, B&B nodes, CG rounds) stayed at zero; `0`: report only;
+//!   reports a degraded [`SolveStatus`], a hot-path counter (simplex
+//!   pivots, B&B nodes, CG rounds) stayed at zero, a warm round's
+//!   objective drifts from its cold round, or the warm p50 latency exceeds
+//!   0.7× the cold p50; `0`: report only;
+//! * `RASA_BENCH_ROUNDS` — rounds per (trace, selector); the `--rounds N`
+//!   CLI flag takes precedence; default 3, minimum 1;
 //! * `RASA_SCALE` / `RASA_TIMEOUT_SECS` — as for every rasa-bench binary.
 
 use rasa_bench::{print_table, scale, timeout, Scale};
-use rasa_core::{Deadline, RasaConfig, RasaPipeline, SelectorChoice, SolveStatus};
+use rasa_core::{Deadline, RasaConfig, RasaPipeline, SelectorChoice, SolveCache, SolveStatus};
 use rasa_trace::{generate, t_clusters, tiny_cluster};
 use serde::{Deserialize, Serialize};
 
-/// One pipeline run on one trace.
+/// One warm-start round within a run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct RoundRecord {
+    /// 1-based round number; round 1 is the cold solve.
+    round: usize,
+    elapsed_secs: f64,
+    normalized_gained_affinity: f64,
+    cache_hits: usize,
+    cache_misses: usize,
+    cache_invalidations: usize,
+}
+
+/// One pipeline run on one trace. The headline fields describe the cold
+/// round; `rounds` holds the per-round warm-start trajectory.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 struct RunRecord {
     trace: String,
@@ -37,6 +59,52 @@ struct RunRecord {
     degraded: bool,
     /// `SolveStatus` tallies for this run, e.g. `[["ok", 7]]`.
     statuses: Vec<(String, u64)>,
+    /// Cold and warm rounds, in order.
+    rounds: Vec<RoundRecord>,
+}
+
+/// Cold-vs-warm latency summary across all runs (present when the bench
+/// ran more than one round).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct WarmStartSummary {
+    /// Median end-to-end latency of the cold rounds, seconds.
+    cold_p50_secs: f64,
+    /// Median end-to-end latency of the warm rounds, seconds.
+    warm_p50_secs: f64,
+    /// `cold_p50_secs / warm_p50_secs`.
+    speedup: f64,
+}
+
+/// Median of an unsorted sample.
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    }
+}
+
+/// `--rounds N` from the CLI, else `RASA_BENCH_ROUNDS`, else 3.
+fn rounds_per_run() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let from_cli = args
+        .iter()
+        .position(|a| a == "--rounds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    from_cli
+        .or_else(|| {
+            std::env::var("RASA_BENCH_ROUNDS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(3)
+        .max(1)
 }
 
 /// p50/p95 for one obs histogram, in milliseconds.
@@ -54,9 +122,13 @@ struct StageLatency {
 struct BenchArtifact {
     scale: String,
     timeout_secs: f64,
+    /// Rounds per (trace, selector) pair; round 1 is cold.
+    rounds: usize,
     runs: Vec<RunRecord>,
     stages: Vec<StageLatency>,
     counters: Vec<(String, u64)>,
+    /// Cold-vs-warm medians; `null` when only one round ran.
+    warm_start: Option<WarmStartSummary>,
 }
 
 fn status_key(s: SolveStatus) -> &'static str {
@@ -98,6 +170,7 @@ fn main() {
         ("always-cg", SelectorChoice::AlwaysCg),
     ];
 
+    let rounds = rounds_per_run();
     let mut runs = Vec::new();
     for (name, problem) in &traces {
         for (sel_name, sel) in &selectors {
@@ -105,7 +178,32 @@ fn main() {
                 selector: sel.clone(),
                 ..Default::default()
             });
-            let run = pipeline.optimize(problem, None, Deadline::after(budget));
+            // one cache per (trace, selector): round 1 fills it cold, the
+            // remaining rounds replay/warm-start from it
+            let cache = SolveCache::new();
+            let mut round_records = Vec::with_capacity(rounds);
+            let mut cold = None;
+            for round in 1..=rounds {
+                let run = pipeline.optimize_with_cache(
+                    problem,
+                    None,
+                    Deadline::after(budget),
+                    Some(&cache),
+                );
+                let stats = run.cache.unwrap_or_default();
+                round_records.push(RoundRecord {
+                    round,
+                    elapsed_secs: run.outcome.elapsed.as_secs_f64(),
+                    normalized_gained_affinity: run.outcome.normalized_gained_affinity,
+                    cache_hits: stats.hits,
+                    cache_misses: stats.misses,
+                    cache_invalidations: stats.invalidations,
+                });
+                if round == 1 {
+                    cold = Some(run);
+                }
+            }
+            let run = cold.expect("at least one round");
             let mut statuses: Vec<(String, u64)> = Vec::new();
             for report in &run.subproblems {
                 let key = status_key(report.status);
@@ -124,9 +222,30 @@ fn main() {
                 elapsed_secs: run.outcome.elapsed.as_secs_f64(),
                 degraded: run.is_degraded(),
                 statuses,
+                rounds: round_records,
             });
         }
     }
+
+    let warm_start = if rounds > 1 {
+        let cold_samples: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| r.rounds.first().map(|x| x.elapsed_secs))
+            .collect();
+        let warm_samples: Vec<f64> = runs
+            .iter()
+            .flat_map(|r| r.rounds.iter().skip(1).map(|x| x.elapsed_secs))
+            .collect();
+        let cold_p50_secs = median(cold_samples);
+        let warm_p50_secs = median(warm_samples);
+        Some(WarmStartSummary {
+            cold_p50_secs,
+            warm_p50_secs,
+            speedup: cold_p50_secs / warm_p50_secs.max(1e-12),
+        })
+    } else {
+        None
+    };
 
     let snapshot = obs.snapshot();
     let stages: Vec<StageLatency> = [
@@ -155,12 +274,19 @@ fn main() {
             Scale::Full => "full".into(),
         },
         timeout_secs: budget.as_secs_f64(),
+        rounds,
         runs,
         stages,
         counters: snapshot.counters.clone(),
+        warm_start,
     };
 
-    println!("BENCH_pipeline — {} traces × {} selectors\n", traces.len(), selectors.len());
+    println!(
+        "BENCH_pipeline — {} traces × {} selectors × {} rounds\n",
+        traces.len(),
+        selectors.len(),
+        rounds
+    );
     print_table(
         &["trace", "selector", "subs", "affinity", "elapsed", "degraded"],
         &artifact
@@ -199,6 +325,14 @@ fn main() {
     for (name, v) in &artifact.counters {
         println!("{name:>32}  {v}");
     }
+    if let Some(ws) = &artifact.warm_start {
+        println!(
+            "\nwarm-start: cold p50 {:.2} ms, warm p50 {:.2} ms ({:.1}× speedup)",
+            ws.cold_p50_secs * 1e3,
+            ws.warm_p50_secs * 1e3,
+            ws.speedup
+        );
+    }
 
     match serde_json::to_string_pretty(&artifact) {
         Ok(json) => {
@@ -227,6 +361,37 @@ fn main() {
         for counter in ["simplex.pivots", "bnb.nodes", "cg.rounds"] {
             if snapshot.counter(counter) == 0 {
                 failures.push(format!("hot-path counter {counter} stayed at zero"));
+            }
+        }
+        if artifact.rounds > 1 {
+            // warm rounds must reproduce the cold objective exactly —
+            // identical problem + deterministic partition → full replay
+            for r in &artifact.runs {
+                let cold_obj = r.rounds[0].normalized_gained_affinity;
+                for round in &r.rounds[1..] {
+                    if (round.normalized_gained_affinity - cold_obj).abs() > 1e-9 {
+                        failures.push(format!(
+                            "run {}/{} round {}: warm objective {} drifted from cold {}",
+                            r.trace,
+                            r.selector,
+                            round.round,
+                            round.normalized_gained_affinity,
+                            cold_obj
+                        ));
+                    }
+                }
+            }
+            if snapshot.counter("cache.sub_hits") == 0 {
+                failures.push("warm rounds produced no cache hits".into());
+            }
+            if let Some(ws) = &artifact.warm_start {
+                if ws.warm_p50_secs > 0.7 * ws.cold_p50_secs {
+                    failures.push(format!(
+                        "warm p50 {:.3} ms exceeds 0.7× cold p50 {:.3} ms",
+                        ws.warm_p50_secs * 1e3,
+                        ws.cold_p50_secs * 1e3
+                    ));
+                }
             }
         }
         if !failures.is_empty() {

@@ -39,12 +39,14 @@
 
 pub mod pipeline;
 pub mod selector_choice;
+pub mod solve_cache;
 pub mod solve_guard;
 pub mod training;
 
 pub use pipeline::{RasaConfig, RasaPipeline, RasaRun, SubproblemReport};
 pub use rasa_lp::Deadline;
 pub use selector_choice::SelectorChoice;
+pub use solve_cache::{CacheRoundStats, CachedSubSolve, SolveCache};
 pub use solve_guard::{
     guarded_schedule, FaultInjection, GuardedOutcome, PanickingScheduler, SolveStatus,
 };

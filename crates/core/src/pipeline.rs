@@ -8,6 +8,7 @@
 //! feasible merged placement.
 
 use crate::selector_choice::SelectorChoice;
+use crate::solve_cache::{CacheRoundStats, CachedSubSolve, SolveCache};
 use crate::solve_guard::{
     guarded_schedule, FaultInjection, GuardedOutcome, PanickingScheduler, SolveStatus,
 };
@@ -21,9 +22,10 @@ use rasa_partition::{
 };
 use rasa_select::PoolAlgorithm;
 use rasa_solver::{
-    complete_placement, CgOptions, ColumnGeneration, MipBased, MipBasedOptions, ScheduleOutcome,
-    Scheduler,
+    complete_placement, CgOptions, CgWarmStart, ColumnGeneration, MipBased, MipBasedOptions,
+    ScheduleOutcome, Scheduler,
 };
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 /// Full pipeline configuration.
@@ -97,6 +99,9 @@ pub struct SubproblemReport {
     pub status: SolveStatus,
     /// The primary failure that degraded this subproblem, if any.
     pub error: Option<RasaError>,
+    /// `true` when the result was replayed from a [`SolveCache`] instead
+    /// of being solved this round.
+    pub cache_hit: bool,
 }
 
 /// Result of one pipeline run.
@@ -110,6 +115,9 @@ pub struct RasaRun {
     pub partition_loss: f64,
     /// One report per subproblem.
     pub subproblems: Vec<SubproblemReport>,
+    /// Warm-start tallies for this round; `None` when the run was made
+    /// without a [`SolveCache`].
+    pub cache: Option<CacheRoundStats>,
 }
 
 impl RasaRun {
@@ -151,6 +159,28 @@ impl RasaPipeline {
         current: Option<&Placement>,
         deadline: Deadline,
     ) -> RasaRun {
+        self.optimize_with_cache(problem, current, deadline, None)
+    }
+
+    /// [`Self::optimize`] with a cross-round [`SolveCache`]. On each call:
+    ///
+    /// 1. subproblems whose full fingerprint matches a cached solve are
+    ///    replayed verbatim (a *hit* — no solver runs);
+    /// 2. the remaining *misses* are solved with the whole deadline budget
+    ///    sliced over misses only, and column generation seeds its master
+    ///    from the cache's column pool for the subproblem's service set;
+    /// 3. healthy results are stored back, and entries no current
+    ///    subproblem references are evicted (*invalidations*).
+    ///
+    /// Tallies land in [`RasaRun::cache`] and the `cache.*` obs counters.
+    /// Passing `None` is exactly [`Self::optimize`].
+    pub fn optimize_with_cache(
+        &self,
+        problem: &Problem,
+        current: Option<&Placement>,
+        deadline: Deadline,
+        cache: Option<&SolveCache>,
+    ) -> RasaRun {
         let start = Instant::now();
         let obs = rasa_obs::global();
         obs.inc("pipeline.runs");
@@ -181,21 +211,113 @@ impl RasaPipeline {
             });
         }
 
-        // solve (each subproblem behind the fault-isolation guard)
+        // replay cache hits, queue the misses
+        let fingerprints: Option<Vec<u64>> = cache.map(|_| {
+            partition
+                .subproblems
+                .iter()
+                .map(|sub| sub.fingerprint())
+                .collect()
+        });
+        let mut replayed: Vec<Option<GuardedOutcome>> = vec![None; partition.subproblems.len()];
+        let mut hit_algorithms: Vec<Option<PoolAlgorithm>> =
+            vec![None; partition.subproblems.len()];
+        let mut cache_stats = cache.map(|_| CacheRoundStats::default());
+        if let (Some(c), Some(fps), Some(stats)) = (cache, &fingerprints, &mut cache_stats) {
+            for (i, sub) in partition.subproblems.iter().enumerate() {
+                if let Some(hit) = c.lookup(fps[i]) {
+                    let outcome = ScheduleOutcome::evaluate(
+                        &sub.problem,
+                        hit.placement,
+                        Duration::ZERO,
+                        hit.completed,
+                    );
+                    replayed[i] = Some(GuardedOutcome {
+                        outcome,
+                        status: SolveStatus::Ok,
+                        error: None,
+                    });
+                    hit_algorithms[i] = Some(hit.algorithm);
+                    stats.hits += 1;
+                    obs.inc("cache.sub_hits");
+                } else {
+                    stats.misses += 1;
+                    obs.inc("cache.sub_misses");
+                }
+            }
+        }
+        let jobs: Vec<PendingJob<'_>> = partition
+            .subproblems
+            .iter()
+            .zip(&choices)
+            .enumerate()
+            .filter(|(i, _)| replayed[*i].is_none())
+            .map(|(i, (sub, &alg))| PendingJob {
+                index: i,
+                sub,
+                alg,
+                warm: cache.map(|c| CgWarmStart {
+                    cache: c.columns(),
+                    key: sub.service_set_fingerprint(),
+                }),
+            })
+            .collect();
+
+        // solve the misses (each behind the fault-isolation guard), with
+        // the deadline budget sliced over misses only — replayed hits are
+        // free and must not hold a share of the budget
         let solved: Vec<GuardedOutcome> = {
             let _t = obs.span("pipeline.solve_seconds");
             if self.config.parallel {
-                self.solve_parallel(&partition.subproblems, &choices, deadline)
+                self.solve_parallel(&jobs, deadline)
             } else {
-                self.solve_sequential(&partition.subproblems, &choices, deadline)
+                self.solve_sequential(&jobs, deadline)
             }
         };
 
-        // combine
+        // store healthy fresh solves back into the cache, then evict
+        // whatever this round's partition no longer references
+        if let (Some(c), Some(fps), Some(stats)) = (cache, &fingerprints, &mut cache_stats) {
+            for (job, guarded) in jobs.iter().zip(&solved) {
+                if guarded.status == SolveStatus::Ok {
+                    c.store(
+                        fps[job.index],
+                        CachedSubSolve {
+                            placement: guarded.outcome.placement.clone(),
+                            algorithm: job.alg,
+                            completed: guarded.outcome.completed,
+                        },
+                    );
+                }
+            }
+            let live_subs: HashSet<u64> = fps.iter().copied().collect();
+            let live_columns: HashSet<u64> = partition
+                .subproblems
+                .iter()
+                .map(|sub| sub.service_set_fingerprint())
+                .collect();
+            stats.invalidations = c.retain(&live_subs, &live_columns);
+            obs.add("cache.invalidations", stats.invalidations as u64);
+        }
+
+        // combine (merging hits and fresh solves back in subproblem order)
         let _t_combine = obs.span("pipeline.combine_seconds");
+        let mut fresh = solved.into_iter();
+        let merged: Vec<(GuardedOutcome, bool)> = replayed
+            .into_iter()
+            .map(|slot| match slot {
+                Some(hit) => (hit, true),
+                None => (
+                    fresh.next().expect("one solved outcome per pending job"),
+                    false,
+                ),
+            })
+            .collect();
         let mut placement = Placement::empty_for(problem);
-        let mut reports = Vec::with_capacity(solved.len());
-        for ((sub, guarded), &alg) in partition.subproblems.iter().zip(&solved).zip(&choices) {
+        let mut reports = Vec::with_capacity(merged.len());
+        for (i, (sub, (guarded, was_hit))) in
+            partition.subproblems.iter().zip(&merged).enumerate()
+        {
             placement.merge_subplacement(
                 &guarded.outcome.placement,
                 &sub.mapping.service_to_parent,
@@ -204,11 +326,12 @@ impl RasaPipeline {
             reports.push(SubproblemReport {
                 services: sub.problem.num_services(),
                 machines: sub.problem.num_machines(),
-                algorithm: alg,
+                algorithm: hit_algorithms[i].unwrap_or(choices[i]),
                 gained_affinity: guarded.outcome.gained_affinity,
                 completed: guarded.outcome.completed,
                 status: guarded.status,
                 error: guarded.error.clone(),
+                cache_hit: *was_hit,
             });
         }
         drop(_t_combine);
@@ -224,6 +347,7 @@ impl RasaPipeline {
             partition: partition.stats,
             partition_loss: partition.affinity_loss,
             subproblems: reports,
+            cache: cache_stats,
         }
     }
 
@@ -241,17 +365,14 @@ impl RasaPipeline {
         Ok((run, plan))
     }
 
-    /// Solve one subproblem behind the fault-isolation guard: the
+    /// Solve one pending subproblem behind the fault-isolation guard: the
     /// selector's choice is the primary, the other pool member is the
-    /// fallback, greedy completion is the floor.
-    fn solve_one(
-        &self,
-        index: usize,
-        sub: &Subproblem,
-        alg: PoolAlgorithm,
-        deadline: Deadline,
-    ) -> GuardedOutcome {
-        let deadline = if self.config.fault_injection.starves(index) {
+    /// fallback, greedy completion is the floor. Fault injection keys off
+    /// the subproblem's *original* partition index, not its queue position,
+    /// so chaos drills stay deterministic whether or not a cache filtered
+    /// the job list.
+    fn solve_one(&self, job: &PendingJob<'_>, deadline: Deadline) -> GuardedOutcome {
+        let deadline = if self.config.fault_injection.starves(job.index) {
             Deadline::after(Duration::ZERO)
         } else {
             deadline
@@ -261,8 +382,9 @@ impl RasaPipeline {
         };
         let cg = ColumnGeneration {
             options: self.config.cg.clone(),
+            warm: job.warm.clone(),
         };
-        let (primary, fallback_alg): (&dyn Scheduler, PoolAlgorithm) = match alg {
+        let (primary, fallback_alg): (&dyn Scheduler, PoolAlgorithm) = match job.alg {
             PoolAlgorithm::Mip => (&mip, PoolAlgorithm::Cg),
             PoolAlgorithm::Cg => (&cg, PoolAlgorithm::Mip),
         };
@@ -271,16 +393,16 @@ impl RasaPipeline {
             PoolAlgorithm::Cg => &cg,
         };
         let panicking = PanickingScheduler;
-        let primary: &dyn Scheduler = if self.config.fault_injection.panics(index) {
+        let primary: &dyn Scheduler = if self.config.fault_injection.panics(job.index) {
             &panicking
         } else {
             primary
         };
         guarded_schedule(
-            index,
-            (alg, primary),
+            job.index,
+            (job.alg, primary),
             &[(fallback_alg, fallback)],
-            &sub.problem,
+            &job.sub.problem,
             deadline,
         )
     }
@@ -324,41 +446,33 @@ impl RasaPipeline {
         }
     }
 
-    fn solve_sequential(
-        &self,
-        subs: &[Subproblem],
-        choices: &[PoolAlgorithm],
-        deadline: Deadline,
-    ) -> Vec<GuardedOutcome> {
-        let mut out = Vec::with_capacity(subs.len());
-        for (i, (sub, &alg)) in subs.iter().zip(choices).enumerate() {
-            let slice = Self::slice_deadline(deadline, subs.len() - i);
-            out.push(self.solve_one(i, sub, alg, slice));
+    fn solve_sequential(&self, jobs: &[PendingJob<'_>], deadline: Deadline) -> Vec<GuardedOutcome> {
+        let mut out = Vec::with_capacity(jobs.len());
+        for (pos, job) in jobs.iter().enumerate() {
+            // slice by queue position: the deadline budget is split over
+            // the jobs actually being solved, not the full partition
+            let slice = Self::slice_deadline(deadline, jobs.len() - pos);
+            out.push(self.solve_one(job, slice));
         }
         out
     }
 
-    fn solve_parallel(
-        &self,
-        subs: &[Subproblem],
-        choices: &[PoolAlgorithm],
-        deadline: Deadline,
-    ) -> Vec<GuardedOutcome> {
-        if subs.is_empty() {
+    fn solve_parallel(&self, jobs: &[PendingJob<'_>], deadline: Deadline) -> Vec<GuardedOutcome> {
+        if jobs.is_empty() {
             return Vec::new();
         }
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
-            .min(subs.len());
+            .min(jobs.len());
         if threads <= 1 {
             // one worker means serial execution anyway; sequential slicing
             // splits the budget fairly instead of letting the first
             // subproblem starve the rest
-            return self.solve_sequential(subs, choices, deadline);
+            return self.solve_sequential(jobs, deadline);
         }
         let slots: Vec<slot::Slot<GuardedOutcome>> =
-            (0..subs.len()).map(|_| slot::Slot::new()).collect();
+            (0..jobs.len()).map(|_| slot::Slot::new()).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         // `solve_one` catches panics internally, so a worker dying here is
         // already a second-order failure; ignore the scope error and let
@@ -368,8 +482,8 @@ impl RasaPipeline {
                 let next = &next;
                 let slots = &slots;
                 scope.spawn(move |_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= subs.len() {
+                    let pos = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if pos >= jobs.len() {
                         break;
                     }
                     // slice the global budget by queue position, exactly as
@@ -377,22 +491,37 @@ impl RasaPipeline {
                     // full deadline let one slow subproblem starve the rest
                     // of the queue
                     let slice =
-                        Self::parallel_slice_deadline(deadline, i, subs.len(), threads);
-                    slots[i].set(self.solve_one(i, &subs[i], choices[i], slice));
+                        Self::parallel_slice_deadline(deadline, pos, jobs.len(), threads);
+                    slots[pos].set(self.solve_one(&jobs[pos], slice));
                 });
             }
         });
         slots
             .into_iter()
-            .enumerate()
-            .map(|(i, s)| {
+            .zip(jobs)
+            .map(|(s, job)| {
                 s.take().unwrap_or_else(|| {
                     rasa_obs::global().inc("pipeline.lost_slots");
-                    GuardedOutcome::lost_slot(i, &subs[i].problem)
+                    GuardedOutcome::lost_slot(job.index, &job.sub.problem)
                 })
             })
             .collect()
     }
+}
+
+/// A subproblem still waiting to be solved this round (i.e. not replayed
+/// from the [`SolveCache`]), with everything `solve_one` needs.
+struct PendingJob<'a> {
+    /// Index in the partition's subproblem list (drives fault injection
+    /// and the merge-back order).
+    index: usize,
+    /// The subproblem itself.
+    sub: &'a Subproblem,
+    /// The selector's algorithm choice.
+    alg: PoolAlgorithm,
+    /// Cross-round column-pool handle for column generation, when a
+    /// [`SolveCache`] is in play.
+    warm: Option<CgWarmStart>,
 }
 
 /// Tiny one-shot cell used to collect results from scoped worker threads.
@@ -636,6 +765,86 @@ mod tests {
             }
             assert!(validate(&p, &run.outcome.placement, true).is_empty());
         }
+    }
+
+    #[test]
+    fn identical_round_replays_entirely_from_cache() {
+        let p = pair_problem();
+        let pipeline = RasaPipeline::default();
+        let cache = SolveCache::new();
+        let cold = pipeline.optimize_with_cache(&p, None, Deadline::none(), Some(&cache));
+        let cold_stats = cold.cache.expect("stats with cache");
+        assert_eq!(cold_stats.hits, 0);
+        assert_eq!(cold_stats.misses, 1);
+        assert!(!cold.subproblems[0].cache_hit);
+        assert_eq!(cache.len(), 1);
+
+        let warm = pipeline.optimize_with_cache(&p, None, Deadline::none(), Some(&cache));
+        let warm_stats = warm.cache.expect("stats with cache");
+        assert_eq!(warm_stats.hits, 1);
+        assert_eq!(warm_stats.misses, 0);
+        assert_eq!(warm_stats.invalidations, 0);
+        assert!(warm.subproblems[0].cache_hit);
+        assert_eq!(warm.subproblems[0].algorithm, cold.subproblems[0].algorithm);
+        assert!(
+            (warm.outcome.gained_affinity - cold.outcome.gained_affinity).abs() < 1e-12,
+            "replayed round must reproduce the cold objective"
+        );
+        assert!(validate(&p, &warm.outcome.placement, true).is_empty());
+    }
+
+    #[test]
+    fn cacheless_runs_report_no_cache_stats() {
+        let p = pair_problem();
+        let run = RasaPipeline::default().optimize(&p, None, Deadline::none());
+        assert!(run.cache.is_none());
+        assert!(run.subproblems.iter().all(|r| !r.cache_hit));
+    }
+
+    #[test]
+    fn degraded_solves_are_not_cached() {
+        // a starved subproblem must not poison the cache with its fallback
+        // placement: the next round should re-solve it for real
+        let p = pair_problem();
+        let cache = SolveCache::new();
+        let starved = RasaPipeline::new(RasaConfig {
+            fault_injection: FaultInjection::StarveSubproblems(vec![0]),
+            ..Default::default()
+        });
+        let run = starved.optimize_with_cache(&p, None, Deadline::none(), Some(&cache));
+        assert!(run.is_degraded());
+        assert!(cache.is_empty(), "degraded result must not be stored");
+
+        let healthy = RasaPipeline::default();
+        let rerun = healthy.optimize_with_cache(&p, None, Deadline::none(), Some(&cache));
+        let stats = rerun.cache.expect("stats with cache");
+        assert_eq!(stats.hits, 0, "nothing cached → nothing replayed");
+        assert!(!rerun.is_degraded());
+    }
+
+    #[test]
+    fn changed_problem_invalidates_stale_entries() {
+        // doubling an affinity weight changes every subproblem fingerprint,
+        // so round two must miss and evict the round-one entry
+        let p = pair_problem();
+        let mut b = ProblemBuilder::new();
+        let s0 = b.add_service("a", 2, ResourceVec::cpu_mem(1.0, 1.0));
+        let s1 = b.add_service("b", 2, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_machines(2, ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::EMPTY);
+        b.add_affinity(s0, s1, 8.0);
+        let p2 = b.build().unwrap();
+
+        let pipeline = RasaPipeline::default();
+        let cache = SolveCache::new();
+        pipeline.optimize_with_cache(&p, None, Deadline::none(), Some(&cache));
+        let run2 = pipeline.optimize_with_cache(&p2, None, Deadline::none(), Some(&cache));
+        let stats = run2.cache.expect("stats with cache");
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 1);
+        assert!(
+            stats.invalidations >= 1,
+            "round-one entry keyed by the old fingerprint must be evicted"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! subproblem instead of aborting the whole optimization run.
 //!
 //! Every per-subproblem solve runs under [`std::panic::catch_unwind`] and
-//! its result is checked against [`rasa_model::validate`] before it is
+//! its result is checked against [`fn@rasa_model::validate`] before it is
 //! accepted. On failure the guard walks a *fallback ladder*:
 //!
 //! 1. the selector's **primary** pool member (MIP-based or column
@@ -183,7 +183,7 @@ fn completion_outcome(problem: &Problem, start: Instant) -> ScheduleOutcome {
 /// Solve `problem` with `primary`, falling back down the ladder on panic
 /// or infeasible output. `index` identifies the subproblem in error
 /// reports. The returned placement always passes
-/// [`validate`](rasa_model::validate) (ignoring SLA completeness).
+/// [`validate`](fn@rasa_model::validate) (ignoring SLA completeness).
 ///
 /// Each guarded solve flushes telemetry into the global [`rasa_obs`]
 /// registry: a `guard.status.*` tally, the per-subproblem wall time

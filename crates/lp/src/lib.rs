@@ -42,6 +42,6 @@ pub mod solution;
 pub mod time;
 
 pub use model::{LpModel, RowSense, VarId};
-pub use simplex::SimplexOptions;
-pub use solution::{LpSolution, LpStatus, SimplexStats};
+pub use simplex::{solve_simplex_warm, SimplexOptions};
+pub use solution::{Basis, LpSolution, LpStatus, SimplexStats};
 pub use time::Deadline;

@@ -197,6 +197,19 @@ impl LpModel {
     pub fn solve_with(&self, options: &SimplexOptions, deadline: Deadline) -> LpSolution {
         solve_simplex(self, options, deadline)
     }
+
+    /// Solve with an optional warm-start basis exported by a previous
+    /// [`LpSolution::basis`](crate::LpSolution::basis) of a same-shaped
+    /// model. Falls back to a cold start when the basis does not validate;
+    /// see [`crate::solution::Basis`].
+    pub fn solve_warm(
+        &self,
+        options: &SimplexOptions,
+        deadline: Deadline,
+        warm: Option<&crate::solution::Basis>,
+    ) -> LpSolution {
+        crate::simplex::solve_simplex_warm(self, options, deadline, warm)
+    }
 }
 
 #[cfg(test)]

@@ -25,7 +25,7 @@
 #![allow(clippy::needless_range_loop)] // dense index arithmetic over parallel arrays
 
 use crate::model::{LpModel, RowSense};
-use crate::solution::{LpSolution, LpStatus, SimplexStats};
+use crate::solution::{Basis, LpSolution, LpStatus, SimplexStats};
 use crate::time::Deadline;
 
 /// Tunable knobs for [`solve_simplex`].
@@ -450,7 +450,25 @@ pub const MAX_DENSE_ROWS: usize = 12_000;
 /// for tests) and are also flushed into the global [`rasa_obs`] registry
 /// under `simplex.*` (aggregate telemetry).
 pub fn solve_simplex(model: &LpModel, options: &SimplexOptions, deadline: Deadline) -> LpSolution {
-    let sol = solve_simplex_impl(model, options, deadline);
+    solve_simplex_warm(model, options, deadline, None)
+}
+
+/// [`solve_simplex`] with an optional warm-start basis from a previous
+/// solve of a same-shaped model (see [`Basis`]).
+///
+/// When the basis validates (right shape, nonsingular, and primal-feasible
+/// once nonbasic variables are placed on their recorded bounds), phase 1 is
+/// skipped entirely and phase 2 starts from it; otherwise the solve falls
+/// back to the usual cold two-phase start. The outcome is recorded in
+/// [`SimplexStats::warm_accepted`] / [`SimplexStats::warm_rejected`] and
+/// the `simplex.warm_accepted` / `simplex.warm_rejected` obs counters.
+pub fn solve_simplex_warm(
+    model: &LpModel,
+    options: &SimplexOptions,
+    deadline: Deadline,
+    warm: Option<&Basis>,
+) -> LpSolution {
+    let sol = solve_simplex_impl(model, options, deadline, warm);
     let obs = rasa_obs::global();
     if obs.enabled() {
         obs.add("simplex.solves", 1);
@@ -460,11 +478,87 @@ pub fn solve_simplex(model: &LpModel, options: &SimplexOptions, deadline: Deadli
         obs.add("simplex.bland_activations", sol.stats.bland_activations as u64);
         obs.add("simplex.phase1_iterations", sol.stats.phase1_iterations as u64);
         obs.add("simplex.phase2_iterations", sol.stats.phase2_iterations as u64);
+        if sol.stats.warm_accepted {
+            obs.add("simplex.warm_accepted", 1);
+        }
+        if sol.stats.warm_rejected {
+            obs.add("simplex.warm_rejected", 1);
+        }
     }
     sol
 }
 
-fn solve_simplex_impl(model: &LpModel, options: &SimplexOptions, deadline: Deadline) -> LpSolution {
+/// Try to rebuild a [`State`] from a warm-start basis: validate its shape,
+/// rest every nonbasic variable on a bound (honoring `at_upper` where the
+/// bound is finite), refactorize, and accept only if the implied basic
+/// values are primal-feasible within `feas_tol`.
+fn try_warm_state(tab: &Tableau, n: usize, wb: &Basis, feas_tol: f64) -> Option<State> {
+    let m = tab.m;
+    let total = n + m;
+    if wb.basic.len() != m || wb.at_upper.len() != total {
+        return None;
+    }
+    let mut basic_row = vec![None; total];
+    for (i, &j) in wb.basic.iter().enumerate() {
+        if j >= total || basic_row[j].is_some() {
+            return None; // out of range or duplicate column
+        }
+        basic_row[j] = Some(i);
+    }
+    let mut x = vec![0.0f64; total];
+    let mut at_upper = vec![false; total];
+    for j in 0..total {
+        if basic_row[j].is_some() {
+            continue;
+        }
+        let (l, u) = (tab.lower[j], tab.upper[j]);
+        // Rest on the recorded bound when it is finite under the *current*
+        // model; otherwise fall back to any finite bound (bounds may have
+        // changed since the basis was exported), then to 0 for free vars.
+        x[j] = if wb.at_upper[j] && u.is_finite() {
+            at_upper[j] = true;
+            u
+        } else if l.is_finite() {
+            l
+        } else if u.is_finite() {
+            at_upper[j] = true;
+            u
+        } else {
+            0.0
+        };
+    }
+    let mut state = State {
+        x,
+        basis: wb.basic.clone(),
+        basic_row,
+        at_upper,
+        binv: vec![0.0f64; m * m],
+        iterations: 0,
+        pivots_since_refactor: 0,
+        use_bland: false,
+        stall: 0,
+        stats: SimplexStats::default(),
+    };
+    if !refactorize(tab, &mut state) {
+        return None; // numerically singular basis
+    }
+    recompute_basics(tab, &mut state);
+    for i in 0..m {
+        let k = state.basis[i];
+        let v = state.x[k];
+        if v < tab.lower[k] - feas_tol || v > tab.upper[k] + feas_tol {
+            return None; // basis no longer primal-feasible
+        }
+    }
+    Some(state)
+}
+
+fn solve_simplex_impl(
+    model: &LpModel,
+    options: &SimplexOptions,
+    deadline: Deadline,
+    warm: Option<&Basis>,
+) -> LpSolution {
     let n = model.num_vars();
     let m = model.num_rows();
 
@@ -492,6 +586,7 @@ fn solve_simplex_impl(model: &LpModel, options: &SimplexOptions, deadline: Deadl
                         feasible: true,
                         iterations: 0,
                         stats: SimplexStats::default(),
+                        basis: None,
                     };
                 }
             } else if c < 0.0 {
@@ -506,6 +601,7 @@ fn solve_simplex_impl(model: &LpModel, options: &SimplexOptions, deadline: Deadl
                         feasible: true,
                         iterations: 0,
                         stats: SimplexStats::default(),
+                        basis: None,
                     };
                 }
             } else if l.is_finite() {
@@ -525,6 +621,7 @@ fn solve_simplex_impl(model: &LpModel, options: &SimplexOptions, deadline: Deadl
             feasible: true,
             iterations: 0,
             stats: SimplexStats::default(),
+            basis: None,
         };
     }
 
@@ -555,61 +652,7 @@ fn solve_simplex_impl(model: &LpModel, options: &SimplexOptions, deadline: Deadl
         upper.push(su);
     }
 
-    // ---- initial point: structural vars at their nearest finite bound ----
-    let mut x = vec![0.0f64; n + m];
-    let mut at_upper = vec![false; n + m];
-    for j in 0..n {
-        let (l, u) = (lower[j], upper[j]);
-        x[j] = if l.is_finite() {
-            l
-        } else if u.is_finite() {
-            at_upper[j] = true;
-            u
-        } else {
-            0.0
-        };
-    }
-
-    // residual the slack of each row must absorb
-    let mut residual = b.clone();
-    for j in 0..n {
-        if x[j] != 0.0 {
-            for &(row, a) in &cols[j] {
-                residual[row] -= a * x[j];
-            }
-        }
-    }
-
-    // ---- basis: slack where feasible, artificial where not ----
-    let mut basis = vec![usize::MAX; m];
-    let mut needs_artificial: Vec<(usize, f64)> = Vec::new(); // (row, signed residual left for artificial)
-    for i in 0..m {
-        let s = n + i;
-        let (sl, su) = (lower[s], upper[s]);
-        if residual[i] >= sl - options.feas_tol && residual[i] <= su + options.feas_tol {
-            basis[i] = s;
-            x[s] = residual[i];
-        } else {
-            // slack rests at the bound nearest the residual
-            let rest = if residual[i] < sl { sl } else { su };
-            x[s] = rest;
-            at_upper[s] = rest == su && su.is_finite() && sl != su;
-            needs_artificial.push((i, residual[i] - rest));
-        }
-    }
-    let n_art = needs_artificial.len();
-    for &(row, r) in &needs_artificial {
-        let j = cols.len();
-        cols.push(vec![(row, if r >= 0.0 { 1.0 } else { -1.0 })]);
-        lower.push(0.0);
-        upper.push(f64::INFINITY);
-        basis[row] = j;
-        x.push(r.abs());
-        at_upper.push(false);
-    }
-
-    let total = cols.len();
-    let tab = Tableau {
+    let mut tab = Tableau {
         m,
         cols,
         lower,
@@ -617,33 +660,100 @@ fn solve_simplex_impl(model: &LpModel, options: &SimplexOptions, deadline: Deadl
         b,
     };
 
-    let mut basic_row = vec![None; total];
-    for (i, &j) in basis.iter().enumerate() {
-        basic_row[j] = Some(i);
-    }
+    // ---- warm start: revive the supplied basis if it still validates ----
+    let warm_state = warm.and_then(|wb| try_warm_state(&tab, n, wb, options.feas_tol));
 
-    // B is diagonal ±1 at start (slacks +1, artificials ±1) → B⁻¹ = B.
-    let mut binv = vec![0.0f64; m * m];
-    for (i, &j) in basis.iter().enumerate() {
-        let sign = tab.cols[j][0].1;
-        binv[i * m + i] = 1.0 / sign;
-    }
+    let (mut state, n_art) = if let Some(mut s) = warm_state {
+        // Feasible basis recovered: no artificials, phase 1 skipped.
+        s.stats.warm_accepted = true;
+        (s, 0)
+    } else {
+        // ---- cold start ----
+        // initial point: structural vars at their nearest finite bound
+        let mut x = vec![0.0f64; n + m];
+        let mut at_upper = vec![false; n + m];
+        for j in 0..n {
+            let (l, u) = (tab.lower[j], tab.upper[j]);
+            x[j] = if l.is_finite() {
+                l
+            } else if u.is_finite() {
+                at_upper[j] = true;
+                u
+            } else {
+                0.0
+            };
+        }
 
-    let mut state = State {
-        x,
-        basis,
-        basic_row,
-        at_upper,
-        binv,
-        iterations: 0,
-        pivots_since_refactor: 0,
-        use_bland: false,
-        stall: 0,
-        stats: SimplexStats::default(),
+        // residual the slack of each row must absorb
+        let mut residual = tab.b.clone();
+        for j in 0..n {
+            if x[j] != 0.0 {
+                for &(row, a) in &tab.cols[j] {
+                    residual[row] -= a * x[j];
+                }
+            }
+        }
+
+        // basis: slack where feasible, artificial where not
+        let mut basis = vec![usize::MAX; m];
+        let mut needs_artificial: Vec<(usize, f64)> = Vec::new(); // (row, signed residual left for artificial)
+        for i in 0..m {
+            let s = n + i;
+            let (sl, su) = (tab.lower[s], tab.upper[s]);
+            if residual[i] >= sl - options.feas_tol && residual[i] <= su + options.feas_tol {
+                basis[i] = s;
+                x[s] = residual[i];
+            } else {
+                // slack rests at the bound nearest the residual
+                let rest = if residual[i] < sl { sl } else { su };
+                x[s] = rest;
+                at_upper[s] = rest == su && su.is_finite() && sl != su;
+                needs_artificial.push((i, residual[i] - rest));
+            }
+        }
+        let n_art = needs_artificial.len();
+        for &(row, r) in &needs_artificial {
+            let j = tab.cols.len();
+            tab.cols.push(vec![(row, if r >= 0.0 { 1.0 } else { -1.0 })]);
+            tab.lower.push(0.0);
+            tab.upper.push(f64::INFINITY);
+            basis[row] = j;
+            x.push(r.abs());
+            at_upper.push(false);
+        }
+
+        let total = tab.cols.len();
+        let mut basic_row = vec![None; total];
+        for (i, &j) in basis.iter().enumerate() {
+            basic_row[j] = Some(i);
+        }
+
+        // B is diagonal ±1 at start (slacks +1, artificials ±1) → B⁻¹ = B.
+        let mut binv = vec![0.0f64; m * m];
+        for (i, &j) in basis.iter().enumerate() {
+            let sign = tab.cols[j][0].1;
+            binv[i * m + i] = 1.0 / sign;
+        }
+
+        let mut state = State {
+            x,
+            basis,
+            basic_row,
+            at_upper,
+            binv,
+            iterations: 0,
+            pivots_since_refactor: 0,
+            use_bland: false,
+            stall: 0,
+            stats: SimplexStats::default(),
+        };
+        state.stats.warm_rejected = warm.is_some();
+        (state, n_art)
     };
 
+    let total = tab.cols.len();
+
     // ---- phase 1 ----
-    let mut tab = tab;
     if n_art > 0 {
         let mut cost1 = vec![0.0f64; total];
         for c in cost1.iter_mut().skip(total - n_art) {
@@ -712,6 +822,19 @@ fn solve_simplex_impl(model: &LpModel, options: &SimplexOptions, deadline: Deadl
         PhaseOutcome::Unbounded => LpStatus::Unbounded,
         PhaseOutcome::IterationLimit => LpStatus::IterationLimit,
     };
+
+    // Export the final basis for warm-starting a later re-solve, but only
+    // when it is artificial-free (a basic artificial — possible after a
+    // degenerate phase 1 — has no meaning in a fresh computational form).
+    let final_basis = if feasible && state.basis.iter().all(|&j| j < n + m) {
+        Some(Basis {
+            basic: state.basis.clone(),
+            at_upper: state.at_upper[..n + m].to_vec(),
+        })
+    } else {
+        None
+    };
+
     LpSolution {
         status,
         objective,
@@ -720,5 +843,6 @@ fn solve_simplex_impl(model: &LpModel, options: &SimplexOptions, deadline: Deadl
         feasible,
         iterations: state.iterations,
         stats: state.stats,
+        basis: final_basis,
     }
 }

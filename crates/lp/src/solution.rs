@@ -19,6 +19,34 @@ pub struct SimplexStats {
     pub phase1_iterations: usize,
     /// Iterations spent on the true objective (phase 2).
     pub phase2_iterations: usize,
+    /// A supplied warm-start basis was validated and used (phase 1 skipped).
+    pub warm_accepted: bool,
+    /// A supplied warm-start basis was rejected (wrong shape, singular, or
+    /// primal-infeasible under the current bounds) and the solve fell back
+    /// to a cold two-phase start.
+    pub warm_rejected: bool,
+}
+
+/// A simplex basis, detached from any particular solve.
+///
+/// Column indexing follows the solver's computational form: structural
+/// variables occupy columns `0..n` (in [`LpModel`](crate::LpModel) variable
+/// order) and the slack of row `i` occupies column `n + i`. Artificial
+/// variables are never part of an exported basis.
+///
+/// A `Basis` taken from [`LpSolution::basis`] can warm-start a later solve
+/// of the *same-shaped* model (same variable and row counts) via
+/// [`LpModel::solve_warm`](crate::LpModel::solve_warm), even after bounds,
+/// objective, or right-hand sides changed. The solver re-validates it and
+/// silently falls back to a cold start when it no longer yields a feasible
+/// starting point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Basis {
+    /// `basic[i]` is the column basic in row `i` (length = number of rows).
+    pub basic: Vec<usize>,
+    /// For each of the `n + m` columns: whether a *nonbasic* variable rests
+    /// at its upper bound (entries for basic columns are ignored).
+    pub at_upper: Vec<bool>,
 }
 
 /// Termination status of a simplex run.
@@ -56,6 +84,10 @@ pub struct LpSolution {
     pub iterations: usize,
     /// Per-solve telemetry (pivots, refactorizations, Bland activations).
     pub stats: SimplexStats,
+    /// The final basis, exported for warm-starting a re-solve of a
+    /// perturbed model. `None` when the solve did not reach a feasible
+    /// basis free of artificial variables (or the model had no rows).
+    pub basis: Option<Basis>,
 }
 
 impl LpSolution {
@@ -69,6 +101,7 @@ impl LpSolution {
             feasible: false,
             iterations,
             stats: SimplexStats::default(),
+            basis: None,
         }
     }
 }

@@ -1,0 +1,208 @@
+//! Deterministic subproblem fingerprints and round-over-round partition
+//! deltas — the partitioner's half of the warm-start layer.
+//!
+//! RASA reruns periodically over nearly identical clusters. Two fingerprints
+//! let downstream caches decide what survived from the previous round:
+//!
+//! * [`Subproblem::fingerprint`] hashes the *entire* induced subproblem
+//!   (parent ids, demands, capacities, features, affinity and anti-affinity)
+//!   — two subproblems with equal fingerprints pose the same optimization
+//!   problem, so a cached solve can be replayed verbatim.
+//! * [`Subproblem::service_set_fingerprint`] hashes only the parent service
+//!   ids — stable under machine-side perturbations, so column pools (which
+//!   are per-service patterns) can still seed a re-solve after a machine
+//!   died or capacities shifted.
+//!
+//! Hashing uses [`DefaultHasher`] with its fixed default keys, so
+//! fingerprints are deterministic within a process run *and* across runs of
+//! the same binary — sufficient for an in-memory cache (they are never
+//! persisted).
+
+use crate::stages::Subproblem;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+fn hash_f64<H: Hasher>(h: &mut H, v: f64) {
+    // Hash the bit pattern: distinguishes -0.0/0.0 (harmless here) but is
+    // total, deterministic, and exact — which is what cache keys need.
+    v.to_bits().hash(h);
+}
+
+impl Subproblem {
+    /// Hash of the full induced subproblem plus its parent-id mappings.
+    ///
+    /// Equal fingerprints ⇒ identical optimization problems over identical
+    /// parent services and machines, so a cached sub-placement can be
+    /// merged back verbatim.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        let p = &self.problem;
+        self.mapping.service_to_parent.hash(&mut h);
+        self.mapping.machine_to_parent.hash(&mut h);
+        p.services.len().hash(&mut h);
+        for s in &p.services {
+            s.id.hash(&mut h);
+            s.replicas.hash(&mut h);
+            for &d in &s.demand.0 {
+                hash_f64(&mut h, d);
+            }
+            s.required_features.0.hash(&mut h);
+            s.stateless.hash(&mut h);
+            hash_f64(&mut h, s.priority_weight);
+        }
+        p.machines.len().hash(&mut h);
+        for m in &p.machines {
+            m.id.hash(&mut h);
+            for &c in &m.capacity.0 {
+                hash_f64(&mut h, c);
+            }
+            m.features.0.hash(&mut h);
+        }
+        p.affinity_edges.len().hash(&mut h);
+        for e in &p.affinity_edges {
+            e.a.hash(&mut h);
+            e.b.hash(&mut h);
+            hash_f64(&mut h, e.weight);
+        }
+        p.anti_affinity.len().hash(&mut h);
+        for r in &p.anti_affinity {
+            r.services.hash(&mut h);
+            r.max_per_machine.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Hash of the parent service-id set only.
+    ///
+    /// Invariant under machine deaths, capacity changes, and re-weighted
+    /// affinity — a column pool generated for this service set remains a
+    /// *candidate* pool for any later subproblem with the same key (each
+    /// column is still re-validated against current capacities).
+    pub fn service_set_fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.mapping.service_to_parent.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Round-over-round classification of a partition against the previous
+/// round's subproblem fingerprints.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartitionDelta {
+    /// Indices (into the new round's subproblem list) whose full
+    /// fingerprint matches a previous-round subproblem: reusable verbatim.
+    pub unchanged: Vec<usize>,
+    /// Indices that have no previous-round counterpart: must be re-solved.
+    pub dirty: Vec<usize>,
+    /// Previous-round fingerprints with no counterpart this round: their
+    /// cached artifacts are stale and should be evicted.
+    pub invalidated: Vec<u64>,
+}
+
+/// Compare this round's `subproblems` against the previous round's full
+/// fingerprints and classify each side (see [`PartitionDelta`]).
+pub fn compute_delta(subproblems: &[Subproblem], previous: &HashSet<u64>) -> PartitionDelta {
+    let mut delta = PartitionDelta::default();
+    let mut seen = HashSet::new();
+    for (i, sub) in subproblems.iter().enumerate() {
+        let fp = sub.fingerprint();
+        seen.insert(fp);
+        if previous.contains(&fp) {
+            delta.unchanged.push(i);
+        } else {
+            delta.dirty.push(i);
+        }
+    }
+    delta.invalidated = previous.difference(&seen).copied().collect();
+    delta.invalidated.sort_unstable();
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stages::{multi_stage_partition, PartitionConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rasa_model::{FeatureMask, Problem, ProblemBuilder, ResourceVec};
+
+    fn clustered_problem(weight: f64) -> Problem {
+        let mut b = ProblemBuilder::new();
+        let svcs: Vec<_> = (0..12)
+            .map(|i| b.add_service(format!("s{i}"), 1, ResourceVec::cpu_mem(1.0, 1.0)))
+            .collect();
+        b.add_machines(6, ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::EMPTY);
+        for c in 0..2 {
+            let base = c * 6;
+            for i in 0..6 {
+                for j in (i + 1)..6 {
+                    b.add_affinity(svcs[base + i], svcs[base + j], weight);
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn partition(p: &Problem) -> Vec<Subproblem> {
+        let cfg = PartitionConfig {
+            max_subproblem_services: 6,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        multi_stage_partition(p, None, &cfg, &mut rng).subproblems
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_across_partitions() {
+        let p = clustered_problem(5.0);
+        let a = partition(&p);
+        let b = partition(&p);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.fingerprint(), y.fingerprint());
+            assert_eq!(x.service_set_fingerprint(), y.service_set_fingerprint());
+        }
+    }
+
+    #[test]
+    fn fingerprint_changes_when_problem_changes() {
+        let a = partition(&clustered_problem(5.0));
+        let b = partition(&clustered_problem(6.0)); // same sets, new weights
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .any(|(x, y)| x.fingerprint() != y.fingerprint()));
+        // ...but the service-set fingerprint only sees parent service ids.
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.service_set_fingerprint(), y.service_set_fingerprint());
+        }
+    }
+
+    #[test]
+    fn delta_classifies_unchanged_dirty_and_invalidated() {
+        let subs = partition(&clustered_problem(5.0));
+        assert!(subs.len() >= 2, "want at least 2 subproblems");
+
+        // Previous round knew the first subproblem plus one stale entry.
+        let mut previous = HashSet::new();
+        previous.insert(subs[0].fingerprint());
+        previous.insert(0xDEAD_BEEF);
+
+        let delta = compute_delta(&subs, &previous);
+        assert_eq!(delta.unchanged, vec![0]);
+        assert_eq!(delta.dirty, (1..subs.len()).collect::<Vec<_>>());
+        assert_eq!(delta.invalidated, vec![0xDEAD_BEEF]);
+    }
+
+    #[test]
+    fn identical_rounds_produce_an_all_unchanged_delta() {
+        let subs = partition(&clustered_problem(5.0));
+        let previous: HashSet<u64> = subs.iter().map(|s| s.fingerprint()).collect();
+        let delta = compute_delta(&subs, &previous);
+        assert_eq!(delta.unchanged.len(), subs.len());
+        assert!(delta.dirty.is_empty());
+        assert!(delta.invalidated.is_empty());
+    }
+}

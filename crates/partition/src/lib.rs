@@ -29,11 +29,13 @@
 //! The [`strategy`] module exposes the Fig 6 ablations
 //! (NO-PARTITION / RANDOM-PARTITION / KAHIP / MULTI-STAGE) behind one enum.
 
+pub mod fingerprint;
 pub mod machines;
 pub mod master;
 pub mod stages;
 pub mod strategy;
 
+pub use fingerprint::{compute_delta, PartitionDelta};
 pub use machines::assign_machines;
 pub use master::{default_master_ratio, master_services};
 pub use stages::{multi_stage_partition, PartitionConfig, PartitionOutcome, Subproblem};

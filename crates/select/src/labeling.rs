@@ -1,6 +1,6 @@
 //! Labelling subproblems for selector training (Section IV-D1: "To label a
 //! subproblem, we attempt each subproblem with the two candidate algorithms
-//! and choose the one that returns better objective within [a] time limit").
+//! and choose the one that returns better objective within \[a\] time limit").
 
 use crate::selectors::PoolAlgorithm;
 use rasa_mip::Deadline;

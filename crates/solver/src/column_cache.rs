@@ -1,0 +1,143 @@
+//! Cross-round column pool persistence for column generation.
+//!
+//! A [`ColumnCache`] stores, per subproblem *service-set fingerprint* (see
+//! `rasa-partition`), the pattern pool a previous column-generation run
+//! ended with. The next round seeds its restricted master from that pool
+//! instead of the cheap singleton/pair heuristics, typically entering the
+//! pricing loop one or two rounds from convergence.
+//!
+//! Keys are service-set fingerprints rather than full problem fingerprints
+//! on purpose: patterns are per-*service* container counts, so a pool stays
+//! a useful candidate set even after machines died or capacities moved —
+//! each pattern is re-validated against the current machine groups before
+//! it is admitted (see [`ColumnGeneration`](crate::ColumnGeneration)).
+
+use rasa_model::ServiceId;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The raw content of a pattern: `(service, containers)` pairs with
+/// positive counts, sorted by service id. Values are not stored — gained
+/// affinity is recomputed against the current problem when seeding.
+pub type PatternCounts = Vec<(ServiceId, u32)>;
+
+/// Hard cap on stored patterns per cache entry; pools beyond this keep
+/// their first `MAX_PATTERNS_PER_ENTRY` patterns (insertion order — the
+/// order the master accumulated them, so seeds and early pricing wins
+/// survive truncation).
+pub const MAX_PATTERNS_PER_ENTRY: usize = 4096;
+
+/// Thread-safe pattern-pool store keyed by service-set fingerprint.
+#[derive(Debug, Default)]
+pub struct ColumnCache {
+    pools: Mutex<HashMap<u64, Vec<PatternCounts>>>,
+}
+
+/// A shared handle to a [`ColumnCache`] plus the fingerprint key one
+/// particular solve should read and write. Attached to
+/// [`ColumnGeneration::warm`](crate::ColumnGeneration) by the pipeline.
+#[derive(Clone, Debug)]
+pub struct CgWarmStart {
+    /// The shared cross-round cache.
+    pub cache: Arc<ColumnCache>,
+    /// Service-set fingerprint of the subproblem being solved.
+    pub key: u64,
+}
+
+impl ColumnCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pools(&self) -> MutexGuard<'_, HashMap<u64, Vec<PatternCounts>>> {
+        // A solve that panicked inside the fault-isolation layer may have
+        // poisoned the lock; the map itself is always in a consistent
+        // state (single insert/read operations), so recover it.
+        self.pools
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The stored pool for `key`, if any.
+    pub fn get(&self, key: u64) -> Option<Vec<PatternCounts>> {
+        self.pools().get(&key).cloned()
+    }
+
+    /// Replace the pool stored under `key` (truncated to
+    /// [`MAX_PATTERNS_PER_ENTRY`]).
+    pub fn put(&self, key: u64, mut patterns: Vec<PatternCounts>) {
+        patterns.truncate(MAX_PATTERNS_PER_ENTRY);
+        self.pools().insert(key, patterns);
+    }
+
+    /// Drop every entry whose key is not in `live`, returning how many
+    /// were evicted. The pipeline calls this after each round with the
+    /// keys of the current partition.
+    pub fn retain_keys(&self, live: &std::collections::HashSet<u64>) -> usize {
+        let mut pools = self.pools();
+        let before = pools.len();
+        pools.retain(|k, _| live.contains(k));
+        before - pools.len()
+    }
+
+    /// Number of stored pools.
+    pub fn len(&self) -> usize {
+        self.pools().len()
+    }
+
+    /// `true` when no pool is stored.
+    pub fn is_empty(&self) -> bool {
+        self.pools().is_empty()
+    }
+
+    /// Remove all entries.
+    pub fn clear(&self) {
+        self.pools().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(u32, u32)]) -> PatternCounts {
+        pairs.iter().map(|&(s, c)| (ServiceId(s), c)).collect()
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let cache = ColumnCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(1), None);
+        cache.put(1, vec![counts(&[(0, 2), (1, 1)])]);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(1), Some(vec![counts(&[(0, 2), (1, 1)])]));
+    }
+
+    #[test]
+    fn put_overwrites_and_truncates() {
+        let cache = ColumnCache::new();
+        let big: Vec<PatternCounts> = (0..MAX_PATTERNS_PER_ENTRY as u32 + 10)
+            .map(|i| counts(&[(i, 1)]))
+            .collect();
+        cache.put(7, big);
+        let stored = cache.get(7).expect("entry");
+        assert_eq!(stored.len(), MAX_PATTERNS_PER_ENTRY);
+        cache.put(7, vec![counts(&[(0, 1)])]);
+        assert_eq!(cache.get(7).expect("entry").len(), 1);
+    }
+
+    #[test]
+    fn retain_keys_evicts_stale_entries() {
+        let cache = ColumnCache::new();
+        cache.put(1, vec![counts(&[(0, 1)])]);
+        cache.put(2, vec![counts(&[(1, 1)])]);
+        cache.put(3, vec![counts(&[(2, 1)])]);
+        let live: std::collections::HashSet<u64> = [1, 3].into_iter().collect();
+        assert_eq!(cache.retain_keys(&live), 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some());
+    }
+}

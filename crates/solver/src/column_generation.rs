@@ -22,12 +22,13 @@
 //! integer program over the generated columns (`Round`), falling back to a
 //! greedy rounding if branch-and-bound cannot finish in time.
 
+use crate::column_cache::{CgWarmStart, PatternCounts};
 use crate::completion::complete_placement;
 use crate::formulation::per_machine_cap;
 use crate::scheduler::{ScheduleOutcome, Scheduler};
-use rasa_lp::{Deadline, LpStatus, SimplexOptions};
+use rasa_lp::{Basis, Deadline, LpStatus, SimplexOptions};
 use rasa_mip::{MipModel, MipOptions};
-use rasa_model::{MachineGroup, Placement, Problem, ServiceId, NUM_RESOURCES};
+use rasa_model::{MachineGroup, Placement, Problem, ResourceVec, ServiceId, NUM_RESOURCES};
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
@@ -84,6 +85,10 @@ pub struct CgStats {
     pub master_solves: usize,
     /// Pricing MIP solves.
     pub pricing_solves: usize,
+    /// Patterns admitted from a [`ColumnCache`](crate::ColumnCache) pool
+    /// (still feasible under the current machine groups and not already
+    /// produced by the seed heuristics).
+    pub seeded_patterns: usize,
 }
 
 /// A single-machine placement pattern for one machine group.
@@ -103,6 +108,11 @@ struct Pattern {
 pub struct ColumnGeneration {
     /// Options for this run.
     pub options: CgOptions,
+    /// Optional cross-round column-pool handle. When set, the run seeds
+    /// its restricted master from the cached pool under `warm.key` (each
+    /// pattern re-validated against the current machine groups) and stores
+    /// its final pool back under the same key.
+    pub warm: Option<CgWarmStart>,
 }
 
 impl ColumnGeneration {
@@ -149,17 +159,53 @@ impl ColumnGeneration {
             .map(|ps| ps.iter().map(|p| p.counts.clone()).collect())
             .collect();
 
+        // ---- seed the master from a cached pool (warm start) ----
+        let mut cache_hit = false;
+        if let Some(warm) = &self.warm {
+            if let Some(pool) = warm.cache.get(warm.key) {
+                cache_hit = true;
+                for counts in pool {
+                    for (gi, g) in groups.iter().enumerate() {
+                        if pattern_feasible(problem, g, &counts) && seen[gi].insert(counts.clone())
+                        {
+                            let value = pattern_value(problem, &counts, &edge_weight);
+                            patterns[gi].push(Pattern {
+                                counts: counts.clone(),
+                                value,
+                            });
+                            stats.seeded_patterns += 1;
+                        }
+                    }
+                }
+            }
+        }
+
         // ---- Algorithm 1 main loop ----
+        // The master LP warm-starts each round from the previous round's
+        // final basis, remapped onto the grown column set.
+        let mut master_basis: Option<(Basis, Vec<usize>)> = None;
+        let master_rows = groups.len() + active.len();
         let mut converged = false;
         for _round in 0..self.options.max_rounds {
             if deadline.expired() {
                 break;
             }
             stats.rounds += 1;
-            let Some(duals) = self.solve_master_lp(problem, &groups, &patterns, &active, deadline)
-            else {
+            let counts_now: Vec<usize> = patterns.iter().map(Vec::len).collect();
+            let warm_basis = master_basis
+                .as_ref()
+                .and_then(|(b, old)| remap_master_basis(b, old, &counts_now, master_rows));
+            let Some((duals, final_basis)) = self.solve_master_lp(
+                problem,
+                &groups,
+                &patterns,
+                &active,
+                deadline,
+                warm_basis.as_ref(),
+            ) else {
                 break;
             };
+            master_basis = final_basis.map(|b| (b, counts_now));
             stats.master_solves += 1;
 
             let mut added_any = false;
@@ -192,6 +238,20 @@ impl ColumnGeneration {
 
         stats.patterns = patterns.iter().map(Vec::len).sum();
 
+        // ---- persist the final pool for the next round ----
+        if let Some(warm) = &self.warm {
+            let mut dedup: HashSet<PatternCounts> = HashSet::new();
+            let mut pool: Vec<PatternCounts> = Vec::new();
+            for ps in &patterns {
+                for p in ps {
+                    if dedup.insert(p.counts.clone()) {
+                        pool.push(p.counts.clone());
+                    }
+                }
+            }
+            warm.cache.put(warm.key, pool);
+        }
+
         // ---- Round: integral master over the generated columns ----
         let mut placement = self.round_master(problem, &groups, &patterns, &active, deadline);
         if self.options.complete {
@@ -205,12 +265,24 @@ impl ColumnGeneration {
             obs.add("cg.master_solves", stats.master_solves as u64);
             obs.add("cg.pricing_solves", stats.pricing_solves as u64);
             obs.add("cg.patterns", stats.patterns as u64);
+            if self.warm.is_some() {
+                obs.add(
+                    if cache_hit {
+                        "cg.cache_hits"
+                    } else {
+                        "cg.cache_misses"
+                    },
+                    1,
+                );
+                obs.add("cg.cache_seeded_patterns", stats.seeded_patterns as u64);
+            }
             obs.record_duration("cg.solve_seconds", outcome.elapsed);
         }
         (outcome, stats)
     }
 
-    /// Solve the RMP LP relaxation and return its duals.
+    /// Solve the RMP LP relaxation (optionally warm-started from the
+    /// previous round's basis) and return its duals plus the final basis.
     fn solve_master_lp(
         &self,
         problem: &Problem,
@@ -218,21 +290,23 @@ impl ColumnGeneration {
         patterns: &[Vec<Pattern>],
         active: &[ServiceId],
         deadline: Deadline,
-    ) -> Option<MasterDuals> {
+        warm: Option<&Basis>,
+    ) -> Option<(MasterDuals, Option<Basis>)> {
         let (lp, _vars) = build_master(problem, groups, patterns, active, false);
-        let sol = lp.lp().solve_with(&self.options.master_lp, deadline);
+        let sol = lp.lp().solve_warm(&self.options.master_lp, deadline, warm);
         if sol.status != LpStatus::Optimal {
             return None;
         }
         let g = groups.len();
-        Some(MasterDuals {
+        let duals = MasterDuals {
             group: sol.duals[..g].to_vec(),
             service: active
                 .iter()
                 .enumerate()
                 .map(|(k, &s)| (s, sol.duals[g + k]))
                 .collect(),
-        })
+        };
+        Some((duals, sol.basis))
     }
 
     /// `GenPattern`: price a new pattern for group `g`.
@@ -402,6 +476,92 @@ impl Scheduler for ColumnGeneration {
 struct MasterDuals {
     group: Vec<f64>,
     service: HashMap<ServiceId, f64>,
+}
+
+/// Can a cached pattern still run on one machine of group `g` under the
+/// *current* problem? Checks service existence, schedulability, per-service
+/// caps, joint resource fit, and anti-affinity.
+fn pattern_feasible(problem: &Problem, g: &MachineGroup, counts: &[(ServiceId, u32)]) -> bool {
+    if counts.is_empty() {
+        return false;
+    }
+    let mut used = ResourceVec::ZERO;
+    for &(s, c) in counts {
+        if c == 0 || s.idx() >= problem.num_services() {
+            return false;
+        }
+        let svc = &problem.services[s.idx()];
+        if !svc.required_features.subset_of(g.features) {
+            return false;
+        }
+        if c > per_machine_cap(problem, s, &g.capacity).min(svc.replicas) {
+            return false;
+        }
+        used += svc.demand * f64::from(c);
+    }
+    if !used.fits_within(&g.capacity, 1e-6) {
+        return false;
+    }
+    problem.anti_affinity.iter().all(|rule| {
+        let total: u32 = counts
+            .iter()
+            .filter(|(s, _)| rule.services.contains(s))
+            .map(|&(_, c)| c)
+            .sum();
+        total <= rule.max_per_machine
+    })
+}
+
+/// Remap a master-LP basis exported when per-group pattern counts were
+/// `old_counts` onto the layout implied by `new_counts`. Master variables
+/// are laid out group-by-group and patterns are only ever *appended* within
+/// a group, so a pattern keeps its in-group index and only the group
+/// offsets shift; slacks shift uniformly by the total growth. `m` is the
+/// (stable) number of master rows.
+fn remap_master_basis(
+    basis: &Basis,
+    old_counts: &[usize],
+    new_counts: &[usize],
+    m: usize,
+) -> Option<Basis> {
+    if old_counts.len() != new_counts.len() {
+        return None;
+    }
+    let n_old: usize = old_counts.iter().sum();
+    let n_new: usize = new_counts.iter().sum();
+    if basis.basic.len() != m || basis.at_upper.len() != n_old + m {
+        return None;
+    }
+    let mut map = vec![usize::MAX; n_old + m];
+    let (mut off_old, mut off_new) = (0usize, 0usize);
+    for (gi, &c_old) in old_counts.iter().enumerate() {
+        if new_counts[gi] < c_old {
+            return None; // a pattern was removed: layouts are incompatible
+        }
+        for p in 0..c_old {
+            map[off_old + p] = off_new + p;
+        }
+        off_old += c_old;
+        off_new += new_counts[gi];
+    }
+    for i in 0..m {
+        map[n_old + i] = n_new + i;
+    }
+    let mut at_upper = vec![false; n_new + m];
+    for (j, &nj) in map.iter().enumerate() {
+        if nj != usize::MAX {
+            at_upper[nj] = basis.at_upper[j];
+        }
+    }
+    let basic: Vec<usize> = basis
+        .basic
+        .iter()
+        .map(|&j| map.get(j).copied().unwrap_or(usize::MAX))
+        .collect();
+    if basic.contains(&usize::MAX) {
+        return None;
+    }
+    Some(Basis { basic, at_upper })
 }
 
 /// Exact gained affinity of a pattern on one machine.
@@ -712,6 +872,99 @@ mod tests {
         let p = pair_problem(1.0);
         let out = ColumnGeneration::new().schedule(&p, Deadline::after(Duration::ZERO));
         assert!(validate(&p, &out.placement, false).is_empty());
+    }
+
+    #[test]
+    fn warm_cache_round_trips_pool_and_preserves_quality() {
+        use crate::column_cache::{CgWarmStart, ColumnCache};
+        use std::sync::Arc;
+        let mut b = ProblemBuilder::new();
+        let s: Vec<_> = (0..4)
+            .map(|i| b.add_service(format!("s{i}"), 2, ResourceVec::cpu_mem(2.0, 2.0)))
+            .collect();
+        b.add_machines(4, ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::EMPTY);
+        b.add_affinity(s[0], s[1], 10.0);
+        b.add_affinity(s[1], s[2], 1.0);
+        b.add_affinity(s[2], s[3], 10.0);
+        let p = b.build().unwrap();
+
+        let cache = Arc::new(ColumnCache::new());
+        let cg = ColumnGeneration {
+            warm: Some(CgWarmStart {
+                cache: cache.clone(),
+                key: 42,
+            }),
+            ..ColumnGeneration::new()
+        };
+        let (cold, cold_stats) = cg.schedule_with_stats(&p, Deadline::none());
+        let pool = cache.get(42).expect("pool stored after first run");
+        assert_eq!(pool.len(), cold_stats.patterns, "pool = final master");
+
+        let (warm, warm_stats) = cg.schedule_with_stats(&p, Deadline::none());
+        assert!(
+            warm.gained_affinity >= cold.gained_affinity - 1e-9,
+            "warm {} < cold {}",
+            warm.gained_affinity,
+            cold.gained_affinity
+        );
+        // the seeded master starts at (or past) the cold run's final pool,
+        // so pricing converges in no more rounds than the cold run took
+        assert!(warm_stats.rounds <= cold_stats.rounds);
+        assert!(validate(&p, &warm.placement, true).is_empty());
+    }
+
+    #[test]
+    fn infeasible_cached_patterns_are_filtered_out() {
+        use crate::column_cache::{CgWarmStart, ColumnCache};
+        use std::sync::Arc;
+        let p = pair_problem(1.0);
+        let cache = Arc::new(ColumnCache::new());
+        // poison the pool: out-of-range service, zero count, over-capacity
+        cache.put(
+            7,
+            vec![
+                vec![(ServiceId(99), 1)],
+                vec![(ServiceId(0), 0)],
+                vec![(ServiceId(0), 1000)],
+                vec![(ServiceId(0), 1), (ServiceId(1), 2)], // this one is fine
+            ],
+        );
+        let cg = ColumnGeneration {
+            warm: Some(CgWarmStart {
+                cache: cache.clone(),
+                key: 7,
+            }),
+            ..ColumnGeneration::new()
+        };
+        let (out, stats) = cg.schedule_with_stats(&p, Deadline::none());
+        assert!(validate(&p, &out.placement, true).is_empty());
+        // only the feasible pattern may seed (and only if the heuristics
+        // did not already produce it)
+        assert!(stats.seeded_patterns <= 1);
+        assert!((out.gained_affinity - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn remap_master_basis_shifts_group_offsets() {
+        // 2 groups, counts 2|1 → grown to 3|2; 2 master rows.
+        let basis = Basis {
+            basic: vec![1, 3], // var 1 (g0,p1) and slack 0 (old col 3+0)
+            at_upper: vec![true, false, true, false, true],
+        };
+        let remapped = remap_master_basis(&basis, &[2, 1], &[3, 2], 2).expect("remaps");
+        // g0 vars keep indices 0..2; g1 var 2 → 3; slacks 3,4 → 5,6
+        assert_eq!(remapped.basic, vec![1, 5]);
+        assert_eq!(remapped.at_upper.len(), 5 + 2);
+        assert!(remapped.at_upper[0]); // (g0,p0) kept
+        assert!(remapped.at_upper[3]); // (g1,p0): old col 2 → new col 3
+        assert!(remapped.at_upper[6]); // old slack col 4 → new col 6
+        assert!(!remapped.at_upper[5], "old slack col 3 stays at lower");
+        assert!(!remapped.at_upper[4], "new pattern cols default to lower");
+
+        // shrunk counts are rejected
+        assert!(remap_master_basis(&basis, &[2, 1], &[1, 1], 2).is_none());
+        // row-count mismatch is rejected
+        assert!(remap_master_basis(&basis, &[2, 1], &[3, 2], 3).is_none());
     }
 
     #[test]

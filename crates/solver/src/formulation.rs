@@ -246,8 +246,8 @@ impl RasaFormulation {
     /// Section IV-B5).
     ///
     /// Panics if `x` is shorter than the formulation's variable count or
-    /// contains non-finite entries; use [`try_extract_placement`]
-    /// (`RasaFormulation::try_extract_placement`) for a checked variant.
+    /// contains non-finite entries; use [`Self::try_extract_placement`]
+    /// for a checked variant.
     pub fn extract_placement(&self, problem: &Problem, x: &[f64]) -> Placement {
         self.try_extract_placement(problem, x)
             .expect("invariant: solution vector matches the formulation it was solved from")

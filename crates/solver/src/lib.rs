@@ -27,12 +27,14 @@
 //! * [`scheduler`] — the [`Scheduler`] trait shared by these algorithms and
 //!   every baseline in `rasa-baselines`, plus [`ScheduleOutcome`].
 
+pub mod column_cache;
 pub mod column_generation;
 pub mod completion;
 pub mod formulation;
 pub mod mip_algorithm;
 pub mod scheduler;
 
+pub use column_cache::{CgWarmStart, ColumnCache, PatternCounts};
 pub use column_generation::{CgOptions, CgStats, ColumnGeneration};
 pub use completion::complete_placement;
 pub use formulation::{per_machine_cap, FormulationKind, RasaFormulation};
