@@ -1,0 +1,233 @@
+//! The `BENCH_pipeline.json` artifact schema: what the pipeline bench
+//! writes, what the `--compare` regression gate reads, and what CI
+//! uploads. Version-stamped so two artifacts are only ever diffed when
+//! they describe the same schema.
+
+use serde::{Deserialize, Serialize};
+
+/// Version stamped into every artifact. Bump on any field change that
+/// would make old/new artifacts incomparable; `--compare` refuses
+/// mismatches outright.
+///
+/// History: v1 = unversioned PR 2/3 artifact (p50/p95 stages only);
+/// v2 = `schema_version` + p99/max stage columns + recorder overhead.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// One warm-start round within a run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// 1-based round number; round 1 is the cold solve.
+    pub round: usize,
+    /// End-to-end wall time of the round, seconds.
+    pub elapsed_secs: f64,
+    /// Objective (gained affinity / total affinity) of the round.
+    pub normalized_gained_affinity: f64,
+    /// Subproblems replayed verbatim from the solve cache.
+    pub cache_hits: usize,
+    /// Subproblems solved fresh.
+    pub cache_misses: usize,
+    /// Cache entries evicted at end of round.
+    pub cache_invalidations: usize,
+}
+
+/// One pipeline run on one trace. The headline fields describe the cold
+/// round; `rounds` holds the per-round warm-start trajectory.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Trace name (e.g. `tiny-1`).
+    pub trace: String,
+    /// Selector label (`heuristic` / `always-cg`).
+    pub selector: String,
+    /// Services in the trace.
+    pub services: usize,
+    /// Machines in the trace.
+    pub machines: usize,
+    /// Subproblems the partition produced.
+    pub subproblems: usize,
+    /// Cold-round objective.
+    pub normalized_gained_affinity: f64,
+    /// Cold-round end-to-end wall time, seconds.
+    pub elapsed_secs: f64,
+    /// Whether any subproblem degraded on the cold round.
+    pub degraded: bool,
+    /// `SolveStatus` tallies for this run, e.g. `[["ok", 7]]`.
+    pub statuses: Vec<(String, u64)>,
+    /// Cold and warm rounds, in order.
+    pub rounds: Vec<RoundRecord>,
+}
+
+/// Cold-vs-warm latency summary across all runs (present when the bench
+/// ran more than one round).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WarmStartSummary {
+    /// Median end-to-end latency of the cold rounds, seconds.
+    pub cold_p50_secs: f64,
+    /// Median end-to-end latency of the warm rounds, seconds.
+    pub warm_p50_secs: f64,
+    /// `cold_p50_secs / warm_p50_secs`.
+    pub speedup: f64,
+}
+
+/// Latency percentiles for one obs histogram, in milliseconds. p50/p95/p99
+/// are log₂-bucket estimates; `max_ms` is exact.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StageLatency {
+    /// Histogram name (e.g. `pipeline.solve_seconds`).
+    pub stage: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Median, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile, milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile, milliseconds.
+    pub p99_ms: f64,
+    /// Largest observation, milliseconds (exact, not bucket-estimated).
+    pub max_ms: f64,
+    /// Mean, milliseconds.
+    pub mean_ms: f64,
+}
+
+/// Flight-recorder overhead measurement: the same pipeline run with the
+/// recorder off and on (1-in-N sampling), interleaved to cancel drift.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RecorderOverhead {
+    /// Median run latency with the recorder disabled, seconds.
+    pub disabled_p50_secs: f64,
+    /// Median run latency with the recorder sampling 1-in-N, seconds.
+    pub enabled_p50_secs: f64,
+    /// Healthy-solve sampling period used while enabled.
+    pub sample_every: u64,
+    /// `enabled_p50_secs / disabled_p50_secs`.
+    pub ratio: f64,
+}
+
+/// The full `BENCH_pipeline.json` artifact.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchArtifact {
+    /// Artifact schema version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// `RASA_SCALE` the bench ran at (`small` / `full`).
+    pub scale: String,
+    /// Per-algorithm solve budget, seconds.
+    pub timeout_secs: f64,
+    /// Rounds per (trace, selector) pair; round 1 is cold.
+    pub rounds: usize,
+    /// One record per (trace, selector) pair.
+    pub runs: Vec<RunRecord>,
+    /// Latency percentiles for the selected stage histograms.
+    pub stages: Vec<StageLatency>,
+    /// Every obs counter that fired, as `[name, value]` pairs.
+    pub counters: Vec<(String, u64)>,
+    /// Cold-vs-warm medians; `null` when only one round ran.
+    pub warm_start: Option<WarmStartSummary>,
+    /// Flight-recorder overhead measurement; `null` when skipped.
+    pub recorder_overhead: Option<RecorderOverhead>,
+}
+
+impl BenchArtifact {
+    /// Value of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The stage entry named `stage`, if recorded.
+    pub fn stage(&self, stage: &str) -> Option<&StageLatency> {
+        self.stages.iter().find(|s| s.stage == stage)
+    }
+
+    /// Warm/cold p50 latency ratio, if the bench ran warm rounds.
+    pub fn warm_ratio(&self) -> Option<f64> {
+        self.warm_start
+            .as_ref()
+            .map(|w| w.warm_p50_secs / w.cold_p50_secs.max(1e-12))
+    }
+}
+
+/// Median of an unsorted sample (0 when empty).
+pub fn median(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    }
+}
+
+/// Extract the `"schema_version": N` field from raw artifact JSON without
+/// deserializing the whole document — old (pre-versioning) artifacts fail
+/// full deserialization with an opaque error, and the version check must
+/// produce a clear one instead.
+pub fn extract_schema_version(json: &str) -> Option<u32> {
+    let key = "\"schema_version\"";
+    let at = json.find(key)?;
+    let rest = json[at + key.len()..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_samples() {
+        assert_eq!(median(vec![]), 0.0);
+        assert_eq!(median(vec![3.0]), 3.0);
+        assert_eq!(median(vec![5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(vec![4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn schema_version_extraction() {
+        assert_eq!(
+            extract_schema_version("{\n  \"schema_version\": 2,\n  \"scale\": \"small\"\n}"),
+            Some(2)
+        );
+        assert_eq!(extract_schema_version("{\"schema_version\":17}"), Some(17));
+        assert_eq!(extract_schema_version("{\"scale\": \"small\"}"), None);
+    }
+
+    #[test]
+    fn artifact_round_trips_and_helpers_work() {
+        let artifact = BenchArtifact {
+            schema_version: BENCH_SCHEMA_VERSION,
+            scale: "small".into(),
+            timeout_secs: 10.0,
+            rounds: 3,
+            runs: Vec::new(),
+            stages: vec![StageLatency {
+                stage: "pipeline.solve_seconds".into(),
+                count: 8,
+                p50_ms: 10.0,
+                p95_ms: 20.0,
+                p99_ms: 25.0,
+                max_ms: 30.0,
+                mean_ms: 12.0,
+            }],
+            counters: vec![("bnb.nodes".into(), 42)],
+            warm_start: Some(WarmStartSummary {
+                cold_p50_secs: 0.1,
+                warm_p50_secs: 0.02,
+                speedup: 5.0,
+            }),
+            recorder_overhead: None,
+        };
+        let json = serde_json::to_string_pretty(&artifact).expect("serialize");
+        assert_eq!(extract_schema_version(&json), Some(BENCH_SCHEMA_VERSION));
+        let back: BenchArtifact = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.counter("bnb.nodes"), 42);
+        assert_eq!(back.counter("missing"), 0);
+        assert_eq!(back.stage("pipeline.solve_seconds").map(|s| s.count), Some(8));
+        let ratio = back.warm_ratio().expect("warm rounds present");
+        assert!((ratio - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,93 +1,62 @@
 //! **BENCH_pipeline** — end-to-end pipeline benchmark with solver
-//! telemetry, the smoke artifact CI uploads on every push.
+//! telemetry, the smoke artifact CI uploads on every push — plus the
+//! `--compare` regression gate CI runs against the committed baseline.
 //!
-//! Runs the full partition → select → solve → combine pipeline on seeded
-//! traces (four tiny clusters at the default `small` scale — fast enough
-//! for a CI smoke job and comfortably inside the solver deadline — or the
-//! T-clusters at `full`), once with the default heuristic selector and
-//! once forcing column generation (so the CG counters are exercised even
-//! where the heuristic would route everything to MIP), then emits
-//! `BENCH_pipeline.json`: per-stage latency percentiles (p50/p95 from the
-//! `rasa-obs` histograms) plus every solver counter (simplex pivots,
-//! branch-and-bound nodes, CG pricing rounds, guard status tallies).
+//! Bench mode runs the full partition → select → solve → combine pipeline
+//! on seeded traces (four tiny clusters at the default `small` scale — fast
+//! enough for a CI smoke job and comfortably inside the solver deadline —
+//! or the T-clusters at `full`), once with the default heuristic selector
+//! and once forcing column generation (so the CG counters are exercised
+//! even where the heuristic would route everything to MIP), then emits:
+//!
+//! * `BENCH_pipeline.json` (schema v2, see `rasa_bench::artifact`):
+//!   per-stage latency percentiles (p50/p95/p99 plus the exact max from
+//!   the `rasa-obs` histograms), every solver counter (simplex pivots,
+//!   branch-and-bound nodes, CG pricing rounds, guard status tallies),
+//!   cold-vs-warm round records, and the flight-recorder overhead
+//!   measurement;
+//! * `BENCH_pipeline.prom` — the same counters/histograms in Prometheus
+//!   text exposition format, HELP/TYPE sourced from `docs/METRICS.md`.
 //!
 //! Each (trace, selector) pair is optimized for `--rounds N` consecutive
 //! rounds (default 3) sharing one [`SolveCache`]: round 1 is the cold
 //! solve, later rounds warm-start from the cache, and the artifact records
 //! cold-vs-warm per-round latency plus cache hit/miss/invalidation tallies.
 //!
-//! Environment:
+//! Compare mode (`--compare OLD.json NEW.json [--threshold-pct P]
+//! [--abs-slack-ms S]`) diffs two artifacts and exits 0 (no regression),
+//! 2 (regression found), or 3 (artifacts incomparable); schema-version
+//! mismatches are rejected with a clear error. See `rasa_bench::compare`.
+//!
+//! Environment (bench mode):
 //!
 //! * `RASA_BENCH_OUT` — artifact path (default `BENCH_pipeline.json`);
+//!   the `.prom` exposition lands next to it;
 //! * `RASA_BENCH_STRICT` — unset or `1`: exit nonzero when any subproblem
 //!   reports a degraded [`SolveStatus`], a hot-path counter (simplex
 //!   pivots, B&B nodes, CG rounds) stayed at zero, a warm round's
-//!   objective drifts from its cold round, or the warm p50 latency exceeds
-//!   0.7× the cold p50; `0`: report only;
+//!   objective drifts from its cold round, the warm p50 latency exceeds
+//!   0.7× the cold p50, the Prometheus exposition hits an undocumented
+//!   metric, or the flight recorder costs more than 5% at 1-in-N
+//!   sampling; `0`: report only;
 //! * `RASA_BENCH_ROUNDS` — rounds per (trace, selector); the `--rounds N`
 //!   CLI flag takes precedence; default 3, minimum 1;
+//! * `RASA_BENCH_OVERHEAD` — `0` skips the recorder-overhead measurement;
+//! * `RASA_FLIGHT_DIR` / `RASA_FLIGHT_SAMPLE` / `RASA_FLIGHT_MAX_DUMPS` —
+//!   enable the flight recorder for the main bench runs (off by default);
 //! * `RASA_SCALE` / `RASA_TIMEOUT_SECS` — as for every rasa-bench binary.
 
+use rasa_bench::artifact::{
+    median, BenchArtifact, RecorderOverhead, RoundRecord, RunRecord, StageLatency,
+    WarmStartSummary, BENCH_SCHEMA_VERSION,
+};
+use rasa_bench::compare::{compare_artifacts, load_artifact, CompareConfig, CompareOutcome};
 use rasa_bench::{print_table, scale, timeout, Scale};
 use rasa_core::{Deadline, RasaConfig, RasaPipeline, SelectorChoice, SolveCache, SolveStatus};
+use rasa_model::Problem;
+use rasa_obs::FlightConfig;
 use rasa_trace::{generate, t_clusters, tiny_cluster};
-use serde::{Deserialize, Serialize};
-
-/// One warm-start round within a run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-struct RoundRecord {
-    /// 1-based round number; round 1 is the cold solve.
-    round: usize,
-    elapsed_secs: f64,
-    normalized_gained_affinity: f64,
-    cache_hits: usize,
-    cache_misses: usize,
-    cache_invalidations: usize,
-}
-
-/// One pipeline run on one trace. The headline fields describe the cold
-/// round; `rounds` holds the per-round warm-start trajectory.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-struct RunRecord {
-    trace: String,
-    selector: String,
-    services: usize,
-    machines: usize,
-    subproblems: usize,
-    normalized_gained_affinity: f64,
-    elapsed_secs: f64,
-    degraded: bool,
-    /// `SolveStatus` tallies for this run, e.g. `[["ok", 7]]`.
-    statuses: Vec<(String, u64)>,
-    /// Cold and warm rounds, in order.
-    rounds: Vec<RoundRecord>,
-}
-
-/// Cold-vs-warm latency summary across all runs (present when the bench
-/// ran more than one round).
-#[derive(Clone, Debug, Serialize, Deserialize)]
-struct WarmStartSummary {
-    /// Median end-to-end latency of the cold rounds, seconds.
-    cold_p50_secs: f64,
-    /// Median end-to-end latency of the warm rounds, seconds.
-    warm_p50_secs: f64,
-    /// `cold_p50_secs / warm_p50_secs`.
-    speedup: f64,
-}
-
-/// Median of an unsorted sample.
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    if xs.is_empty() {
-        return 0.0;
-    }
-    let mid = xs.len() / 2;
-    if xs.len() % 2 == 1 {
-        xs[mid]
-    } else {
-        (xs[mid - 1] + xs[mid]) / 2.0
-    }
-}
+use std::time::{Duration, Instant};
 
 /// `--rounds N` from the CLI, else `RASA_BENCH_ROUNDS`, else 3.
 fn rounds_per_run() -> usize {
@@ -107,30 +76,6 @@ fn rounds_per_run() -> usize {
         .max(1)
 }
 
-/// p50/p95 for one obs histogram, in milliseconds.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-struct StageLatency {
-    stage: String,
-    count: u64,
-    p50_ms: f64,
-    p95_ms: f64,
-    mean_ms: f64,
-}
-
-/// The full artifact.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-struct BenchArtifact {
-    scale: String,
-    timeout_secs: f64,
-    /// Rounds per (trace, selector) pair; round 1 is cold.
-    rounds: usize,
-    runs: Vec<RunRecord>,
-    stages: Vec<StageLatency>,
-    counters: Vec<(String, u64)>,
-    /// Cold-vs-warm medians; `null` when only one round ran.
-    warm_start: Option<WarmStartSummary>,
-}
-
 fn status_key(s: SolveStatus) -> &'static str {
     match s {
         SolveStatus::Ok => "ok",
@@ -141,9 +86,126 @@ fn status_key(s: SolveStatus) -> &'static str {
     }
 }
 
+/// Parse `--flag V` as an `f64` anywhere in `args`.
+fn float_flag(args: &[String], flag: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// `--compare OLD NEW`: diff two artifacts, print findings, exit
+/// 0 / 2 (regression) / 3 (incomparable) / 1 (usage or IO error).
+fn run_compare(args: &[String]) -> ! {
+    let at = args.iter().position(|a| a == "--compare").unwrap_or(0);
+    let (Some(old_path), Some(new_path)) = (args.get(at + 1), args.get(at + 2)) else {
+        eprintln!(
+            "usage: pipeline --compare OLD.json NEW.json \
+             [--threshold-pct P] [--abs-slack-ms S]"
+        );
+        std::process::exit(1);
+    };
+    let mut cfg = CompareConfig::default();
+    if let Some(p) = float_flag(args, "--threshold-pct") {
+        cfg.latency_pct = p;
+    }
+    if let Some(s) = float_flag(args, "--abs-slack-ms") {
+        cfg.abs_slack_ms = s;
+    }
+
+    let load = |path: &str| -> BenchArtifact {
+        match load_artifact(path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+    println!(
+        "comparing {new_path} against baseline {old_path} \
+         (latency +{:.0}% +{:.1}ms, counters x{:.1}, warm +{:.0}%)",
+        cfg.latency_pct, cfg.abs_slack_ms, cfg.counter_factor, cfg.warm_pct
+    );
+    match compare_artifacts(&old, &new, &cfg) {
+        CompareOutcome::Pass => {
+            println!("PASS: no regression against baseline");
+            std::process::exit(0);
+        }
+        CompareOutcome::Regressions(findings) => {
+            println!("REGRESSIONS ({}):", findings.len());
+            for f in &findings {
+                println!("  - {f}");
+            }
+            std::process::exit(2);
+        }
+        CompareOutcome::Incomparable(why) => {
+            println!("INCOMPARABLE: {why}");
+            std::process::exit(3);
+        }
+    }
+}
+
+/// Measure flight-recorder overhead: the same cold pipeline run with the
+/// recorder off and sampling 1-in-N, interleaved so machine drift hits
+/// both sides equally. Recorder state is restored afterwards.
+fn measure_recorder_overhead(problem: &Problem, budget: Duration) -> RecorderOverhead {
+    let rec = rasa_obs::recorder();
+    let prev_enabled = rec.enabled();
+    let prev_config = rec.config();
+    let sample_every = 4;
+    let enabled_config = FlightConfig {
+        dump_dir: None, // overhead of recording, not of disk IO
+        sample_every,
+        ..FlightConfig::default()
+    };
+
+    let pipeline = RasaPipeline::new(RasaConfig::default());
+    let run = || {
+        let t = Instant::now();
+        let _ = pipeline.optimize_with_cache(problem, None, Deadline::after(budget), None);
+        t.elapsed().as_secs_f64()
+    };
+
+    // warm-up (page caches, allocator, branch predictors) before timing
+    rec.set_enabled(false);
+    let _ = run();
+    let iters = match scale() {
+        Scale::Small => 5,
+        Scale::Full => 3,
+    };
+    let mut disabled = Vec::with_capacity(iters);
+    let mut enabled = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        rec.set_enabled(false);
+        disabled.push(run());
+        rec.configure(enabled_config.clone());
+        enabled.push(run());
+    }
+    rec.configure(prev_config);
+    rec.set_enabled(prev_enabled);
+
+    let disabled_p50_secs = median(disabled);
+    let enabled_p50_secs = median(enabled);
+    RecorderOverhead {
+        disabled_p50_secs,
+        enabled_p50_secs,
+        sample_every,
+        ratio: enabled_p50_secs / disabled_p50_secs.max(1e-12),
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--compare") {
+        run_compare(&args);
+    }
+
     let obs = rasa_obs::global();
     obs.reset();
+    rasa_obs::recorder().configure_from_env();
 
     let strict = std::env::var("RASA_BENCH_STRICT").as_deref() != Ok("0");
     let out_path =
@@ -261,14 +323,44 @@ fn main() {
         snapshot.histogram(name).map(|h| StageLatency {
             stage: name.to_string(),
             count: h.count,
-            p50_ms: h.quantile(0.5) * 1e3,
-            p95_ms: h.quantile(0.95) * 1e3,
+            p50_ms: h.p50() * 1e3,
+            p95_ms: h.p95() * 1e3,
+            p99_ms: h.p99() * 1e3,
+            max_ms: h.max * 1e3,
             mean_ms: h.mean() * 1e3,
         })
     })
     .collect();
 
+    // Prometheus exposition next to the JSON artifact; HELP/TYPE come from
+    // docs/METRICS.md, so an undocumented metric fails here exactly as it
+    // fails the doc-consistency test.
+    let prom_path = format!("{}.prom", out_path.trim_end_matches(".json"));
+    let prom_error = match rasa_obs::write_prometheus(&snapshot, rasa_obs::MetricsGlossary::builtin())
+    {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&prom_path, text) {
+                eprintln!("failed to write {prom_path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("[artifact] {prom_path}");
+            None
+        }
+        Err(e) => {
+            eprintln!("prometheus exposition failed: {e}");
+            Some(e.to_string())
+        }
+    };
+
+    let recorder_overhead = if std::env::var("RASA_BENCH_OVERHEAD").as_deref() == Ok("0") {
+        None
+    } else {
+        eprintln!("[overhead] measuring flight-recorder cost (interleaved off/on runs)…");
+        Some(measure_recorder_overhead(&traces[0].1, budget))
+    };
+
     let artifact = BenchArtifact {
+        schema_version: BENCH_SCHEMA_VERSION,
         scale: match scale() {
             Scale::Small => "small".into(),
             Scale::Full => "full".into(),
@@ -279,10 +371,12 @@ fn main() {
         stages,
         counters: snapshot.counters.clone(),
         warm_start,
+        recorder_overhead,
     };
 
     println!(
-        "BENCH_pipeline — {} traces × {} selectors × {} rounds\n",
+        "BENCH_pipeline (schema v{}) — {} traces × {} selectors × {} rounds\n",
+        artifact.schema_version,
         traces.len(),
         selectors.len(),
         rounds
@@ -306,7 +400,7 @@ fn main() {
     );
     println!();
     print_table(
-        &["stage", "count", "p50 ms", "p95 ms", "mean ms"],
+        &["stage", "count", "p50 ms", "p95 ms", "p99 ms", "max ms", "mean ms"],
         &artifact
             .stages
             .iter()
@@ -316,6 +410,8 @@ fn main() {
                     s.count.to_string(),
                     format!("{:.2}", s.p50_ms),
                     format!("{:.2}", s.p95_ms),
+                    format!("{:.2}", s.p99_ms),
+                    format!("{:.2}", s.max_ms),
                     format!("{:.2}", s.mean_ms),
                 ]
             })
@@ -331,6 +427,16 @@ fn main() {
             ws.cold_p50_secs * 1e3,
             ws.warm_p50_secs * 1e3,
             ws.speedup
+        );
+    }
+    if let Some(ov) = &artifact.recorder_overhead {
+        println!(
+            "recorder overhead: disabled p50 {:.2} ms, 1-in-{} sampling p50 {:.2} ms \
+             (ratio {:.3})",
+            ov.disabled_p50_secs * 1e3,
+            ov.sample_every,
+            ov.enabled_p50_secs * 1e3,
+            ov.ratio
         );
     }
 
@@ -350,6 +456,9 @@ fn main() {
 
     if strict {
         let mut failures = Vec::new();
+        if let Some(e) = prom_error {
+            failures.push(format!("prometheus exposition failed: {e}"));
+        }
         for r in &artifact.runs {
             if r.degraded {
                 failures.push(format!(
@@ -394,6 +503,19 @@ fn main() {
                 }
             }
         }
+        if let Some(ov) = &artifact.recorder_overhead {
+            // the ISSUE gate: ≤5% p50 overhead at 1-in-N sampling, with a
+            // small absolute floor so micro-runs don't fail on timer noise
+            if ov.ratio > 1.05 && ov.enabled_p50_secs - ov.disabled_p50_secs > 0.005 {
+                failures.push(format!(
+                    "flight recorder overhead {:.1}% exceeds 5% (disabled p50 {:.2} ms, \
+                     enabled p50 {:.2} ms)",
+                    (ov.ratio - 1.0) * 100.0,
+                    ov.disabled_p50_secs * 1e3,
+                    ov.enabled_p50_secs * 1e3
+                ));
+            }
+        }
         if !failures.is_empty() {
             eprintln!("\nSTRICT MODE FAILURES:");
             for f in &failures {
@@ -401,6 +523,9 @@ fn main() {
             }
             std::process::exit(2);
         }
-        eprintln!("strict checks passed: no degraded solves, all hot-path counters nonzero");
+        eprintln!(
+            "strict checks passed: no degraded solves, hot-path counters nonzero, \
+             recorder overhead within budget"
+        );
     }
 }

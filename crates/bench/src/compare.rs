@@ -1,0 +1,291 @@
+//! The `rasa-bench --compare OLD.json NEW.json` regression gate.
+//!
+//! Diffs two [`BenchArtifact`]s and reports regressions: per-stage
+//! p50/p95 latency blowups, solver-counter explosions or silently-zeroed
+//! hot paths, and warm-start ratio decay. CI runs this against the
+//! committed baseline and fails the build on any finding.
+
+use crate::artifact::{extract_schema_version, BenchArtifact, BENCH_SCHEMA_VERSION};
+
+/// Thresholds for the regression gate. Defaults are tuned for same-machine
+/// comparisons; CI loosens `latency_pct` because baseline and candidate run
+/// on different hardware.
+#[derive(Clone, Debug)]
+pub struct CompareConfig {
+    /// Allowed relative latency growth per stage percentile, in percent
+    /// (50.0 = new may be up to 1.5x old).
+    pub latency_pct: f64,
+    /// Absolute slack added on top of the relative latency bound, in
+    /// milliseconds — keeps micro-stage jitter from tripping the gate.
+    pub abs_slack_ms: f64,
+    /// Allowed multiplicative growth of hot solver counters
+    /// (2.0 = new may do up to 2x the old pivots/nodes/rounds).
+    pub counter_factor: f64,
+    /// Allowed relative growth of the warm/cold latency ratio, in percent.
+    pub warm_pct: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            latency_pct: 50.0,
+            abs_slack_ms: 5.0,
+            counter_factor: 2.0,
+            warm_pct: 25.0,
+        }
+    }
+}
+
+/// Hot-path counters that must stay nonzero (the solvers actually ran) and
+/// must not explode between baseline and candidate.
+pub const HOT_COUNTERS: [&str; 3] = ["simplex.pivots", "bnb.nodes", "cg.rounds"];
+
+/// Outcome of a comparison.
+#[derive(Clone, Debug)]
+pub enum CompareOutcome {
+    /// No regression found.
+    Pass,
+    /// One finding per regression, human-readable.
+    Regressions(Vec<String>),
+    /// The artifacts cannot be meaningfully diffed (different scale or
+    /// round count). Distinct from a regression: the gate errs loudly
+    /// instead of passing or failing on noise.
+    Incomparable(String),
+}
+
+/// Load and schema-check an artifact from `path`.
+///
+/// Rejects missing or mismatched `schema_version` with an error naming the
+/// versions involved, *before* attempting full deserialization — an old
+/// artifact must produce "schema_version 2 required", not a parse error.
+pub fn load_artifact(path: &str) -> Result<BenchArtifact, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    match extract_schema_version(&text) {
+        None => Err(format!(
+            "{path}: no schema_version field — artifact predates schema v{BENCH_SCHEMA_VERSION}; \
+             regenerate it with `cargo run --release -p rasa-bench --bin pipeline`"
+        )),
+        Some(v) if v != BENCH_SCHEMA_VERSION => Err(format!(
+            "{path}: schema_version {v} but this binary compares v{BENCH_SCHEMA_VERSION} artifacts; \
+             regenerate the artifact with a matching rasa-bench build"
+        )),
+        Some(_) => serde_json::from_str(&text).map_err(|e| format!("{path}: {e}")),
+    }
+}
+
+/// Diff `new` against the `old` baseline under `cfg`.
+pub fn compare_artifacts(
+    old: &BenchArtifact,
+    new: &BenchArtifact,
+    cfg: &CompareConfig,
+) -> CompareOutcome {
+    if old.scale != new.scale {
+        return CompareOutcome::Incomparable(format!(
+            "scale mismatch: baseline ran at {:?}, candidate at {:?}",
+            old.scale, new.scale
+        ));
+    }
+    if old.rounds != new.rounds {
+        return CompareOutcome::Incomparable(format!(
+            "round-count mismatch: baseline {} rounds, candidate {}",
+            old.rounds, new.rounds
+        ));
+    }
+
+    let mut findings = Vec::new();
+    let factor = 1.0 + cfg.latency_pct / 100.0;
+
+    for old_stage in &old.stages {
+        let Some(new_stage) = new.stage(&old_stage.stage) else {
+            findings.push(format!(
+                "stage {} present in baseline but missing from candidate",
+                old_stage.stage
+            ));
+            continue;
+        };
+        for (pct, old_v, new_v) in [
+            ("p50", old_stage.p50_ms, new_stage.p50_ms),
+            ("p95", old_stage.p95_ms, new_stage.p95_ms),
+        ] {
+            let bound = old_v * factor + cfg.abs_slack_ms;
+            if new_v > bound {
+                findings.push(format!(
+                    "stage {} {pct} regressed: {:.3} ms -> {:.3} ms (bound {:.3} ms = \
+                     old x{:.2} + {:.1} ms slack)",
+                    old_stage.stage, old_v, new_v, bound, factor, cfg.abs_slack_ms
+                ));
+            }
+        }
+    }
+
+    for name in HOT_COUNTERS {
+        let (old_v, new_v) = (old.counter(name), new.counter(name));
+        if old_v > 0 && new_v == 0 {
+            findings.push(format!(
+                "counter {name} went silent: {old_v} in baseline, 0 in candidate — \
+                 a solver hot path stopped running"
+            ));
+        } else if new_v as f64 > old_v as f64 * cfg.counter_factor {
+            findings.push(format!(
+                "counter {name} exploded: {old_v} -> {new_v} (allowed up to x{:.1})",
+                cfg.counter_factor
+            ));
+        }
+    }
+
+    if let (Some(old_ratio), Some(new_ratio)) = (old.warm_ratio(), new.warm_ratio()) {
+        let bound = old_ratio * (1.0 + cfg.warm_pct / 100.0);
+        if new_ratio > bound && new_ratio > 0.7 {
+            findings.push(format!(
+                "warm-start ratio regressed: warm/cold p50 {:.3} -> {:.3} \
+                 (allowed up to {:.3})",
+                old_ratio, new_ratio, bound
+            ));
+        }
+    } else if old.warm_start.is_some() && new.warm_start.is_none() {
+        findings.push("baseline has a warm_start summary but candidate does not".into());
+    }
+
+    if findings.is_empty() {
+        CompareOutcome::Pass
+    } else {
+        CompareOutcome::Regressions(findings)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::artifact::{StageLatency, WarmStartSummary};
+
+    fn base() -> BenchArtifact {
+        BenchArtifact {
+            schema_version: BENCH_SCHEMA_VERSION,
+            scale: "small".into(),
+            timeout_secs: 10.0,
+            rounds: 3,
+            runs: Vec::new(),
+            stages: vec![StageLatency {
+                stage: "pipeline.solve_seconds".into(),
+                count: 10,
+                p50_ms: 100.0,
+                p95_ms: 200.0,
+                p99_ms: 220.0,
+                max_ms: 250.0,
+                mean_ms: 110.0,
+            }],
+            counters: vec![
+                ("simplex.pivots".into(), 1_000),
+                ("bnb.nodes".into(), 50),
+                ("cg.rounds".into(), 20),
+            ],
+            warm_start: Some(WarmStartSummary {
+                cold_p50_secs: 0.1,
+                warm_p50_secs: 0.03,
+                speedup: 3.33,
+            }),
+            recorder_overhead: None,
+        }
+    }
+
+    #[test]
+    fn self_compare_passes() {
+        let a = base();
+        assert!(matches!(
+            compare_artifacts(&a, &a, &CompareConfig::default()),
+            CompareOutcome::Pass
+        ));
+    }
+
+    #[test]
+    fn latency_regression_is_flagged() {
+        let old = base();
+        let mut new = base();
+        new.stages[0].p50_ms = 200.0; // 2x old, over the 1.5x + 5ms bound
+        match compare_artifacts(&old, &new, &CompareConfig::default()) {
+            CompareOutcome::Regressions(f) => {
+                assert!(f.iter().any(|m| m.contains("p50 regressed")), "{f:?}")
+            }
+            other => panic!("expected regressions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_within_bound_passes() {
+        let old = base();
+        let mut new = base();
+        new.stages[0].p50_ms = 140.0; // within 1.5x
+        assert!(matches!(
+            compare_artifacts(&old, &new, &CompareConfig::default()),
+            CompareOutcome::Pass
+        ));
+    }
+
+    #[test]
+    fn silent_hot_counter_is_flagged() {
+        let old = base();
+        let mut new = base();
+        new.counters.retain(|(n, _)| n != "bnb.nodes");
+        match compare_artifacts(&old, &new, &CompareConfig::default()) {
+            CompareOutcome::Regressions(f) => {
+                assert!(f.iter().any(|m| m.contains("went silent")), "{f:?}")
+            }
+            other => panic!("expected regressions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counter_explosion_is_flagged() {
+        let old = base();
+        let mut new = base();
+        new.counters[0].1 = 10_000; // 10x the pivots
+        match compare_artifacts(&old, &new, &CompareConfig::default()) {
+            CompareOutcome::Regressions(f) => {
+                assert!(f.iter().any(|m| m.contains("exploded")), "{f:?}")
+            }
+            other => panic!("expected regressions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_stage_is_flagged() {
+        let old = base();
+        let mut new = base();
+        new.stages.clear();
+        match compare_artifacts(&old, &new, &CompareConfig::default()) {
+            CompareOutcome::Regressions(f) => {
+                assert!(f.iter().any(|m| m.contains("missing from candidate")), "{f:?}")
+            }
+            other => panic!("expected regressions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_ratio_decay_is_flagged() {
+        let old = base();
+        let mut new = base();
+        new.warm_start = Some(WarmStartSummary {
+            cold_p50_secs: 0.1,
+            warm_p50_secs: 0.095, // ratio 0.95 vs baseline 0.3
+            speedup: 1.05,
+        });
+        match compare_artifacts(&old, &new, &CompareConfig::default()) {
+            CompareOutcome::Regressions(f) => {
+                assert!(f.iter().any(|m| m.contains("warm-start ratio")), "{f:?}")
+            }
+            other => panic!("expected regressions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scale_mismatch_is_incomparable() {
+        let old = base();
+        let mut new = base();
+        new.scale = "full".into();
+        assert!(matches!(
+            compare_artifacts(&old, &new, &CompareConfig::default()),
+            CompareOutcome::Incomparable(_)
+        ));
+    }
+}

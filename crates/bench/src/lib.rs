@@ -143,6 +143,8 @@ mod tests {
     }
 }
 
+pub mod artifact;
+pub mod compare;
 pub mod production;
 
 /// Train (or load from the `target/experiments` cache) the GCN selector

@@ -17,6 +17,7 @@ use rand::SeedableRng;
 use rasa_lp::Deadline;
 use rasa_migrate::{plan_migration, MigrateConfig, MigrateError, MigrationPlan};
 use rasa_model::{ContainerAssignment, Placement, Problem, RasaError};
+use rasa_obs::flight::{self, TraceEvent};
 use rasa_partition::{
     partition_with_strategy, PartitionConfig, PartitionOutcome, PartitionStrategy, Subproblem,
 };
@@ -184,9 +185,17 @@ impl RasaPipeline {
         let start = Instant::now();
         let obs = rasa_obs::global();
         obs.inc("pipeline.runs");
+        let mut fscope = flight::begin_solve(
+            "pipeline.run",
+            &[
+                ("services", problem.num_services().to_string()),
+                ("machines", problem.num_machines().to_string()),
+            ],
+        );
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let partition: PartitionOutcome = {
             let _t = obs.span("pipeline.partition_seconds");
+            let _fs = flight::span("pipeline.partition");
             partition_with_strategy(
                 problem,
                 current,
@@ -240,9 +249,11 @@ impl RasaPipeline {
                     hit_algorithms[i] = Some(hit.algorithm);
                     stats.hits += 1;
                     obs.inc("cache.sub_hits");
+                    flight::emit(|| TraceEvent::cache_lookup(true, "solve_cache", fps[i]));
                 } else {
                     stats.misses += 1;
                     obs.inc("cache.sub_misses");
+                    flight::emit(|| TraceEvent::cache_lookup(false, "solve_cache", fps[i]));
                 }
             }
         }
@@ -268,6 +279,7 @@ impl RasaPipeline {
         // free and must not hold a share of the budget
         let solved: Vec<GuardedOutcome> = {
             let _t = obs.span("pipeline.solve_seconds");
+            let _fs = flight::span_with("pipeline.solve", &[("jobs", jobs.len().to_string())]);
             if self.config.parallel {
                 self.solve_parallel(&jobs, deadline)
             } else {
@@ -298,10 +310,15 @@ impl RasaPipeline {
                 .collect();
             stats.invalidations = c.retain(&live_subs, &live_columns);
             obs.add("cache.invalidations", stats.invalidations as u64);
+            if stats.invalidations > 0 {
+                let n = stats.invalidations as u64;
+                flight::emit(|| TraceEvent::cache_evict("solve_cache", n));
+            }
         }
 
         // combine (merging hits and fresh solves back in subproblem order)
         let _t_combine = obs.span("pipeline.combine_seconds");
+        let _fs_combine = flight::span("pipeline.combine");
         let mut fresh = solved.into_iter();
         let merged: Vec<(GuardedOutcome, bool)> = replayed
             .into_iter()
@@ -334,12 +351,17 @@ impl RasaPipeline {
                 cache_hit: *was_hit,
             });
         }
+        drop(_fs_combine);
         drop(_t_combine);
 
         if self.config.complete {
             let _t = obs.span("pipeline.complete_seconds");
+            let _fs = flight::span("pipeline.complete");
             complete_placement(problem, &mut placement);
         }
+        let degraded = reports.iter().any(|r| r.status.is_degraded());
+        fscope.set_verdict(if degraded { "degraded" } else { "ok" }, degraded);
+        drop(fscope);
         let completed = reports.iter().all(|r| r.completed);
         let outcome = ScheduleOutcome::evaluate(problem, placement, start.elapsed(), completed);
         RasaRun {

@@ -21,6 +21,7 @@
 
 use rasa_lp::Deadline;
 use rasa_model::{validate, Placement, Problem, RasaError};
+use rasa_obs::flight::{self, TraceEvent};
 use rasa_select::PoolAlgorithm;
 use rasa_solver::{complete_placement, ScheduleOutcome, Scheduler};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -155,6 +156,7 @@ fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Run one scheduler under `catch_unwind` and validate its placement
 /// (partial placements are fine; constraint violations are not).
 fn run_rung(scheduler: &dyn Scheduler, problem: &Problem, deadline: Deadline) -> Rung {
+    let _rung_span = flight::span_with("solve.rung", &[("algorithm", scheduler.name().into())]);
     match catch_unwind(AssertUnwindSafe(|| scheduler.schedule(problem, deadline))) {
         Ok(outcome) => {
             if validate(problem, &outcome.placement, false).is_empty() {
@@ -198,7 +200,26 @@ pub fn guarded_schedule(
     deadline: Deadline,
 ) -> GuardedOutcome {
     let start = Instant::now();
+    let mut scope = flight::begin_solve(
+        "solve.subproblem",
+        &[
+            ("sub_id", index.to_string()),
+            ("primary", primary.1.name().into()),
+            ("services", problem.services.len().to_string()),
+        ],
+    );
     let g = guarded_schedule_impl(index, primary, fallbacks, problem, deadline);
+    scope.set_verdict(
+        match g.status {
+            SolveStatus::Ok => "ok",
+            SolveStatus::DeadlineExpired => "deadline_expired",
+            SolveStatus::Panicked => "panicked",
+            SolveStatus::Infeasible => "infeasible",
+            SolveStatus::FellBackTo(_) => "fell_back",
+        },
+        g.status.is_degraded(),
+    );
+    drop(scope);
     let obs = rasa_obs::global();
     if obs.enabled() {
         obs.inc(match g.status {
@@ -235,6 +256,14 @@ fn guarded_schedule_impl(
     if deadline.expired() {
         // no budget at all: skip the solvers, let completion place what the
         // default scheduler would
+        flight::emit(|| {
+            TraceEvent::fallback_transition(
+                0,
+                fallbacks.len() as u64 + 1,
+                primary.1.name(),
+                "completion",
+            )
+        });
         return GuardedOutcome {
             outcome: completion_outcome(problem, start),
             status: SolveStatus::DeadlineExpired,
@@ -273,10 +302,18 @@ fn guarded_schedule_impl(
     };
 
     // the primary failed: try the other pool members while budget remains
-    for &(alg, fallback) in fallbacks {
+    let mut prev_rung: u64 = 0;
+    let mut prev_name = primary.1.name();
+    for (k, &(alg, fallback)) in fallbacks.iter().enumerate() {
         if deadline.expired() {
             break;
         }
+        let to_rung = k as u64 + 1;
+        flight::emit(|| {
+            TraceEvent::fallback_transition(prev_rung, to_rung, prev_name, fallback.name())
+        });
+        prev_rung = to_rung;
+        prev_name = fallback.name();
         if let Rung::Valid(mut outcome) = run_rung(fallback, problem, deadline) {
             // degraded run: even a fully-solved fallback is flagged so the
             // merged RasaRun reports completed = false
@@ -291,6 +328,14 @@ fn guarded_schedule_impl(
     }
 
     // every pool member failed: greedy completion is the floor
+    flight::emit(|| {
+        TraceEvent::fallback_transition(
+            prev_rung,
+            fallbacks.len() as u64 + 1,
+            prev_name,
+            "completion",
+        )
+    });
     GuardedOutcome {
         outcome: completion_outcome(problem, start),
         status,

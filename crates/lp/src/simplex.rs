@@ -468,6 +468,7 @@ pub fn solve_simplex_warm(
     deadline: Deadline,
     warm: Option<&Basis>,
 ) -> LpSolution {
+    let _fs = rasa_obs::flight::span("lp.simplex");
     let sol = solve_simplex_impl(model, options, deadline, warm);
     let obs = rasa_obs::global();
     if obs.enabled() {
@@ -755,6 +756,7 @@ fn solve_simplex_impl(
 
     // ---- phase 1 ----
     if n_art > 0 {
+        rasa_obs::flight::emit(|| rasa_obs::TraceEvent::simplex_phase("start->phase1"));
         let mut cost1 = vec![0.0f64; total];
         for c in cost1.iter_mut().skip(total - n_art) {
             *c = -1.0;
@@ -796,6 +798,16 @@ fn solve_simplex_impl(
             state.x[j] = 0.0;
             state.at_upper[j] = false;
         }
+        rasa_obs::flight::emit(|| rasa_obs::TraceEvent::simplex_phase("phase1->phase2"));
+    } else {
+        let warm_accepted = state.stats.warm_accepted;
+        rasa_obs::flight::emit(|| {
+            rasa_obs::TraceEvent::simplex_phase(if warm_accepted {
+                "warm->phase2"
+            } else {
+                "start->phase2"
+            })
+        });
     }
 
     // ---- phase 2 ----

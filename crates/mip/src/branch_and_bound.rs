@@ -210,6 +210,7 @@ pub fn solve_branch_and_bound(
     deadline: Deadline,
 ) -> MipSolution {
     let mut counters = BnbCounters::default();
+    let _fs = rasa_obs::flight::span("mip.bnb");
     let sol = solve_bnb_impl(model, options, deadline, &mut counters);
     let obs = rasa_obs::global();
     if obs.enabled() {
@@ -327,8 +328,10 @@ fn solve_bnb_impl(
     }
     if options.rounding_every > 0 {
         incumbent = rounding_heuristic(model, &root.x, options.int_tol);
-        if incumbent.is_some() {
+        if let Some((_, obj)) = &incumbent {
             counters.incumbent_updates += 1;
+            let (obj, bound) = (*obj, root.objective);
+            rasa_obs::flight::emit(|| rasa_obs::TraceEvent::bnb_incumbent(obj, bound, 1));
         }
     }
     if options.dive {
@@ -336,6 +339,8 @@ fn solve_bnb_impl(
             if incumbent.as_ref().map_or(true, |(_, best)| obj > *best) {
                 incumbent = Some((x, obj));
                 counters.incumbent_updates += 1;
+                let bound = root.objective;
+                rasa_obs::flight::emit(|| rasa_obs::TraceEvent::bnb_incumbent(obj, bound, 1));
             }
         }
     }
@@ -398,8 +403,17 @@ fn solve_bnb_impl(
         }
     };
 
+    // trace the bound trajectory, but only on strict improvement: with a
+    // best-first heap the popped bound is non-increasing, so this emits one
+    // event per distinct bound level rather than one per node
+    let mut last_bound_event = f64::INFINITY;
     while let Some(node) = heap.pop() {
         global_bound = node.bound;
+        if global_bound < last_bound_event {
+            last_bound_event = global_bound;
+            let (b, n) = (global_bound, nodes as u64);
+            rasa_obs::flight::emit(|| rasa_obs::TraceEvent::bnb_bound(b, n));
+        }
         // prune against incumbent
         if let Some((_, inc_obj)) = &incumbent {
             let gap = (global_bound - inc_obj) / inc_obj.abs().max(1.0);
@@ -470,6 +484,8 @@ fn solve_bnb_impl(
                 if incumbent.as_ref().map_or(true, |(_, best)| obj > *best) {
                     incumbent = Some((relax.x.clone(), obj));
                     counters.incumbent_updates += 1;
+                    let (b, n) = (global_bound, nodes as u64);
+                    rasa_obs::flight::emit(|| rasa_obs::TraceEvent::bnb_incumbent(obj, b, n));
                 }
             }
             Some(j) => {
@@ -479,6 +495,10 @@ fn solve_bnb_impl(
                         if incumbent.as_ref().map_or(true, |(_, best)| obj > *best) {
                             incumbent = Some((x, obj));
                             counters.incumbent_updates += 1;
+                            let (b, n) = (global_bound, nodes as u64);
+                            rasa_obs::flight::emit(|| {
+                                rasa_obs::TraceEvent::bnb_incumbent(obj, b, n)
+                            });
                         }
                     }
                 }

@@ -1,0 +1,1081 @@
+//! The solver **flight recorder**: hierarchical span tracing plus typed
+//! structured events, buffered per solve and flushed once at solve end —
+//! the qualitative counterpart of the counter/histogram registry.
+//!
+//! Counters say *how much* (pivots, nodes, pricing rounds); the flight
+//! recorder says *why*: which subproblem timed out, how the B&B bound
+//! evolved toward the incumbent, which CG pricing round stopped producing
+//! columns, where the fallback ladder transitioned. On a degraded solve
+//! the whole recording is dumped as a self-contained JSON "black box"
+//! file; healthy solves are sampled 1-in-N (configurable).
+//!
+//! ## Recording model
+//!
+//! Recording follows the same discipline as the counter path: **hot loops
+//! never touch shared state**. Each solve owns a thread-local
+//! [`trace`](self) — a span stack plus a bounded ring buffer of events
+//! (oldest dropped, drop count recorded) — and the recorder's single lock
+//! is taken exactly once per solve, at flush. When the recorder is
+//! disabled (the default), every call is one relaxed atomic load and a
+//! branch.
+//!
+//! ## API shape
+//!
+//! * [`begin_solve`] opens a per-thread recording scope (or, when a scope
+//!   is already active on this thread, a nested span — so a pipeline run
+//!   on the main thread nests its sequential subproblem solves, while
+//!   parallel workers each record their own solve).
+//! * [`span`] / [`span_with`] push scoped child spans, closed on drop.
+//! * [`emit`] appends a typed [`TraceEvent`] to the ring buffer; the
+//!   closure is only evaluated while a recording is active.
+//! * [`FlightScope::set_verdict`] labels the solve; degraded verdicts
+//!   trigger a black-box dump at flush.
+//!
+//! ```
+//! use rasa_obs::flight::{self, FlightConfig, TraceEvent};
+//! let recorder = rasa_obs::flight::recorder();
+//! recorder.configure(FlightConfig { sample_every: 1, ..Default::default() });
+//! {
+//!     let mut scope = flight::begin_solve("solve.demo", &[("sub_id", "3".into())]);
+//!     {
+//!         let _sp = flight::span("demo.inner");
+//!         flight::emit(|| TraceEvent::fallback_transition(0, 1, "mip", "cg"));
+//!     }
+//!     scope.set_verdict("ok", false);
+//! }
+//! let rec = recorder.recent().pop().expect("recorded");
+//! assert_eq!(rec.root.children[0].name, "demo.inner");
+//! recorder.set_enabled(false);
+//! ```
+
+use crate::registry::global;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Schema version written into every black-box dump (bump on any
+/// incompatible change to [`FlightRecording`]).
+pub const BLACKBOX_SCHEMA_VERSION: u32 = 1;
+
+/// The kind of a structured [`TraceEvent`]. Fieldless so the taxonomy is
+/// closed and serializable; per-kind payloads live in
+/// [`TraceEvent::fields`] / [`TraceEvent::detail`] (see the constructors).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A better integral incumbent was found by branch-and-bound.
+    BnbIncumbent,
+    /// The branch-and-bound global bound tightened.
+    BnbBound,
+    /// One column-generation pricing round completed.
+    CgPricingRound,
+    /// The simplex solver transitioned between phases.
+    SimplexPhase,
+    /// A solve-cache or column-cache lookup hit.
+    CacheHit,
+    /// A solve-cache or column-cache lookup missed.
+    CacheMiss,
+    /// Cache entries were evicted at end of round.
+    CacheEvict,
+    /// The fault-isolation guard moved down the fallback ladder.
+    FallbackTransition,
+}
+
+impl EventKind {
+    /// Stable lowercase name (used in dump files and assertions).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::BnbIncumbent => "bnb_incumbent",
+            EventKind::BnbBound => "bnb_bound",
+            EventKind::CgPricingRound => "cg_pricing_round",
+            EventKind::SimplexPhase => "simplex_phase",
+            EventKind::CacheHit => "cache_hit",
+            EventKind::CacheMiss => "cache_miss",
+            EventKind::CacheEvict => "cache_evict",
+            EventKind::FallbackTransition => "fallback_transition",
+        }
+    }
+}
+
+/// One typed, timestamped event in a solve recording.
+///
+/// `t_secs` is the offset from the start of the recording (stamped by
+/// [`emit`], so constructors leave it at zero). Numeric payload goes in
+/// `fields` as `(name, value)` pairs; non-numeric context in `detail`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Seconds since the recording began.
+    pub t_secs: f64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Numeric payload, `(name, value)` pairs.
+    pub fields: Vec<(String, f64)>,
+    /// Free-form context (algorithm names, phase labels, fingerprints).
+    pub detail: String,
+}
+
+impl TraceEvent {
+    fn new(kind: EventKind, fields: Vec<(String, f64)>, detail: String) -> Self {
+        TraceEvent {
+            t_secs: 0.0,
+            kind,
+            fields,
+            detail,
+        }
+    }
+
+    /// Value of numeric field `name`, if present.
+    pub fn field(&self, name: &str) -> Option<f64> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// A new branch-and-bound incumbent: its objective and the bound at
+    /// the time, plus the node count when it was found.
+    pub fn bnb_incumbent(objective: f64, best_bound: f64, node: u64) -> Self {
+        TraceEvent::new(
+            EventKind::BnbIncumbent,
+            vec![
+                ("objective".into(), objective),
+                ("best_bound".into(), best_bound),
+                ("node".into(), node as f64),
+            ],
+            String::new(),
+        )
+    }
+
+    /// The branch-and-bound global bound tightened at node `node`.
+    pub fn bnb_bound(best_bound: f64, node: u64) -> Self {
+        TraceEvent::new(
+            EventKind::BnbBound,
+            vec![
+                ("best_bound".into(), best_bound),
+                ("node".into(), node as f64),
+            ],
+            String::new(),
+        )
+    }
+
+    /// One CG pricing round: how many columns it added, the pool size
+    /// after, and the best (most positive) reduced cost seen this round.
+    pub fn cg_pricing_round(
+        round: u64,
+        columns_added: u64,
+        total_columns: u64,
+        best_reduced_cost: f64,
+    ) -> Self {
+        TraceEvent::new(
+            EventKind::CgPricingRound,
+            vec![
+                ("round".into(), round as f64),
+                ("columns_added".into(), columns_added as f64),
+                ("total_columns".into(), total_columns as f64),
+                ("best_reduced_cost".into(), best_reduced_cost),
+            ],
+            String::new(),
+        )
+    }
+
+    /// A simplex phase transition, e.g. `"phase1->phase2"` or
+    /// `"warm->phase2"`.
+    pub fn simplex_phase(transition: &str) -> Self {
+        TraceEvent::new(EventKind::SimplexPhase, Vec::new(), transition.to_string())
+    }
+
+    /// A cache decision (`hit` selects [`EventKind::CacheHit`] /
+    /// [`EventKind::CacheMiss`]); `what` names the cache, `key` its
+    /// fingerprint.
+    pub fn cache_lookup(hit: bool, what: &str, key: u64) -> Self {
+        TraceEvent::new(
+            if hit {
+                EventKind::CacheHit
+            } else {
+                EventKind::CacheMiss
+            },
+            Vec::new(),
+            format!("{what}:{key:016x}"),
+        )
+    }
+
+    /// `count` cache entries evicted from the cache named `what`.
+    pub fn cache_evict(what: &str, count: u64) -> Self {
+        TraceEvent::new(
+            EventKind::CacheEvict,
+            vec![("count".into(), count as f64)],
+            what.to_string(),
+        )
+    }
+
+    /// The fallback ladder moved from rung `from_rung` to `to_rung`
+    /// (`from` / `to` name the algorithms, e.g. `"mip" -> "cg"` or
+    /// `"cg" -> "completion"`).
+    pub fn fallback_transition(from_rung: u64, to_rung: u64, from: &str, to: &str) -> Self {
+        TraceEvent::new(
+            EventKind::FallbackTransition,
+            vec![
+                ("from_rung".into(), from_rung as f64),
+                ("to_rung".into(), to_rung as f64),
+            ],
+            format!("{from}->{to}"),
+        )
+    }
+}
+
+/// One node of the span tree in a finished recording.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpanNode {
+    /// Span name (dot-separated, like metric names).
+    pub name: String,
+    /// `(key, value)` attributes attached at open time.
+    pub attrs: Vec<(String, String)>,
+    /// Seconds since the recording began when the span opened.
+    pub start_secs: f64,
+    /// Seconds since the recording began when the span closed (equal to
+    /// the recording's end for spans still open at flush).
+    pub end_secs: f64,
+    /// Child spans, in open order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Attribute `key`, if set.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Depth of the deepest descendant (a leaf node has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(SpanNode::depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// First span named `name` in this subtree (pre-order), if any.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Depth (1-based, from this node) at which a span named `name`
+    /// first appears, if it does.
+    pub fn depth_of(&self, name: &str) -> Option<usize> {
+        if self.name == name {
+            return Some(1);
+        }
+        self.children
+            .iter()
+            .filter_map(|c| c.depth_of(name))
+            .min()
+            .map(|d| d + 1)
+    }
+}
+
+/// A finished solve recording: the black-box dump payload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlightRecording {
+    /// Dump format version ([`BLACKBOX_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Verdict label set via [`FlightScope::set_verdict`] (`"ok"`,
+    /// `"fell_back"`, `"deadline_expired"`, … — `"unlabeled"` when the
+    /// scope finished without one).
+    pub verdict: String,
+    /// Whether any scope in the recording reported degradation.
+    pub degraded: bool,
+    /// `true` when this recording was dumped by healthy-solve sampling
+    /// rather than degradation.
+    pub sampled: bool,
+    /// Total recording wall time, seconds.
+    pub elapsed_secs: f64,
+    /// The span tree, rooted at the [`begin_solve`] span.
+    pub root: SpanNode,
+    /// The event log, oldest first (ring-buffer survivors).
+    pub events: Vec<TraceEvent>,
+    /// Events dropped by the bounded ring buffer (oldest-first policy).
+    pub dropped_events: u64,
+    /// Spans not recorded because the span cap was reached.
+    pub dropped_spans: u64,
+}
+
+impl FlightRecording {
+    /// Serialize to pretty JSON (the black-box file format).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parse a recording back from [`FlightRecording::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Events of `kind`, oldest first.
+    pub fn events_of(&self, kind: EventKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+}
+
+/// Flight-recorder configuration. See field docs; `Default` keeps every
+/// recording in memory only (no dump directory, no sampling).
+#[derive(Clone, Debug)]
+pub struct FlightConfig {
+    /// Directory black-box files are written into (created on first
+    /// dump). `None` disables dumping — recordings still reach the
+    /// in-memory [`FlightRecorder::recent`] buffer.
+    pub dump_dir: Option<PathBuf>,
+    /// Dump every N-th *healthy* recording too (`0` = never). Degraded
+    /// recordings are always dumped (subject to `max_dumps`).
+    pub sample_every: u64,
+    /// Cap on black-box files written per process run; further dumps are
+    /// counted (`flight.dumps_suppressed`) but not written.
+    pub max_dumps: u64,
+    /// Ring-buffer capacity for events per recording (oldest dropped).
+    pub event_capacity: usize,
+    /// Cap on spans per recording (further spans are counted, not kept).
+    pub span_capacity: usize,
+    /// How many finished recordings [`FlightRecorder::recent`] retains.
+    pub keep_recent: usize,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            dump_dir: None,
+            sample_every: 0,
+            max_dumps: 16,
+            event_capacity: 4096,
+            span_capacity: 2048,
+            keep_recent: 8,
+        }
+    }
+}
+
+/// The process-wide flight recorder behind [`recorder()`]. Disabled by
+/// default: recording costs nothing until something calls
+/// [`configure`](FlightRecorder::configure) (the bench and chaos binaries
+/// do, from the `RASA_FLIGHT_*` environment).
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    enabled: AtomicBool,
+    healthy_seq: AtomicU64,
+    dumps_written: AtomicU64,
+    state: Mutex<RecorderState>,
+}
+
+#[derive(Debug, Default)]
+struct RecorderState {
+    config: Option<FlightConfig>,
+    recent: VecDeque<FlightRecording>,
+}
+
+impl FlightRecorder {
+    /// Is recording on?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off without touching the configuration.
+    /// Enabling before any [`configure`](FlightRecorder::configure) call
+    /// applies [`FlightConfig::default`].
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Install `config` and enable recording.
+    pub fn configure(&self, config: FlightConfig) {
+        self.lock_state().config = Some(config);
+        self.set_enabled(true);
+    }
+
+    /// Current configuration (defaults when never configured).
+    pub fn config(&self) -> FlightConfig {
+        self.lock_state().config.clone().unwrap_or_default()
+    }
+
+    /// Configure from the environment and enable if any variable is set:
+    ///
+    /// * `RASA_FLIGHT_DIR` — black-box dump directory;
+    /// * `RASA_FLIGHT_SAMPLE` — healthy-solve sampling period (1-in-N);
+    /// * `RASA_FLIGHT_MAX_DUMPS` — per-run dump cap (default 16).
+    ///
+    /// Returns `true` when recording ended up enabled.
+    pub fn configure_from_env(&self) -> bool {
+        let dir = std::env::var("RASA_FLIGHT_DIR").ok().map(PathBuf::from);
+        let sample = std::env::var("RASA_FLIGHT_SAMPLE")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok());
+        let max_dumps = std::env::var("RASA_FLIGHT_MAX_DUMPS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok());
+        if dir.is_none() && sample.is_none() && max_dumps.is_none() {
+            return self.enabled();
+        }
+        let mut cfg = FlightConfig {
+            dump_dir: dir,
+            sample_every: sample.unwrap_or(0),
+            ..FlightConfig::default()
+        };
+        if let Some(m) = max_dumps {
+            cfg.max_dumps = m;
+        }
+        self.configure(cfg);
+        true
+    }
+
+    /// The most recent finished recordings, oldest first (bounded by
+    /// [`FlightConfig::keep_recent`]).
+    pub fn recent(&self) -> Vec<FlightRecording> {
+        self.lock_state().recent.iter().cloned().collect()
+    }
+
+    /// Drop the in-memory recording history.
+    pub fn clear_recent(&self) {
+        self.lock_state().recent.clear();
+    }
+
+    /// Black-box files written so far this process run.
+    pub fn dumps_written(&self) -> u64 {
+        self.dumps_written.load(Ordering::Relaxed)
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, RecorderState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Flush one finished recording: keep it in the recent buffer, tally
+    /// the `flight.*` counters, and decide whether to dump. Called once
+    /// per solve, mirroring the counter-flush discipline.
+    fn observe(&self, mut rec: FlightRecording) -> Option<PathBuf> {
+        let obs = global();
+        obs.inc("flight.recordings");
+        obs.add("flight.events_dropped", rec.dropped_events);
+
+        let (config, should_dump) = {
+            let state = self.lock_state();
+            let config = state.config.clone().unwrap_or_default();
+            let should_dump = if rec.degraded {
+                true
+            } else {
+                let n = self.healthy_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                let sampled = config.sample_every > 0 && n % config.sample_every == 0;
+                rec.sampled = sampled;
+                sampled
+            };
+            (config, should_dump)
+        };
+
+        let mut written = None;
+        if should_dump {
+            if let Some(dir) = &config.dump_dir {
+                let seq = self.dumps_written.load(Ordering::Relaxed);
+                if seq < config.max_dumps {
+                    match write_blackbox(dir, seq, &rec) {
+                        Ok(path) => {
+                            self.dumps_written.fetch_add(1, Ordering::Relaxed);
+                            obs.inc("flight.dumps");
+                            eprintln!("[flight] black box dumped: {}", path.display());
+                            written = Some(path);
+                        }
+                        Err(e) => {
+                            eprintln!("[flight] black box dump failed: {e}");
+                        }
+                    }
+                } else {
+                    obs.inc("flight.dumps_suppressed");
+                }
+            }
+        }
+
+        let mut state = self.lock_state();
+        let keep = config.keep_recent;
+        while state.recent.len() >= keep.max(1) {
+            state.recent.pop_front();
+        }
+        state.recent.push_back(rec);
+        written
+    }
+}
+
+/// Write one black-box file; returns the path.
+fn write_blackbox(
+    dir: &Path,
+    seq: u64,
+    rec: &FlightRecording,
+) -> Result<PathBuf, std::io::Error> {
+    std::fs::create_dir_all(dir)?;
+    let label: String = rec
+        .verdict
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = dir.join(format!("blackbox_{seq:04}_{label}.json"));
+    let json = rec
+        .to_json()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// The process-wide flight recorder (disabled until configured).
+pub fn recorder() -> &'static FlightRecorder {
+    static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
+    RECORDER.get_or_init(FlightRecorder::default)
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread active trace
+// ---------------------------------------------------------------------------
+
+/// In-flight span: flat record with a parent index; the tree is built at
+/// flush time.
+#[derive(Debug)]
+struct RawSpan {
+    name: String,
+    attrs: Vec<(String, String)>,
+    start_secs: f64,
+    end_secs: Option<f64>,
+    parent: Option<usize>,
+}
+
+/// The per-thread, lock-free recording under construction. Owned by the
+/// thread via TLS, so pushes are plain `Vec`/`VecDeque` operations.
+#[derive(Debug)]
+struct ActiveTrace {
+    origin: Instant,
+    spans: Vec<RawSpan>,
+    stack: Vec<usize>,
+    events: VecDeque<TraceEvent>,
+    event_capacity: usize,
+    span_capacity: usize,
+    dropped_events: u64,
+    dropped_spans: u64,
+    degraded: bool,
+    verdict: Option<String>,
+}
+
+impl ActiveTrace {
+    fn new(config: &FlightConfig) -> Self {
+        ActiveTrace {
+            origin: Instant::now(),
+            spans: Vec::with_capacity(64),
+            stack: Vec::with_capacity(8),
+            events: VecDeque::with_capacity(config.event_capacity.min(256)),
+            event_capacity: config.event_capacity.max(1),
+            span_capacity: config.span_capacity.max(1),
+            dropped_events: 0,
+            dropped_spans: 0,
+            degraded: false,
+            verdict: None,
+        }
+    }
+
+    fn now_secs(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+
+    /// Open a span under the current stack top. Returns its index, or
+    /// `None` when the span cap is reached (counted).
+    fn open_span(&mut self, name: &str, attrs: Vec<(String, String)>) -> Option<usize> {
+        if self.spans.len() >= self.span_capacity {
+            self.dropped_spans += 1;
+            return None;
+        }
+        let idx = self.spans.len();
+        self.spans.push(RawSpan {
+            name: name.to_string(),
+            attrs,
+            start_secs: self.now_secs(),
+            end_secs: None,
+            parent: self.stack.last().copied(),
+        });
+        self.stack.push(idx);
+        Some(idx)
+    }
+
+    /// Close span `idx` (and, defensively, anything opened above it that
+    /// was leaked without closing).
+    fn close_span(&mut self, idx: usize, extra_attrs: Vec<(String, String)>) {
+        let t = self.now_secs();
+        while let Some(&top) = self.stack.last() {
+            self.stack.pop();
+            if let Some(s) = self.spans.get_mut(top) {
+                if s.end_secs.is_none() {
+                    s.end_secs = Some(t);
+                }
+                if top == idx {
+                    s.attrs.extend(extra_attrs);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Append an event to the ring buffer (oldest dropped past capacity).
+    fn push_event(&mut self, mut ev: TraceEvent) {
+        ev.t_secs = self.now_secs();
+        if self.events.len() >= self.event_capacity {
+            self.events.pop_front();
+            self.dropped_events += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Build the finished recording (span tree rooted at span 0).
+    fn finish(mut self) -> FlightRecording {
+        let elapsed = self.now_secs();
+        // close anything still open (flush during unwind, or a leaked span)
+        for s in &mut self.spans {
+            if s.end_secs.is_none() {
+                s.end_secs = Some(elapsed);
+            }
+        }
+        // assemble children lists, then fold into a tree bottom-up:
+        // children always have larger indices than their parents, so a
+        // reverse walk can move each node into its parent.
+        let mut nodes: Vec<Option<SpanNode>> = self
+            .spans
+            .iter()
+            .map(|s| {
+                Some(SpanNode {
+                    name: s.name.clone(),
+                    attrs: s.attrs.clone(),
+                    start_secs: s.start_secs,
+                    end_secs: s.end_secs.unwrap_or(elapsed),
+                    children: Vec::new(),
+                })
+            })
+            .collect();
+        for i in (1..self.spans.len()).rev() {
+            if let Some(node) = nodes[i].take() {
+                let parent = self.spans[i].parent.unwrap_or(0);
+                if let Some(Some(p)) = nodes.get_mut(parent) {
+                    p.children.push(node);
+                }
+            }
+        }
+        let mut root = nodes
+            .get_mut(0)
+            .and_then(Option::take)
+            .unwrap_or_else(|| SpanNode {
+                name: "(empty)".to_string(),
+                attrs: Vec::new(),
+                start_secs: 0.0,
+                end_secs: elapsed,
+                children: Vec::new(),
+            });
+        // reverse walks build children lists back-to-front; restore order
+        fn restore(order: &mut SpanNode) {
+            order.children.reverse();
+            for c in &mut order.children {
+                restore(c);
+            }
+        }
+        restore(&mut root);
+        FlightRecording {
+            schema_version: BLACKBOX_SCHEMA_VERSION,
+            verdict: self.verdict.take().unwrap_or_else(|| "unlabeled".into()),
+            degraded: self.degraded,
+            sampled: false,
+            elapsed_secs: elapsed,
+            root,
+            events: self.events.into_iter().collect(),
+            dropped_events: self.dropped_events,
+            dropped_spans: self.dropped_spans,
+        }
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
+}
+
+/// Run `f` against the thread's active trace, if any.
+fn with_active<R>(f: impl FnOnce(&mut ActiveTrace) -> R) -> Option<R> {
+    ACTIVE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        slot.as_mut().map(f)
+    })
+}
+
+/// How a [`FlightScope`] relates to the thread's trace.
+#[derive(Debug)]
+enum ScopeMode {
+    /// Recorder disabled, or the span cap swallowed the nested span.
+    Inert,
+    /// This scope owns the thread's trace and flushes it on drop.
+    Root,
+    /// A recording was already active on this thread; this scope is a
+    /// nested span (index held) whose verdict folds into the trace.
+    Nested(usize),
+}
+
+/// A recording scope from [`begin_solve`]; see module docs. Flushes (or
+/// closes its nested span) on drop.
+#[must_use = "a flight scope records until dropped — bind it with `let mut scope = …`"]
+#[derive(Debug)]
+pub struct FlightScope {
+    mode: ScopeMode,
+    verdict: Option<(String, bool)>,
+}
+
+impl FlightScope {
+    /// An inert scope (used when the recorder is disabled).
+    fn inert() -> Self {
+        FlightScope {
+            mode: ScopeMode::Inert,
+            verdict: None,
+        }
+    }
+
+    /// Is this scope actually recording?
+    pub fn is_active(&self) -> bool {
+        !matches!(self.mode, ScopeMode::Inert)
+    }
+
+    /// Label how this solve ended. `degraded` recordings are dumped as
+    /// black boxes at flush; a degraded nested scope marks the whole
+    /// recording degraded.
+    pub fn set_verdict(&mut self, verdict: &str, degraded: bool) {
+        if self.is_active() {
+            self.verdict = Some((verdict.to_string(), degraded));
+        }
+    }
+}
+
+impl Drop for FlightScope {
+    fn drop(&mut self) {
+        let verdict = self.verdict.take();
+        match std::mem::replace(&mut self.mode, ScopeMode::Inert) {
+            ScopeMode::Inert => {}
+            ScopeMode::Nested(idx) => {
+                with_active(|t| {
+                    let mut attrs = Vec::new();
+                    if let Some((v, degraded)) = verdict {
+                        attrs.push(("verdict".to_string(), v));
+                        t.degraded |= degraded;
+                    }
+                    t.close_span(idx, attrs);
+                });
+            }
+            ScopeMode::Root => {
+                let trace = ACTIVE.with(|cell| cell.borrow_mut().take());
+                if let Some(mut trace) = trace {
+                    if let Some((v, degraded)) = verdict {
+                        trace.degraded |= degraded;
+                        trace.verdict = Some(v);
+                    }
+                    recorder().observe(trace.finish());
+                }
+            }
+        }
+    }
+}
+
+/// Open a recording scope for one solve. When no recording is active on
+/// this thread (and the recorder is enabled), a fresh trace is installed
+/// with `name` as its root span; when one is already active, this becomes
+/// a nested span — so pipeline→subproblem→solver nesting falls out of the
+/// call structure. Inert (near-zero cost) when the recorder is disabled.
+pub fn begin_solve(name: &str, attrs: &[(&str, String)]) -> FlightScope {
+    if !recorder().enabled() {
+        return FlightScope::inert();
+    }
+    let attrs: Vec<(String, String)> = attrs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect();
+    ACTIVE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        match slot.as_mut() {
+            Some(trace) => match trace.open_span(name, attrs) {
+                Some(idx) => FlightScope {
+                    mode: ScopeMode::Nested(idx),
+                    verdict: None,
+                },
+                None => FlightScope::inert(),
+            },
+            None => {
+                let mut trace = ActiveTrace::new(&recorder().config());
+                trace.open_span(name, attrs);
+                *slot = Some(trace);
+                FlightScope {
+                    mode: ScopeMode::Root,
+                    verdict: None,
+                }
+            }
+        }
+    })
+}
+
+/// A scoped child span from [`span`] / [`span_with`]; closes on drop.
+#[must_use = "a flight span closes when dropped — bind it with `let _sp = …`"]
+#[derive(Debug)]
+pub struct FlightSpan {
+    idx: Option<usize>,
+}
+
+impl Drop for FlightSpan {
+    fn drop(&mut self) {
+        if let Some(idx) = self.idx.take() {
+            with_active(|t| t.close_span(idx, Vec::new()));
+        }
+    }
+}
+
+/// Open a child span under the current scope (no-op without one).
+pub fn span(name: &str) -> FlightSpan {
+    span_with(name, &[])
+}
+
+/// [`span`] with attributes.
+pub fn span_with(name: &str, attrs: &[(&str, String)]) -> FlightSpan {
+    if !recorder().enabled() {
+        return FlightSpan { idx: None };
+    }
+    let attrs: Vec<(String, String)> = attrs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect();
+    FlightSpan {
+        idx: with_active(|t| t.open_span(name, attrs)).flatten(),
+    }
+}
+
+/// Append a typed event to the active recording's ring buffer. The
+/// closure is only evaluated while a recording is active on this thread,
+/// so hot paths pay one atomic load and a TLS check when disabled.
+pub fn emit(make: impl FnOnce() -> TraceEvent) {
+    if !recorder().enabled() {
+        return;
+    }
+    with_active(|t| {
+        let ev = make();
+        t.push_event(ev);
+    });
+}
+
+/// Is a recording active on this thread right now?
+pub fn active() -> bool {
+    ACTIVE.with(|cell| cell.borrow().is_some())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    /// Tests share the process-global recorder; serialize access.
+    fn with_recorder_lock<R>(f: impl FnOnce() -> R) -> R {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let r = f();
+        recorder().set_enabled(false);
+        recorder().clear_recent();
+        r
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        with_recorder_lock(|| {
+            recorder().set_enabled(false);
+            let mut scope = begin_solve("solve.x", &[]);
+            assert!(!scope.is_active());
+            {
+                let _sp = span("inner");
+                emit(|| panic!("closure must not run while disabled"));
+            }
+            scope.set_verdict("ok", false);
+            drop(scope);
+            assert!(recorder().recent().is_empty());
+        });
+    }
+
+    #[test]
+    fn records_span_tree_and_events() {
+        with_recorder_lock(|| {
+            recorder().configure(FlightConfig::default());
+            let mut scope = begin_solve("solve.sub", &[("sub_id", "7".into())]);
+            assert!(scope.is_active());
+            {
+                let _rung = span_with("solve.rung", &[("algorithm", "mip".into())]);
+                {
+                    let _inner = span("mip.bnb");
+                    emit(|| TraceEvent::bnb_incumbent(3.5, 4.0, 12));
+                    emit(|| TraceEvent::bnb_bound(3.75, 14));
+                }
+            }
+            emit(|| TraceEvent::fallback_transition(0, 1, "mip", "cg"));
+            scope.set_verdict("fell_back", true);
+            drop(scope);
+
+            let recs = recorder().recent();
+            assert_eq!(recs.len(), 1);
+            let rec = &recs[0];
+            assert_eq!(rec.schema_version, BLACKBOX_SCHEMA_VERSION);
+            assert_eq!(rec.verdict, "fell_back");
+            assert!(rec.degraded);
+            assert_eq!(rec.root.name, "solve.sub");
+            assert_eq!(rec.root.attr("sub_id"), Some("7"));
+            assert_eq!(rec.root.depth(), 3);
+            assert_eq!(rec.depth_of_solver(), Some(3));
+            let rung = rec.root.find("solve.rung").unwrap();
+            assert_eq!(rung.attr("algorithm"), Some("mip"));
+            assert_eq!(rec.events.len(), 3);
+            assert_eq!(rec.events[0].kind, EventKind::BnbIncumbent);
+            assert_eq!(rec.events[0].field("objective"), Some(3.5));
+            assert_eq!(rec.events[2].kind, EventKind::FallbackTransition);
+            assert_eq!(rec.events[2].detail, "mip->cg");
+            assert!(rec.events.windows(2).all(|w| w[0].t_secs <= w[1].t_secs));
+            assert_eq!(rec.dropped_events, 0);
+        });
+    }
+
+    impl FlightRecording {
+        /// Test helper: depth of the deepest span (alias used above).
+        fn depth_of_solver(&self) -> Option<usize> {
+            self.root.depth_of("mip.bnb")
+        }
+    }
+
+    #[test]
+    fn nested_scope_becomes_span_and_propagates_degradation() {
+        with_recorder_lock(|| {
+            recorder().configure(FlightConfig::default());
+            let mut outer = begin_solve("pipeline.run", &[]);
+            {
+                let mut inner = begin_solve("solve.sub", &[("sub_id", "0".into())]);
+                assert!(inner.is_active());
+                inner.set_verdict("deadline_expired", true);
+            }
+            outer.set_verdict("degraded", false); // inner already marked it
+            drop(outer);
+            let recs = recorder().recent();
+            assert_eq!(recs.len(), 1, "one recording for the whole nest");
+            let rec = &recs[0];
+            assert!(rec.degraded, "nested degradation reaches the root");
+            let sub = rec.root.find("solve.sub").unwrap();
+            assert_eq!(sub.attr("verdict"), Some("deadline_expired"));
+        });
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_and_counts() {
+        with_recorder_lock(|| {
+            recorder().configure(FlightConfig {
+                event_capacity: 4,
+                ..Default::default()
+            });
+            let mut scope = begin_solve("solve.ring", &[]);
+            for i in 0..10u64 {
+                emit(|| TraceEvent::bnb_bound(i as f64, i));
+            }
+            scope.set_verdict("ok", false);
+            drop(scope);
+            let rec = &recorder().recent()[0];
+            assert_eq!(rec.events.len(), 4);
+            assert_eq!(rec.dropped_events, 6);
+            // survivors are the newest, in order
+            let nodes: Vec<f64> = rec.events.iter().filter_map(|e| e.field("node")).collect();
+            assert_eq!(nodes, vec![6.0, 7.0, 8.0, 9.0]);
+        });
+    }
+
+    #[test]
+    fn span_cap_stops_recording_but_keeps_tree_valid() {
+        with_recorder_lock(|| {
+            recorder().configure(FlightConfig {
+                span_capacity: 3,
+                ..Default::default()
+            });
+            let mut scope = begin_solve("solve.cap", &[]);
+            for _ in 0..5 {
+                let _sp = span("child");
+            }
+            scope.set_verdict("ok", false);
+            drop(scope);
+            let rec = &recorder().recent()[0];
+            assert_eq!(rec.root.children.len(), 2, "root + 2 children = cap 3");
+            assert_eq!(rec.dropped_spans, 3);
+        });
+    }
+
+    #[test]
+    fn degraded_recording_dumps_a_black_box_and_sampling_dumps_healthy() {
+        with_recorder_lock(|| {
+            let dir = std::env::temp_dir().join(format!(
+                "rasa_flight_test_{}_{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let before = recorder().dumps_written();
+            recorder().configure(FlightConfig {
+                dump_dir: Some(dir.clone()),
+                sample_every: 2,
+                ..Default::default()
+            });
+            // healthy #1: not sampled (sequence parity depends on prior
+            // tests, so just count files at the end)
+            for degraded in [false, false, true] {
+                let mut scope = begin_solve("solve.dump", &[]);
+                emit(|| TraceEvent::simplex_phase("phase1->phase2"));
+                scope.set_verdict(if degraded { "panicked" } else { "ok" }, degraded);
+                drop(scope);
+            }
+            let after = recorder().dumps_written();
+            // the degraded one always dumps; of the two healthy ones,
+            // exactly one hits the 1-in-2 sample
+            assert_eq!(after - before, 2, "degraded + one sampled healthy");
+            let mut files: Vec<_> = std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .collect();
+            files.sort();
+            assert_eq!(files.len(), 2);
+            // round-trip one dump through the parser
+            let text = std::fs::read_to_string(&files[0]).unwrap();
+            let rec = FlightRecording::from_json(&text).unwrap();
+            assert_eq!(rec.schema_version, BLACKBOX_SCHEMA_VERSION);
+            assert_eq!(rec.root.name, "solve.dump");
+            let _ = std::fs::remove_dir_all(&dir);
+        });
+    }
+
+    #[test]
+    fn recording_round_trips_through_json() {
+        with_recorder_lock(|| {
+            recorder().configure(FlightConfig::default());
+            let mut scope = begin_solve("solve.json", &[("k", "v".into())]);
+            {
+                let _sp = span("inner");
+                emit(|| TraceEvent::cg_pricing_round(1, 3, 9, 0.25));
+                emit(|| TraceEvent::cache_lookup(true, "solve_cache", 0xdead_beef));
+                emit(|| TraceEvent::cache_evict("column_cache", 2));
+            }
+            scope.set_verdict("ok", false);
+            drop(scope);
+            let rec = recorder().recent().pop().unwrap();
+            let back = FlightRecording::from_json(&rec.to_json().unwrap()).unwrap();
+            assert_eq!(rec, back);
+            assert_eq!(back.events_of(EventKind::CacheHit).count(), 1);
+            assert!(back
+                .events_of(EventKind::CacheHit)
+                .next()
+                .unwrap()
+                .detail
+                .starts_with("solve_cache:"));
+        });
+    }
+}

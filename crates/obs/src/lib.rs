@@ -49,10 +49,17 @@
 //! assert_eq!(snap, back);
 //! ```
 
+pub mod flight;
 mod metrics;
+pub mod prometheus;
 mod registry;
 mod snapshot;
 
+pub use flight::{
+    recorder, EventKind, FlightConfig, FlightRecorder, FlightRecording, FlightScope, FlightSpan,
+    SpanNode, TraceEvent, BLACKBOX_SCHEMA_VERSION,
+};
 pub use metrics::{Counter, Histogram, BUCKETS};
+pub use prometheus::{write_prometheus, MetricsGlossary, PrometheusError};
 pub use registry::{global, MetricsRegistry, Span};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};

@@ -47,6 +47,14 @@ impl Counter {
     pub fn reset(&self) {
         self.value.store(0, Ordering::Relaxed);
     }
+
+    /// Atomically read the current value and reset to zero in one step.
+    /// Unlike `get()` followed by `reset()`, a concurrent `add` can never
+    /// land in the gap and be lost — every increment is observed by
+    /// exactly one `take`.
+    pub fn take(&self) -> u64 {
+        self.value.swap(0, Ordering::Relaxed)
+    }
 }
 
 /// Upper bound of bucket `i` (shared with [`HistogramSnapshot`]).

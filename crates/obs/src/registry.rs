@@ -134,6 +134,26 @@ impl MetricsRegistry {
         }
     }
 
+    /// Atomically drain every counter: read-and-zero each one in a single
+    /// atomic step ([`Counter::take`]), returning the `(name, value)`
+    /// pairs (name-ascending, zero-valued entries included).
+    ///
+    /// Unlike `snapshot()` followed by `reset()`, increments flushed
+    /// concurrently can never fall into the gap between the read and the
+    /// zeroing — each increment is returned by exactly one drain. This is
+    /// what interval scrapers (Prometheus-style delta exports) should use.
+    /// Histograms are intentionally *not* drained: their count/sum/min/max
+    /// live in separate atomics and cannot be read-and-reset as one unit,
+    /// so they stay cumulative and scrape-side code takes differences.
+    pub fn drain_counters(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.take()))
+            .collect()
+    }
+
     /// Reset every metric to zero/empty (names stay registered, handles
     /// stay valid).
     pub fn reset(&self) {

@@ -48,6 +48,23 @@ impl HistogramSnapshot {
         }
         self.max
     }
+
+    /// Median estimate (`quantile(0.5)`).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate (`quantile(0.95)`).
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate (`quantile(0.99)`). With log₂ buckets the
+    /// tail estimate is coarse, so artifacts pair it with the exact
+    /// [`max`](HistogramSnapshot::max).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 /// Everything a [`MetricsRegistry`](crate::MetricsRegistry) held at

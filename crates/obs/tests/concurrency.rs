@@ -89,6 +89,66 @@ fn spans_record_from_scoped_threads() {
 }
 
 #[test]
+fn drained_counters_are_exact_under_concurrent_scrapes() {
+    // Producers increment while scrapers repeatedly drain (read-and-reset)
+    // and snapshot the registry. Conservation must be exact: every
+    // increment is counted once — in some drain or in the final residue —
+    // never lost, never twice. This is the Prometheus-scrape contract.
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let reg = MetricsRegistry::new();
+    let drained = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let (reg, drained, done) = (&reg, &drained, &done);
+            scope.spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    for (name, v) in reg.drain_counters() {
+                        if name == "scrape.total" {
+                            drained.fetch_add(v, Ordering::Relaxed);
+                        }
+                    }
+                    // concurrent snapshots must never observe more than
+                    // what producers can have written
+                    let snap = reg.snapshot();
+                    assert!(snap.counter("scrape.total") <= THREADS as u64 * PER_THREAD);
+                    std::thread::yield_now();
+                }
+            });
+        }
+        let producers: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let reg = &reg;
+                scope.spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        reg.add("scrape.total", 1);
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().expect("producer thread");
+        }
+        done.store(true, Ordering::Release);
+    });
+    // all threads joined: drain the residue and check conservation
+    let residue: u64 = reg
+        .drain_counters()
+        .into_iter()
+        .filter(|(n, _)| n == "scrape.total")
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(
+        drained.load(Ordering::Relaxed) + residue,
+        THREADS as u64 * PER_THREAD,
+        "drains + residue must account for every increment exactly"
+    );
+    // and the registry is now empty of that count
+    assert_eq!(reg.snapshot().counter("scrape.total"), 0);
+}
+
+#[test]
 fn snapshot_serialization_round_trips() {
     let reg = MetricsRegistry::new();
     reg.add("rt.counter", 123);

@@ -49,6 +49,8 @@ pub fn partition_with_strategy<R: Rng>(
     config: &PartitionConfig,
     rng: &mut R,
 ) -> PartitionOutcome {
+    let _fs =
+        rasa_obs::flight::span_with("partition.strategy", &[("strategy", strategy.label().into())]);
     let outcome = partition_with_strategy_impl(problem, current, strategy, config, rng);
     let obs = rasa_obs::global();
     if obs.enabled() {

@@ -3,8 +3,13 @@
 //! report, and exit non-zero if any invariant was violated.
 //!
 //! Usage: `chaos [SEED] [MAX_FAILURES]` (defaults: seed 7, 2 failures)
+//!
+//! Every fault round is black-boxed by the flight recorder: dumps land in
+//! `RASA_FLIGHT_DIR` (default `target/chaos_blackbox/`), one JSON file per
+//! degraded recording, capped by `RASA_FLIGHT_MAX_DUMPS`.
 
 use rasa_migrate::MigrateConfig;
+use rasa_obs::FlightConfig;
 use rasa_sim::chaos::{run_chaos, ChaosSchedule};
 use rasa_solver::MipBased;
 use rasa_trace::{generate, tiny_cluster};
@@ -13,6 +18,14 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
     let max_failures: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
+
+    // black-box every fault round; RASA_FLIGHT_* overrides the default dir
+    if !rasa_obs::recorder().configure_from_env() {
+        rasa_obs::recorder().configure(FlightConfig {
+            dump_dir: Some("target/chaos_blackbox".into()),
+            ..FlightConfig::default()
+        });
+    }
 
     let problem = generate(&tiny_cluster(seed));
     println!(

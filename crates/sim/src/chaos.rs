@@ -20,6 +20,12 @@
 //! monotonically (its alive count may only rise until the floor is
 //! restored). Violations are collected, not panicked on, so a chaos run
 //! always produces a full report.
+//!
+//! Every round also runs under a `chaos.round` flight-recorder scope marked
+//! degraded (each round *is* an injected fault), so a recorder configured
+//! with a dump directory black-boxes every fault round: the span tree down
+//! through the nested optimizer solve plus the typed event log. The `chaos`
+//! binary enables this by default.
 
 use crate::cronjob::reconcile_counts;
 use crate::failover::recreate_lost;
@@ -260,6 +266,14 @@ pub fn run_chaos(
     let mut rounds = Vec::with_capacity(schedule.events.len());
     for (round, event) in schedule.events.iter().enumerate() {
         let phase = format!("round {round} ({})", event.describe());
+        let mut fscope = rasa_obs::flight::begin_solve(
+            "chaos.round",
+            &[
+                ("round", round.to_string()),
+                ("event", event.describe()),
+                ("seed", schedule.seed.to_string()),
+            ],
+        );
         let r = match event {
             ChaosEvent::DeadlineStarvation => {
                 // the optimizer gets no budget; whatever partial answer it
@@ -393,6 +407,17 @@ pub fn run_chaos(
                 r.alive_fraction = alive_fraction(problem, &state.to_placement());
             }
         }
+        // every chaos round is an injected fault: mark the recording
+        // degraded so a dump-configured recorder black-boxes it
+        fscope.set_verdict(
+            match event {
+                ChaosEvent::CorrelatedFailure { .. } => "correlated_failure",
+                ChaosEvent::MidSolveFailure { .. } => "mid_solve_failure",
+                ChaosEvent::DeadlineStarvation => "deadline_starvation",
+            },
+            true,
+        );
+        drop(fscope);
         rounds.push(r);
     }
 

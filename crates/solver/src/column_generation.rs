@@ -128,6 +128,7 @@ impl ColumnGeneration {
         deadline: Deadline,
     ) -> (ScheduleOutcome, CgStats) {
         let start = Instant::now();
+        let _fs = rasa_obs::flight::span("cg.solve");
         let mut stats = CgStats::default();
 
         let groups = problem.machine_groups();
@@ -179,6 +180,12 @@ impl ColumnGeneration {
                 }
             }
         }
+        if let Some(warm) = &self.warm {
+            let (hit, key) = (cache_hit, warm.key);
+            rasa_obs::flight::emit(|| {
+                rasa_obs::TraceEvent::cache_lookup(hit, "column_cache", key)
+            });
+        }
 
         // ---- Algorithm 1 main loop ----
         // The master LP warm-starts each round from the previous round's
@@ -209,13 +216,15 @@ impl ColumnGeneration {
             stats.master_solves += 1;
 
             let mut added_any = false;
+            let mut added_this_round = 0u64;
+            let mut best_reduced_cost = f64::NEG_INFINITY;
             for (gi, g) in groups.iter().enumerate() {
                 if deadline.expired() {
                     break;
                 }
                 stats.pricing_solves += 1;
                 let mu = duals.group[gi];
-                if let Some(p) = self.price_pattern(
+                if let Some((p, reduced_cost)) = self.price_pattern(
                     problem,
                     g,
                     &active,
@@ -224,11 +233,30 @@ impl ColumnGeneration {
                     mu,
                     deadline,
                 ) {
+                    best_reduced_cost = best_reduced_cost.max(reduced_cost);
                     if seen[gi].insert(p.counts.clone()) {
                         patterns[gi].push(p);
                         added_any = true;
+                        added_this_round += 1;
                     }
                 }
+            }
+            {
+                let round = stats.rounds as u64;
+                let total_columns: u64 = patterns.iter().map(|ps| ps.len() as u64).sum();
+                let rc = if best_reduced_cost.is_finite() {
+                    best_reduced_cost
+                } else {
+                    0.0 // no pricing MIP produced a column this round
+                };
+                rasa_obs::flight::emit(|| {
+                    rasa_obs::TraceEvent::cg_pricing_round(
+                        round,
+                        added_this_round,
+                        total_columns,
+                        rc,
+                    )
+                });
             }
             if !added_any {
                 converged = true;
@@ -309,7 +337,9 @@ impl ColumnGeneration {
         Some((duals, sol.basis))
     }
 
-    /// `GenPattern`: price a new pattern for group `g`.
+    /// `GenPattern`: price a new pattern for group `g`. Returns the
+    /// pattern together with its (positive) reduced cost when one beats
+    /// the tolerance.
     #[allow(clippy::too_many_arguments)]
     fn price_pattern(
         &self,
@@ -320,7 +350,7 @@ impl ColumnGeneration {
         pi: &HashMap<ServiceId, f64>,
         mu: f64,
         deadline: Deadline,
-    ) -> Option<Pattern> {
+    ) -> Option<(Pattern, f64)> {
         let mut mip = MipModel::new();
         let mut p_vars: HashMap<ServiceId, rasa_mip::VarId> = HashMap::new();
         for &s in active {
@@ -399,7 +429,8 @@ impl ColumnGeneration {
             .map(|(s, n)| pi.get(s).copied().unwrap_or(0.0) * f64::from(*n))
             .sum();
         let reduced_cost = value - priced - mu;
-        (reduced_cost > self.options.reduced_cost_tol).then_some(Pattern { counts, value })
+        (reduced_cost > self.options.reduced_cost_tol)
+            .then_some((Pattern { counts, value }, reduced_cost))
     }
 
     /// `Round`: solve the master as an integer program; greedy fallback.
