@@ -37,12 +37,14 @@
 //! assert!(run.outcome.normalized_gained_affinity > 0.99);
 //! ```
 
+pub mod certify;
 pub mod pipeline;
 pub mod selector_choice;
 pub mod solve_cache;
 pub mod solve_guard;
 pub mod training;
 
+pub use certify::{certify_placement, CertificationFailure, OBJECTIVE_REL_TOL};
 pub use pipeline::{RasaConfig, RasaPipeline, RasaRun, SubproblemReport};
 pub use rasa_lp::Deadline;
 pub use selector_choice::SelectorChoice;
@@ -55,7 +57,7 @@ pub use training::generate_training_set;
 // Re-export the pieces users compose with.
 pub use rasa_migrate::{plan_migration, MigrateConfig, MigrationPlan};
 pub use rasa_model as model;
-pub use rasa_model::RasaError;
+pub use rasa_model::{AdmissionReport, ProblemValidator, RasaError};
 pub use rasa_partition::{PartitionConfig, PartitionStrategy};
 pub use rasa_select::PoolAlgorithm;
 pub use rasa_solver::{ScheduleOutcome, Scheduler};

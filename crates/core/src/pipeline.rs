@@ -7,6 +7,7 @@
 //! [`SubproblemReport::status`]) and the run still completes with a
 //! feasible merged placement.
 
+use crate::certify::certify_placement;
 use crate::selector_choice::SelectorChoice;
 use crate::solve_cache::{CacheRoundStats, CachedSubSolve, SolveCache};
 use crate::solve_guard::{
@@ -16,7 +17,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rasa_lp::Deadline;
 use rasa_migrate::{plan_migration, MigrateConfig, MigrateError, MigrationPlan};
-use rasa_model::{ContainerAssignment, Placement, Problem, RasaError};
+use rasa_model::{
+    AdmissionReport, ContainerAssignment, Placement, Problem, ProblemValidator, RasaError,
+};
 use rasa_obs::flight::{self, TraceEvent};
 use rasa_partition::{
     partition_with_strategy, PartitionConfig, PartitionOutcome, PartitionStrategy, Subproblem,
@@ -54,6 +57,12 @@ pub struct RasaConfig {
     /// Deterministic fault injection (tests and chaos drills only; the
     /// default injects nothing).
     pub fault_injection: FaultInjection,
+    /// Run the admission gate ([`ProblemValidator`]) before partitioning:
+    /// corrupt inputs are quarantined/repaired and the healthy remainder
+    /// solved, instead of panicking deep inside a solver. On by default;
+    /// disable only when the input is known-validated (e.g. fresh from
+    /// `ProblemBuilder::build`) and the audit pass must be skipped.
+    pub admission: bool,
 }
 
 impl Default for RasaConfig {
@@ -78,6 +87,7 @@ impl Default for RasaConfig {
             complete: true,
             seed: 0,
             fault_injection: FaultInjection::None,
+            admission: true,
         }
     }
 }
@@ -119,6 +129,11 @@ pub struct RasaRun {
     /// Warm-start tallies for this round; `None` when the run was made
     /// without a [`SolveCache`].
     pub cache: Option<CacheRoundStats>,
+    /// What the admission gate found (and repaired) in the input problem;
+    /// `None` when [`RasaConfig::admission`] is off. Check
+    /// [`AdmissionReport::is_clean`] and the quarantine lists to learn
+    /// which services/machines were excluded from this round.
+    pub admission: Option<AdmissionReport>,
 }
 
 impl RasaRun {
@@ -192,6 +207,33 @@ impl RasaPipeline {
                 ("machines", problem.num_machines().to_string()),
             ],
         );
+        // Gate 1: admission control. Audit the input, quarantine/repair
+        // corrupt entries, and solve the healthy remainder. `repaired`
+        // owns the cleaned clone (only allocated when a repair was
+        // needed); `problem` is rebound to whichever copy is admissible.
+        let mut admission_report: Option<AdmissionReport> = None;
+        let repaired: Option<Problem> = if self.config.admission {
+            let _fs = flight::span("pipeline.admission");
+            obs.inc("admission.audits");
+            let (fixed, report) = ProblemValidator::new().admit(problem);
+            if !report.is_clean() {
+                obs.inc("admission.dirty");
+                let services = report.quarantined_services.len() as u64;
+                let machines = report.quarantined_machines.len() as u64;
+                let edges = report.dropped_edges as u64;
+                let rules = report.dropped_rules as u64;
+                obs.add("admission.quarantined_services", services);
+                obs.add("admission.quarantined_machines", machines);
+                obs.add("admission.dropped_edges", edges);
+                obs.add("admission.dropped_rules", rules);
+                flight::emit(|| TraceEvent::admission_quarantine(services, machines, edges, rules));
+            }
+            admission_report = Some(report);
+            fixed
+        } else {
+            None
+        };
+        let problem: &Problem = repaired.as_ref().unwrap_or(problem);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let partition: PartitionOutcome = {
             let _t = obs.span("pipeline.partition_seconds");
@@ -232,24 +274,48 @@ impl RasaPipeline {
         let mut hit_algorithms: Vec<Option<PoolAlgorithm>> =
             vec![None; partition.subproblems.len()];
         let mut cache_stats = cache.map(|_| CacheRoundStats::default());
+        let mut cache_poisoned = false;
         if let (Some(c), Some(fps), Some(stats)) = (cache, &fingerprints, &mut cache_stats) {
             for (i, sub) in partition.subproblems.iter().enumerate() {
                 if let Some(hit) = c.lookup(fps[i]) {
-                    let outcome = ScheduleOutcome::evaluate(
+                    // Gate 2 on the replay path: a cached placement is
+                    // re-certified before it is trusted, so an entry
+                    // mutated after being stored is re-solved instead of
+                    // replayed.
+                    match certify_placement(
                         &sub.problem,
-                        hit.placement,
-                        Duration::ZERO,
-                        hit.completed,
-                    );
-                    replayed[i] = Some(GuardedOutcome {
-                        outcome,
-                        status: SolveStatus::Ok,
-                        error: None,
-                    });
-                    hit_algorithms[i] = Some(hit.algorithm);
-                    stats.hits += 1;
-                    obs.inc("cache.sub_hits");
-                    flight::emit(|| TraceEvent::cache_lookup(true, "solve_cache", fps[i]));
+                        &hit.placement,
+                        hit.gained_affinity,
+                        false,
+                        "solve_cache",
+                    ) {
+                        Ok(_) => {
+                            let outcome = ScheduleOutcome::evaluate(
+                                &sub.problem,
+                                hit.placement,
+                                Duration::ZERO,
+                                hit.completed,
+                            );
+                            replayed[i] = Some(GuardedOutcome {
+                                outcome,
+                                status: SolveStatus::Ok,
+                                error: None,
+                            });
+                            hit_algorithms[i] = Some(hit.algorithm);
+                            stats.hits += 1;
+                            obs.inc("cache.sub_hits");
+                            flight::emit(|| TraceEvent::cache_lookup(true, "solve_cache", fps[i]));
+                        }
+                        Err(_) => {
+                            // Poisoned entry: treat as a miss and
+                            // re-solve; the healthy result overwrites it.
+                            obs.inc("certify.cache_rejections");
+                            cache_poisoned = true;
+                            stats.misses += 1;
+                            obs.inc("cache.sub_misses");
+                            flight::emit(|| TraceEvent::cache_lookup(false, "solve_cache", fps[i]));
+                        }
+                    }
                 } else {
                     stats.misses += 1;
                     obs.inc("cache.sub_misses");
@@ -298,6 +364,7 @@ impl RasaPipeline {
                             placement: guarded.outcome.placement.clone(),
                             algorithm: job.alg,
                             completed: guarded.outcome.completed,
+                            gained_affinity: guarded.outcome.gained_affinity,
                         },
                     );
                 }
@@ -360,7 +427,17 @@ impl RasaPipeline {
             complete_placement(problem, &mut placement);
         }
         let degraded = reports.iter().any(|r| r.status.is_degraded());
-        fscope.set_verdict(if degraded { "degraded" } else { "ok" }, degraded);
+        // A poisoned-cache round still produces a certified placement,
+        // but the verdict is marked degraded so the flight recorder dumps
+        // a black box for forensics.
+        let verdict = if degraded {
+            "degraded"
+        } else if cache_poisoned {
+            "certify_failed"
+        } else {
+            "ok"
+        };
+        fscope.set_verdict(verdict, degraded || cache_poisoned);
         drop(fscope);
         let completed = reports.iter().all(|r| r.completed);
         let outcome = ScheduleOutcome::evaluate(problem, placement, start.elapsed(), completed);
@@ -370,6 +447,7 @@ impl RasaPipeline {
             partition_loss: partition.affinity_loss,
             subproblems: reports,
             cache: cache_stats,
+            admission: admission_report,
         }
     }
 
@@ -888,5 +966,85 @@ mod tests {
             0,
             "trivial service untouched without completion"
         );
+    }
+
+    #[test]
+    fn admission_gate_quarantines_poisoned_service_and_solves_the_rest() {
+        // one poisoned service must not take the round down: the gate
+        // quarantines it, the healthy remainder is solved, and the report
+        // names the quarantined id (satellite: quarantine semantics)
+        let mut b = ProblemBuilder::new();
+        let s0 = b.add_service("a", 2, ResourceVec::cpu_mem(1.0, 1.0));
+        let s1 = b.add_service("b", 2, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_service("poisoned", 2, ResourceVec::cpu_mem(1.0, 1.0));
+        b.add_machines(2, ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::EMPTY);
+        b.add_affinity(s0, s1, 4.0);
+        let mut p = b.build().unwrap();
+        // corruption that bypasses the builder (e.g. a deserialized file)
+        p.services[2].demand = rasa_model::ResourceVec::new(f64::NAN, 1.0, 0.0, 0.0);
+
+        let run = RasaPipeline::default().optimize(&p, None, Deadline::none());
+        let report = run.admission.as_ref().expect("admission on by default");
+        assert!(!report.is_clean());
+        assert_eq!(
+            report.quarantined_services,
+            vec![rasa_model::ServiceId(2)],
+            "the poisoned service is named in the report"
+        );
+        assert!(!run.is_degraded(), "healthy remainder solves normally");
+        assert_eq!(
+            run.outcome.placement.placed_count(rasa_model::ServiceId(2)),
+            0,
+            "quarantined service gets no replicas"
+        );
+        assert!(
+            run.outcome.gained_affinity > 0.0,
+            "healthy pair still gains affinity"
+        );
+        // the merged placement certifies against the repaired problem
+        let (repaired, _) = ProblemValidator::new().admit(&p);
+        let repaired = repaired.expect("repair happened");
+        assert!(validate(&repaired, &run.outcome.placement, true).is_empty());
+    }
+
+    #[test]
+    fn admission_gate_can_be_disabled() {
+        let p = pair_problem();
+        let run = RasaPipeline::new(RasaConfig {
+            admission: false,
+            ..Default::default()
+        })
+        .optimize(&p, None, Deadline::none());
+        assert!(run.admission.is_none());
+        let on = RasaPipeline::default().optimize(&p, None, Deadline::none());
+        assert!(on.admission.expect("report").is_clean());
+    }
+
+    #[test]
+    fn poisoned_cache_entry_is_rejected_and_resolved() {
+        // Gate 2 on the replay path: mutate the cached entry between
+        // rounds; the warm round must re-solve instead of replaying it
+        let p = pair_problem();
+        let pipeline = RasaPipeline::default();
+        let cache = SolveCache::new();
+        let cold = pipeline.optimize_with_cache(&p, None, Deadline::none(), Some(&cache));
+        let fps = cache.fingerprints();
+        assert_eq!(fps.len(), 1);
+        let mut entry = cache.lookup(fps[0]).expect("cached");
+        entry.gained_affinity += 100.0; // claimed objective no longer matches
+        cache.store(fps[0], entry);
+
+        let warm = pipeline.optimize_with_cache(&p, None, Deadline::none(), Some(&cache));
+        let stats = warm.cache.expect("stats with cache");
+        assert_eq!(stats.hits, 0, "poisoned entry must not replay");
+        assert_eq!(stats.misses, 1);
+        assert!(!warm.subproblems[0].cache_hit);
+        assert!(
+            (warm.outcome.gained_affinity - cold.outcome.gained_affinity).abs() < 1e-9,
+            "re-solve reproduces the honest objective"
+        );
+        // the fresh solve overwrote the poisoned entry, so round 3 replays
+        let round3 = pipeline.optimize_with_cache(&p, None, Deadline::none(), Some(&cache));
+        assert_eq!(round3.cache.expect("stats").hits, 1);
     }
 }

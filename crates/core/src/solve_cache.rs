@@ -44,6 +44,11 @@ pub struct CachedSubSolve {
     pub algorithm: PoolAlgorithm,
     /// Whether that solve ran to completion within its deadline.
     pub completed: bool,
+    /// The gained-affinity objective the solver reported for this
+    /// placement. Replays cross-check it against a recomputed value
+    /// (Gate 2), so an entry mutated after being stored is caught
+    /// instead of replayed.
+    pub gained_affinity: f64,
 }
 
 /// Hit/miss/invalidation tallies for one pipeline round, reported on
@@ -102,6 +107,13 @@ impl SolveCache {
         evicted_subs + self.columns.retain_keys(live_columns)
     }
 
+    /// Fingerprints of every cached subproblem solve, in no particular
+    /// order. Introspection for tests and chaos campaigns that need to
+    /// target (e.g. poison) specific entries through `lookup`/`store`.
+    pub fn fingerprints(&self) -> Vec<u64> {
+        self.subs.lock().keys().copied().collect()
+    }
+
     /// Number of cached subproblem solves.
     pub fn len(&self) -> usize {
         self.subs.lock().len()
@@ -128,6 +140,7 @@ mod tests {
             placement: Placement::empty(0),
             algorithm: PoolAlgorithm::Mip,
             completed: true,
+            gained_affinity: 0.0,
         }
     }
 
@@ -158,6 +171,16 @@ mod tests {
         assert!(cache.lookup(1).is_some());
         assert!(cache.columns().get(10).is_none());
         assert!(cache.columns().get(11).is_some());
+    }
+
+    #[test]
+    fn fingerprints_lists_cached_keys() {
+        let cache = SolveCache::new();
+        cache.store(3, entry());
+        cache.store(9, entry());
+        let mut fps = cache.fingerprints();
+        fps.sort_unstable();
+        assert_eq!(fps, vec![3, 9]);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! [`SubproblemReport`](crate::SubproblemReport) so callers can see
 //! exactly how degraded a run was, and why.
 
+use crate::certify::certify_placement;
 use rasa_lp::Deadline;
 use rasa_model::{validate, Placement, Problem, RasaError};
 use rasa_obs::flight::{self, TraceEvent};
@@ -141,6 +142,9 @@ enum Rung {
     Valid(ScheduleOutcome),
     Panicked(String),
     Infeasible,
+    /// The placement satisfied the constraints but the solver's claimed
+    /// objective failed the independent cross-check.
+    Miscertified(String),
 }
 
 fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -153,16 +157,25 @@ fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Run one scheduler under `catch_unwind` and validate its placement
-/// (partial placements are fine; constraint violations are not).
+/// Run one scheduler under `catch_unwind` and certify its placement
+/// (partial placements are fine; constraint violations and objective
+/// mismatches are not — see [`certify_placement`]).
 fn run_rung(scheduler: &dyn Scheduler, problem: &Problem, deadline: Deadline) -> Rung {
     let _rung_span = flight::span_with("solve.rung", &[("algorithm", scheduler.name().into())]);
     match catch_unwind(AssertUnwindSafe(|| scheduler.schedule(problem, deadline))) {
         Ok(outcome) => {
-            if validate(problem, &outcome.placement, false).is_empty() {
-                Rung::Valid(outcome)
-            } else {
-                Rung::Infeasible
+            match certify_placement(
+                problem,
+                &outcome.placement,
+                outcome.gained_affinity,
+                false,
+                scheduler.name(),
+            ) {
+                Ok(_) => Rung::Valid(outcome),
+                Err(failure) if failure.is_objective_mismatch() => {
+                    Rung::Miscertified(failure.detail())
+                }
+                Err(_) => Rung::Infeasible,
             }
         }
         Err(payload) => Rung::Panicked(payload_to_string(payload)),
@@ -299,6 +312,13 @@ fn guarded_schedule_impl(
             SolveStatus::Infeasible,
             Some(RasaError::InfeasibleResult { subproblem: index }),
         ),
+        Rung::Miscertified(detail) => (
+            SolveStatus::Infeasible,
+            Some(RasaError::CertificationFailed {
+                subproblem: index,
+                detail,
+            }),
+        ),
     };
 
     // the primary failed: try the other pool members while budget remains
@@ -366,6 +386,28 @@ mod tests {
                 placement.add(svc.id, MachineId(0), svc.replicas);
             }
             ScheduleOutcome::evaluate(problem, placement, Duration::ZERO, true)
+        }
+    }
+
+    /// A scheduler whose placement is feasible but whose claimed
+    /// objective is inflated — only Gate 2's cross-check can catch it.
+    #[derive(Clone, Copy, Debug)]
+    struct LyingScheduler;
+
+    impl Scheduler for LyingScheduler {
+        fn name(&self) -> &'static str {
+            "LIAR"
+        }
+
+        fn schedule(&self, problem: &Problem, _deadline: Deadline) -> ScheduleOutcome {
+            let mut outcome = ScheduleOutcome::evaluate(
+                problem,
+                Placement::empty_for(problem),
+                Duration::ZERO,
+                true,
+            );
+            outcome.gained_affinity += 100.0;
+            outcome
         }
     }
 
@@ -443,6 +485,26 @@ mod tests {
         );
         assert_eq!(g.status, SolveStatus::FellBackTo(PoolAlgorithm::Mip));
         assert_eq!(g.error, Some(RasaError::InfeasibleResult { subproblem: 1 }));
+        assert!(validate(&p, &g.outcome.placement, false).is_empty());
+    }
+
+    #[test]
+    fn objective_mismatch_routes_down_the_ladder() {
+        let p = pair_problem();
+        let m = mip();
+        let g = guarded_schedule(
+            4,
+            (PoolAlgorithm::Cg, &LyingScheduler),
+            &[(PoolAlgorithm::Mip, &m)],
+            &p,
+            Deadline::none(),
+        );
+        assert_eq!(g.status, SolveStatus::FellBackTo(PoolAlgorithm::Mip));
+        assert!(matches!(
+            g.error,
+            Some(RasaError::CertificationFailed { subproblem: 4, ref detail })
+                if detail.contains("LIAR")
+        ));
         assert!(validate(&p, &g.outcome.placement, false).is_empty());
     }
 

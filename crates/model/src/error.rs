@@ -73,6 +73,17 @@ pub enum RasaError {
         /// Index of the subproblem with the infeasible result.
         subproblem: usize,
     },
+    /// Independent certification rejected a candidate solution: the
+    /// placement satisfied the constraints but the solver's claimed
+    /// objective did not match the recomputed one (or the claim was
+    /// non-finite). Treated as a solver fault and routed down the
+    /// fallback ladder.
+    CertificationFailed {
+        /// Index of the subproblem whose result failed certification.
+        subproblem: usize,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RasaError {
@@ -90,6 +101,9 @@ impl fmt::Display for RasaError {
             }
             RasaError::InfeasibleResult { subproblem } => {
                 write!(f, "subproblem {subproblem} produced an infeasible placement")
+            }
+            RasaError::CertificationFailed { subproblem, detail } => {
+                write!(f, "subproblem {subproblem} failed certification: {detail}")
             }
         }
     }

@@ -26,6 +26,7 @@
 //! Everything downstream — the partitioner, the MIP/column-generation
 //! solvers, the baselines and the simulator — consumes this crate.
 
+pub mod admission;
 pub mod affinity;
 pub mod error;
 pub mod ids;
@@ -37,6 +38,9 @@ pub mod resources;
 pub mod service;
 pub mod validate;
 
+pub use admission::{
+    AdmissionIssue, AdmissionReport, EdgeDefect, ProblemValidator, RepairAction, RuleDefect,
+};
 pub use affinity::{AffinityEdge, EdgeId};
 pub use error::{ModelError, RasaError};
 pub use ids::{ContainerId, MachineId, ServiceId};

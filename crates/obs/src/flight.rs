@@ -82,6 +82,12 @@ pub enum EventKind {
     CacheEvict,
     /// The fault-isolation guard moved down the fallback ladder.
     FallbackTransition,
+    /// Admission control quarantined or repaired part of a problem
+    /// before the round was solved.
+    AdmissionQuarantine,
+    /// Independent certification rejected a candidate placement
+    /// (constraint violations or an objective mismatch).
+    CertifyFailure,
 }
 
 impl EventKind {
@@ -96,6 +102,8 @@ impl EventKind {
             EventKind::CacheMiss => "cache_miss",
             EventKind::CacheEvict => "cache_evict",
             EventKind::FallbackTransition => "fallback_transition",
+            EventKind::AdmissionQuarantine => "admission_quarantine",
+            EventKind::CertifyFailure => "certify_failure",
         }
     }
 }
@@ -222,6 +230,47 @@ impl TraceEvent {
                 ("to_rung".into(), to_rung as f64),
             ],
             format!("{from}->{to}"),
+        )
+    }
+
+    /// Admission control intervened: how many services and machines were
+    /// quarantined and how many edges/rules were dropped before solving.
+    pub fn admission_quarantine(
+        services: u64,
+        machines: u64,
+        edges: u64,
+        rules: u64,
+    ) -> Self {
+        TraceEvent::new(
+            EventKind::AdmissionQuarantine,
+            vec![
+                ("services".into(), services as f64),
+                ("machines".into(), machines as f64),
+                ("edges".into(), edges as f64),
+                ("rules".into(), rules as f64),
+            ],
+            String::new(),
+        )
+    }
+
+    /// Certification rejected a candidate placement. `violations` counts
+    /// constraint violations (zero means a pure objective mismatch);
+    /// `source` names who produced the candidate (an algorithm or
+    /// `"solve_cache"`).
+    pub fn certify_failure(
+        violations: u64,
+        claimed_objective: f64,
+        recomputed_objective: f64,
+        source: &str,
+    ) -> Self {
+        TraceEvent::new(
+            EventKind::CertifyFailure,
+            vec![
+                ("violations".into(), violations as f64),
+                ("claimed_objective".into(), claimed_objective),
+                ("recomputed_objective".into(), recomputed_objective),
+            ],
+            source.to_string(),
         )
     }
 }

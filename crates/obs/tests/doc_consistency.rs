@@ -18,7 +18,9 @@ use std::collections::BTreeSet;
 use std::path::Path;
 
 /// Prefixes that make a string literal a metric/span name candidate.
-const PREFIXES: [&str; 12] = [
+const PREFIXES: [&str; 14] = [
+    "admission",
+    "certify",
     "simplex",
     "bnb",
     "cg",
@@ -210,6 +212,8 @@ fn every_event_kind_is_documented() {
         EventKind::CacheMiss,
         EventKind::CacheEvict,
         EventKind::FallbackTransition,
+        EventKind::AdmissionQuarantine,
+        EventKind::CertifyFailure,
     ] {
         assert!(
             events.contains(kind.as_str()),

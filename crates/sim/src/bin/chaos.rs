@@ -2,7 +2,14 @@
 //! fault schedule against the MIP scheduler, print the round-by-round
 //! report, and exit non-zero if any invariant was violated.
 //!
-//! Usage: `chaos [SEED] [MAX_FAILURES]` (defaults: seed 7, 2 failures)
+//! Usage:
+//!   `chaos [SEED] [MAX_FAILURES]`        — machine-failure drill
+//!                                          (defaults: seed 7, 2 failures)
+//!   `chaos corruption [SEED] [ROUNDS]`   — data-corruption campaign
+//!                                          (defaults: seed 42, 55 rounds);
+//!                                          writes the round-by-round JSON
+//!                                          report to
+//!                                          `target/corruption_chaos/report.json`
 //!
 //! Every fault round is black-boxed by the flight recorder: dumps land in
 //! `RASA_FLIGHT_DIR` (default `target/chaos_blackbox/`), one JSON file per
@@ -11,13 +18,52 @@
 use rasa_migrate::MigrateConfig;
 use rasa_obs::FlightConfig;
 use rasa_sim::chaos::{run_chaos, ChaosSchedule};
+use rasa_sim::corruption::run_corruption_campaign;
 use rasa_solver::MipBased;
 use rasa_trace::{generate, tiny_cluster};
 
+/// Run the data-corruption campaign and exit non-zero on any panic or
+/// uncertified placement.
+fn corruption_main(mut args: impl Iterator<Item = String>) -> ! {
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let rounds: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(55);
+    println!("corruption campaign: seed={seed}, {rounds} rounds");
+    let report = run_corruption_campaign(seed, rounds);
+    for (i, r) in report.rounds.iter().enumerate() {
+        let detail = r
+            .detail
+            .as_deref()
+            .map(|d| format!("  detail: {d}"))
+            .unwrap_or_default();
+        println!(
+            "  round {i}: {} panicked={} certified={} quarantined={}{detail}",
+            r.kind, r.panicked, r.certified, r.quarantined
+        );
+    }
+    println!(
+        "panics: {}; uncertified placements: {}",
+        report.panics, report.uncertified
+    );
+    let out_dir = std::path::Path::new("target/corruption_chaos");
+    if std::fs::create_dir_all(out_dir).is_ok() {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => {
+                let path = out_dir.join("report.json");
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("could not write {}: {e}", path.display());
+                } else {
+                    println!("report written to {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("could not serialize report: {e}"),
+        }
+    }
+    std::process::exit(if report.is_clean() { 0 } else { 1 });
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
-    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
-    let max_failures: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
+    let first = args.next();
 
     // black-box every fault round; RASA_FLIGHT_* overrides the default dir
     if !rasa_obs::recorder().configure_from_env() {
@@ -26,6 +72,12 @@ fn main() {
             ..FlightConfig::default()
         });
     }
+
+    if first.as_deref() == Some("corruption") {
+        corruption_main(args);
+    }
+    let seed: u64 = first.and_then(|a| a.parse().ok()).unwrap_or(7);
+    let max_failures: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
 
     let problem = generate(&tiny_cluster(seed));
     println!(

@@ -193,7 +193,7 @@ mod tests {
         let mut b = ProblemBuilder::new();
         b.add_service("svc", 6, ResourceVec::cpu_mem(1.0, 1.0));
         b.add_machines(3, ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::EMPTY);
-        let p = b.build().unwrap();
+        let p = b.build().expect("setup problem builds");
         let mut start = Placement::empty_for(&p);
         start.add(ServiceId(0), MachineId(0), 6);
         let from = ContainerAssignment::materialize(&p, &start);
@@ -201,7 +201,8 @@ mod tests {
         target.add(ServiceId(0), MachineId(0), 2);
         target.add(ServiceId(0), MachineId(1), 2);
         target.add(ServiceId(0), MachineId(2), 2);
-        let plan = plan_migration(&p, &from, &target, &MigrateConfig::default()).unwrap();
+        let plan = plan_migration(&p, &from, &target, &MigrateConfig::default())
+            .expect("setup migration plans");
         (p, from, target, plan)
     }
 
@@ -217,7 +218,7 @@ mod tests {
             None,
             &MigrateConfig::default(),
         )
-        .unwrap();
+        .expect("clean execution succeeds");
         assert_eq!(report.lost_containers, 0);
         assert_eq!(state.to_placement(), target);
     }
@@ -236,7 +237,7 @@ mod tests {
             Some((fail_step, MachineId(1))),
             &MigrateConfig::default(),
         )
-        .unwrap();
+        .expect("recovery from a single machine failure succeeds");
         // SLA restored: all 6 containers alive, none on the dead machine
         let final_placement = state.to_placement();
         assert_eq!(final_placement.placed_count(ServiceId(0)), 6);
@@ -254,7 +255,7 @@ mod tests {
         let mut b = ProblemBuilder::new();
         b.add_service("svc", 6, ResourceVec::cpu_mem(1.0, 1.0));
         b.add_machines(4, ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::EMPTY);
-        let p = b.build().unwrap();
+        let p = b.build().expect("four-machine problem builds");
         let mut start = Placement::empty_for(&p);
         start.add(ServiceId(0), MachineId(0), 6);
         let from = ContainerAssignment::materialize(&p, &start);
@@ -262,7 +263,8 @@ mod tests {
         for m in 0..3 {
             target.add(ServiceId(0), MachineId(m), 2);
         }
-        let plan = plan_migration(&p, &from, &target, &MigrateConfig::default()).unwrap();
+        let plan = plan_migration(&p, &from, &target, &MigrateConfig::default())
+            .expect("migration plans");
         let mut state = from.clone();
         let dead = [MachineId(1), MachineId(2)];
         let report = execute_with_failures(
@@ -273,7 +275,7 @@ mod tests {
             Some((plan.steps.len() / 2, &dead)),
             &MigrateConfig::default(),
         )
-        .unwrap();
+        .expect("recovery from correlated failures succeeds");
         let final_placement = state.to_placement();
         assert_eq!(final_placement.placed_count(ServiceId(0)), 6);
         for d in dead {
@@ -300,7 +302,7 @@ mod tests {
             Some((0, MachineId(2))),
             &MigrateConfig::default(),
         )
-        .unwrap();
+        .expect("failure on an empty machine is benign");
         let final_placement = state.to_placement();
         assert_eq!(final_placement.placed_count(ServiceId(0)), 6);
         assert_eq!(final_placement.count(ServiceId(0), MachineId(2)), 0);

@@ -21,18 +21,24 @@
 //!   producing the normalized time series of Figs 11–13;
 //! * [`chaos`] — seeded deterministic fault schedules (correlated machine
 //!   deaths, mid-solve deaths, deadline starvation) with a per-step
-//!   invariant checker, generalizing the single-failure [`failover`] drill.
+//!   invariant checker, generalizing the single-failure [`failover`] drill;
+//! * [`corruption`] — seeded *data*-corruption chaos (NaN/Inf flips,
+//!   dangling references, truncated artifacts, poisoned cache entries)
+//!   asserting the pipeline's two-gate trust boundary: no panics, no
+//!   uncertified placement.
 
 pub mod chaos;
 pub mod collector;
+pub mod corruption;
 pub mod cronjob;
 pub mod experiment;
 pub mod failover;
 pub mod network;
 
 pub use chaos::{run_chaos, ChaosEvent, ChaosReport, ChaosSchedule, InvariantChecker};
+pub use corruption::{run_corruption_campaign, CorruptionKind, CorruptionReport, CorruptionRound};
 pub use collector::{ClusterState, DataCollector};
 pub use cronjob::{CronJob, CronJobConfig, TickOutcome};
 pub use experiment::{run_production_experiment, ExperimentConfig, ExperimentReport, PairSeries};
 pub use failover::{execute_with_failure, execute_with_failures, FailoverReport};
-pub use network::NetworkModel;
+pub use network::{NetworkModel, NetworkModelError};

@@ -2,6 +2,24 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a [`NetworkModel`] was rejected by [`NetworkModel::validated`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetworkModelError {
+    /// Name of the offending field.
+    pub field: &'static str,
+    /// What was wrong with it.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for NetworkModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid NetworkModel: {} {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for NetworkModelError {}
 
 /// Latency/error parameters for local (IPC) and remote (RPC) request paths.
 ///
@@ -47,6 +65,45 @@ impl Default for NetworkModel {
 }
 
 impl NetworkModel {
+    /// Validate and normalize this model for use.
+    ///
+    /// Latencies and jitter must be finite and non-negative; error
+    /// probabilities must be finite and are clamped into `[0, 1]` (a
+    /// config expressing "always fails" as `1.3` is accepted as `1.0`,
+    /// but NaN/Inf — the signature of a corrupted file — is rejected).
+    /// This is the admission point for deserialized configs, which
+    /// bypass every other check.
+    pub fn validated(mut self) -> Result<Self, NetworkModelError> {
+        let finite_non_negative = |v: f64| v.is_finite() && v >= 0.0;
+        for (field, value) in [
+            ("base_latency_ms", self.base_latency_ms),
+            ("ipc_latency_ms", self.ipc_latency_ms),
+            ("rpc_latency_ms", self.rpc_latency_ms),
+            ("jitter", self.jitter),
+        ] {
+            if !finite_non_negative(value) {
+                return Err(NetworkModelError {
+                    field,
+                    reason: "must be finite and non-negative",
+                });
+            }
+        }
+        for (field, value) in [
+            ("base_error_rate", &mut self.base_error_rate),
+            ("ipc_error_rate", &mut self.ipc_error_rate),
+            ("rpc_error_rate", &mut self.rpc_error_rate),
+        ] {
+            if !value.is_finite() {
+                return Err(NetworkModelError {
+                    field,
+                    reason: "must be a finite probability",
+                });
+            }
+            *value = value.clamp(0.0, 1.0);
+        }
+        Ok(self)
+    }
+
     /// Expected end-to-end latency for a service pair whose traffic is
     /// `localized` ∈ [0, 1] on-machine (no noise).
     pub fn mean_latency(&self, localized: f64) -> f64 {
@@ -61,16 +118,24 @@ impl NetworkModel {
             .clamp(0.0, 1.0)
     }
 
+    /// Multiplicative noise factor for one observation; `jitter == 0`
+    /// means deterministic observations (`gen_range` panics on an empty
+    /// range, so the zero case must not sample).
+    fn noise<R: Rng>(&self, rng: &mut R) -> f64 {
+        if self.jitter <= 0.0 {
+            return 1.0;
+        }
+        (1.0 + rng.gen_range(-self.jitter..self.jitter)).max(0.01)
+    }
+
     /// One noisy latency observation.
     pub fn observe_latency<R: Rng>(&self, localized: f64, rng: &mut R) -> f64 {
-        let noise = 1.0 + rng.gen_range(-self.jitter..self.jitter);
-        self.mean_latency(localized) * noise.max(0.01)
+        self.mean_latency(localized) * self.noise(rng)
     }
 
     /// One noisy error-rate observation.
     pub fn observe_error_rate<R: Rng>(&self, localized: f64, rng: &mut R) -> f64 {
-        let noise = 1.0 + rng.gen_range(-self.jitter..self.jitter);
-        (self.mean_error_rate(localized) * noise.max(0.01)).clamp(0.0, 1.0)
+        (self.mean_error_rate(localized) * self.noise(rng)).clamp(0.0, 1.0)
     }
 }
 
@@ -132,5 +197,74 @@ mod tests {
         let m = NetworkModel::default();
         assert!(m.mean_latency(0.8) < m.mean_latency(0.2));
         assert!(m.mean_error_rate(0.8) < m.mean_error_rate(0.2));
+    }
+
+    #[test]
+    fn zero_jitter_observations_are_deterministic_and_do_not_panic() {
+        // regression: `gen_range(-0.0..0.0)` is an empty range and panics
+        let m = NetworkModel {
+            jitter: 0.0,
+            ..NetworkModel::default()
+        }
+        .validated()
+        .expect("zero jitter is a valid model");
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(m.observe_latency(0.5, &mut rng), m.mean_latency(0.5));
+        assert_eq!(m.observe_error_rate(0.5, &mut rng), m.mean_error_rate(0.5));
+    }
+
+    #[test]
+    fn saturated_error_rate_stays_a_probability() {
+        let m = NetworkModel {
+            base_error_rate: 1.0,
+            ..NetworkModel::default()
+        }
+        .validated()
+        .expect("error rate 1.0 is valid");
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let e = m.observe_error_rate(0.0, &mut rng);
+            assert!((0.0..=1.0).contains(&e), "observation {e} out of [0,1]");
+        }
+        assert_eq!(m.mean_error_rate(1.0), 1.0);
+    }
+
+    #[test]
+    fn validated_rejects_non_finite_and_negative_fields() {
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let err = NetworkModel {
+                rpc_latency_ms: bad,
+                ..NetworkModel::default()
+            }
+            .validated()
+            .expect_err("corrupt latency must be rejected");
+            assert_eq!(err.field, "rpc_latency_ms");
+        }
+        let err = NetworkModel {
+            jitter: f64::NAN,
+            ..NetworkModel::default()
+        }
+        .validated()
+        .expect_err("NaN jitter must be rejected");
+        assert_eq!(err.field, "jitter");
+        assert!(NetworkModel {
+            base_error_rate: f64::INFINITY,
+            ..NetworkModel::default()
+        }
+        .validated()
+        .is_err());
+    }
+
+    #[test]
+    fn validated_clamps_out_of_range_probabilities() {
+        let m = NetworkModel {
+            rpc_error_rate: 1.3,
+            ipc_error_rate: -0.2,
+            ..NetworkModel::default()
+        }
+        .validated()
+        .expect("out-of-range probabilities are clamped, not rejected");
+        assert_eq!(m.rpc_error_rate, 1.0);
+        assert_eq!(m.ipc_error_rate, 0.0);
     }
 }

@@ -1,0 +1,147 @@
+//! Property tests for the data-corruption trust boundary: an arbitrary
+//! seeded injector applied to an arbitrary generated cluster must never
+//! panic the pipeline and must never yield an uncertified placement —
+//! and the admission gate's repair must itself be admissible (auditing a
+//! repaired problem finds nothing left to repair).
+//!
+//! Seeds that ever failed are pinned in
+//! `corruption_properties.proptest-regressions` and replayed explicitly by
+//! [`regression_corpus_replays_clean`] before any novel cases run, so the
+//! corpus stays load-bearing even though the vendored proptest stand-in
+//! does not read regression files itself.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rasa_core::{certify_placement, Deadline, RasaPipeline};
+use rasa_model::ProblemValidator;
+use rasa_sim::corruption::{inject, run_corruption_campaign, CorruptionKind};
+use rasa_trace::{generate, ClusterSpec};
+use std::time::Duration;
+
+/// Small generated cluster; all randomness derives from `seed`.
+fn small_cluster(seed: u64) -> ClusterSpec {
+    ClusterSpec {
+        name: format!("prop-{seed}"),
+        services: 10,
+        target_containers: 36,
+        machines: 5,
+        community_size: 4,
+        group_rules: 1,
+        seed,
+        ..ClusterSpec::default()
+    }
+}
+
+/// The in-memory corruption kinds (artifact/cache kinds are exercised by
+/// the campaign property below).
+const MEMORY_KINDS: [CorruptionKind; 8] = [
+    CorruptionKind::NanDemand,
+    CorruptionKind::InfDemand,
+    CorruptionKind::CapacitySignFlip,
+    CorruptionKind::NonFiniteCapacity,
+    CorruptionKind::DanglingEdge,
+    CorruptionKind::NonFiniteEdgeWeight,
+    CorruptionKind::ZeroAntiAffinity,
+    CorruptionKind::CorruptPriority,
+];
+
+/// Shared body: inject `kind` into a seed-generated cluster, run the
+/// pipeline, and return an error description if anything panicked the
+/// trust boundary or failed certification.
+fn check_corrupted_round(seed: u64, kind: CorruptionKind) -> Result<(), String> {
+    let mut problem = generate(&small_cluster(seed));
+    let mut rng = StdRng::seed_from_u64(seed);
+    inject(&mut problem, kind, &mut rng);
+
+    // Gate 1 sees the corruption...
+    let (repaired, report) = ProblemValidator::new().admit(&problem);
+    if report.is_clean() {
+        return Err(format!("{}: injection had no effect", kind.label()));
+    }
+
+    // ...and the pipeline survives it end to end
+    let run =
+        RasaPipeline::default().optimize(&problem, None, Deadline::after(Duration::from_secs(2)));
+    let effective = repaired.as_ref().unwrap_or(&problem);
+    certify_placement(
+        effective,
+        &run.outcome.placement,
+        run.outcome.gained_affinity,
+        false,
+        "property",
+    )
+    .map(|_| ())
+    .map_err(|e| format!("{}: {e}", kind.label()))
+}
+
+/// Replays every `(seed, kind)` pinned in the sibling
+/// `.proptest-regressions` corpus. Add a line there (and a pair here)
+/// whenever a property case fails, so the failure stays covered.
+#[test]
+fn regression_corpus_replays_clean() {
+    // (seed, kind) pairs mirrored from corruption_properties.proptest-regressions
+    let corpus: &[(u64, CorruptionKind)] = &[
+        (42, CorruptionKind::NanDemand),
+        (42, CorruptionKind::CapacitySignFlip),
+        (7, CorruptionKind::DanglingEdge),
+        (311, CorruptionKind::ZeroAntiAffinity),
+        (311, CorruptionKind::NonFiniteCapacity),
+    ];
+    for &(seed, kind) in corpus {
+        check_corrupted_round(seed, kind).expect("pinned regression case stays clean");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn corrupted_problems_never_panic_and_always_certify(
+        seed in 0u64..1_000,
+        kind_idx in 0usize..8,
+    ) {
+        let kind = MEMORY_KINDS[kind_idx];
+        let outcome = check_corrupted_round(seed, kind);
+        prop_assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
+    }
+
+    #[test]
+    fn repair_is_idempotent(
+        seed in 0u64..1_000,
+        kind_idx in 0usize..8,
+    ) {
+        let mut problem = generate(&small_cluster(seed));
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+        inject(&mut problem, MEMORY_KINDS[kind_idx], &mut rng);
+        let (repaired, _) = ProblemValidator::new().admit(&problem);
+        if let Some(r) = repaired {
+            let second = ProblemValidator::new().audit(&r);
+            prop_assert!(
+                second.is_clean(),
+                "{}: repaired problem still dirty: {:?}",
+                MEMORY_KINDS[kind_idx].label(),
+                second.issues
+            );
+        }
+    }
+}
+
+proptest! {
+    // campaign rounds run full pipeline solves; keep the case count low
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn short_campaigns_are_clean_for_any_seed(seed in 0u64..1_000) {
+        let report = run_corruption_campaign(seed, 3);
+        prop_assert!(
+            report.is_clean(),
+            "seed {seed}: {:?}",
+            report
+                .rounds
+                .iter()
+                .filter(|r| r.panicked || !r.certified)
+                .collect::<Vec<_>>()
+        );
+    }
+}

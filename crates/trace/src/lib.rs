@@ -32,5 +32,5 @@ pub mod persist;
 pub mod specs;
 
 pub use generator::{generate, ClusterSpec};
-pub use persist::{load_problem, save_problem};
+pub use persist::{load_problem, save_problem, PersistError};
 pub use specs::{s_clusters, t_clusters, tiny_cluster};

@@ -1,21 +1,106 @@
 //! Saving and loading generated problems as JSON artifacts, so experiment
 //! inputs can be pinned and shared.
+//!
+//! Loading goes through a typed [`PersistError`] that names the offending
+//! path and — for malformed JSON — the 1-based line/column where parsing
+//! stopped, so a truncated or hand-mangled artifact produces an actionable
+//! message instead of a bare `InvalidData`.
 
 use rasa_model::Problem;
+use std::fmt;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+/// Why saving or loading a problem artifact failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The file could not be read or written.
+    Io {
+        /// The artifact path involved.
+        path: PathBuf,
+        /// The underlying filesystem error.
+        source: io::Error,
+    },
+    /// The file exists but its contents are not a valid problem.
+    Parse {
+        /// The artifact path involved.
+        path: PathBuf,
+        /// 1-based line where parsing stopped (syntax errors only; shape
+        /// errors found after parsing carry no position).
+        line: Option<usize>,
+        /// 1-based column where parsing stopped.
+        column: Option<usize>,
+        /// The underlying JSON error.
+        source: serde_json::Error,
+    },
+    /// The in-memory problem could not be serialized.
+    Serialize {
+        /// The underlying JSON error.
+        source: serde_json::Error,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            PersistError::Parse {
+                path,
+                line,
+                column,
+                source,
+            } => {
+                write!(f, "{}: ", path.display())?;
+                if let (Some(l), Some(c)) = (line, column) {
+                    write!(f, "malformed JSON at line {l} column {c}: ")?;
+                }
+                write!(f, "{source}")
+            }
+            PersistError::Serialize { source } => {
+                write!(f, "failed to serialize problem: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            PersistError::Parse { source, .. } => Some(source),
+            PersistError::Serialize { source } => Some(source),
+        }
+    }
+}
 
 /// Write `problem` to `path` as JSON.
-pub fn save_problem(problem: &Problem, path: &Path) -> io::Result<()> {
-    let json = serde_json::to_string(problem)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    std::fs::write(path, json)
+pub fn save_problem(problem: &Problem, path: &Path) -> Result<(), PersistError> {
+    let json =
+        serde_json::to_string(problem).map_err(|source| PersistError::Serialize { source })?;
+    std::fs::write(path, json).map_err(|source| PersistError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
 }
 
 /// Load a problem saved by [`save_problem`].
-pub fn load_problem(path: &Path) -> io::Result<Problem> {
-    let json = std::fs::read_to_string(path)?;
-    serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+///
+/// No admission audit is run on the result; pair with
+/// `rasa_model::ProblemValidator` (or use the pipeline's built-in
+/// admission gate) before trusting a file from outside the process.
+pub fn load_problem(path: &Path) -> Result<Problem, PersistError> {
+    let json = std::fs::read_to_string(path).map_err(|source| PersistError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    serde_json::from_str(&json).map_err(|source| PersistError::Parse {
+        path: path.to_path_buf(),
+        line: source.line(),
+        column: source.column(),
+        source,
+    })
 }
 
 #[cfg(test)]
@@ -24,14 +109,18 @@ mod tests {
     use crate::generator::generate;
     use crate::specs::tiny_cluster;
 
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("rasa_trace_test");
+        std::fs::create_dir_all(&dir).expect("temp dir creates");
+        dir.join(name)
+    }
+
     #[test]
     fn round_trip_preserves_the_problem() {
         let p = generate(&tiny_cluster(5));
-        let dir = std::env::temp_dir().join("rasa_trace_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("tiny.json");
-        save_problem(&p, &path).unwrap();
-        let q = load_problem(&path).unwrap();
+        let path = temp_path("tiny.json");
+        save_problem(&p, &path).expect("problem saves");
+        let q = load_problem(&path).expect("problem loads back");
         // JSON float formatting may drift by an ULP; compare structurally
         // with a tight tolerance.
         assert_eq!(p.num_services(), q.num_services());
@@ -46,7 +135,39 @@ mod tests {
     }
 
     #[test]
-    fn load_missing_file_errors() {
-        assert!(load_problem(Path::new("/nonexistent/rasa.json")).is_err());
+    fn load_missing_file_reports_path() {
+        let err = load_problem(Path::new("/nonexistent/rasa.json")).expect_err("must fail");
+        assert!(matches!(err, PersistError::Io { .. }));
+        assert!(err.to_string().contains("/nonexistent/rasa.json"));
+    }
+
+    #[test]
+    fn truncated_artifact_reports_line_and_column() {
+        let p = generate(&tiny_cluster(5));
+        let path = temp_path("truncated.json");
+        save_problem(&p, &path).expect("problem saves");
+        let json = std::fs::read_to_string(&path).expect("readable");
+        std::fs::write(&path, &json[..json.len() / 2]).expect("truncates");
+
+        let err = load_problem(&path).expect_err("truncated file must fail");
+        match &err {
+            PersistError::Parse { path: p, line, .. } => {
+                assert!(p.ends_with("truncated.json"));
+                assert!(line.is_some(), "syntax errors carry a position");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        assert!(err.to_string().contains("line"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_shape_reports_parse_without_position() {
+        let path = temp_path("wrong_shape.json");
+        // valid JSON, wrong type for a Problem
+        std::fs::write(&path, "[1, 2, 3]").expect("writes");
+        let err = load_problem(&path).expect_err("wrong shape must fail");
+        assert!(matches!(err, PersistError::Parse { line: None, .. }));
+        std::fs::remove_file(&path).ok();
     }
 }

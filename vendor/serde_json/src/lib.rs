@@ -14,17 +14,55 @@ use std::fmt;
 #[derive(Clone, Debug)]
 pub struct Error {
     msg: String,
+    /// 1-based line of the error position, when known (syntax errors only;
+    /// shape/type errors discovered after parsing have no position).
+    line: Option<usize>,
+    /// 1-based column of the error position, when known.
+    column: Option<usize>,
 }
 
 impl Error {
     fn new(msg: impl Into<String>) -> Self {
-        Error { msg: msg.into() }
+        Error {
+            msg: msg.into(),
+            line: None,
+            column: None,
+        }
     }
+
+    /// Attach a 1-based line/column position (overwrites any previous one).
+    fn at(mut self, line: usize, column: usize) -> Self {
+        self.line = Some(line);
+        self.column = Some(column);
+        self
+    }
+
+    /// 1-based line of the error, when the error is positional.
+    pub fn line(&self) -> Option<usize> {
+        self.line
+    }
+
+    /// 1-based column of the error, when the error is positional.
+    pub fn column(&self) -> Option<usize> {
+        self.column
+    }
+}
+
+/// 1-based (line, column) of byte offset `pos` in `s`.
+fn line_col(s: &str, pos: usize) -> (usize, usize) {
+    let upto = &s.as_bytes()[..pos.min(s.len())];
+    let line = 1 + upto.iter().filter(|&&b| b == b'\n').count();
+    let col = 1 + upto.iter().rev().take_while(|&&b| b != b'\n').count();
+    (line, col)
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json error: {}", self.msg)
+        write!(f, "json error: {}", self.msg)?;
+        if let (Some(l), Some(c)) = (self.line, self.column) {
+            write!(f, " at line {l} column {c}")?;
+        }
+        Ok(())
     }
 }
 
@@ -57,13 +95,17 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
         pos: 0,
     };
     parser.skip_ws();
-    let value = parser.parse_value()?;
+    let value = match parser.parse_value() {
+        Ok(v) => v,
+        Err(e) => {
+            let (l, c) = line_col(s, parser.pos);
+            return Err(e.at(l, c));
+        }
+    };
     parser.skip_ws();
     if parser.pos != parser.bytes.len() {
-        return Err(Error::new(format!(
-            "trailing characters at offset {}",
-            parser.pos
-        )));
+        let (l, c) = line_col(s, parser.pos);
+        return Err(Error::new("trailing characters").at(l, c));
     }
     Ok(T::deserialize(&value)?)
 }
