@@ -1,0 +1,282 @@
+//! **BENCH_serve** — request-level benchmark of the `rasa-serve` daemon,
+//! plus the `--compare` regression gate CI runs against the committed
+//! `BENCH_serve.json` baseline.
+//!
+//! Bench mode boots an in-process daemon on an ephemeral port and drives
+//! it over real sockets through four phases:
+//!
+//! 1. **cold** — one fresh snapshot per tenant; measures full-round
+//!    request latency with an empty cache;
+//! 2. **warm** — one small delta per warmed tenant; measures the
+//!    cache-replay path the daemon lives on in steady state;
+//! 3. **overload** — a synchronized burst of concurrent snapshots against
+//!    a single tenant with a shallow queue; measures the accept/429 split
+//!    (backpressure, not buffering);
+//! 4. **drain** — `handle.shutdown()` with work enqueued; measures the
+//!    graceful-drain wall time and abandoned-job count.
+//!
+//! Compare mode (`--compare OLD.json NEW.json [--threshold-pct P]
+//! [--abs-slack-ms S]`) diffs two artifacts and exits 0 (no regression),
+//! 2 (regression found), or 3 (artifacts incomparable), mirroring the
+//! pipeline bench's gate.
+//!
+//! Environment (bench mode): `RASA_SERVE_BENCH_OUT` — artifact path
+//! (default `BENCH_serve.json`).
+
+use rasa_bench::serve_artifact::{
+    compare_serve_artifacts, load_serve_artifact, LatencySummary, OverloadSummary,
+    ServeBenchArtifact, ServeCompareConfig, SERVE_BENCH_SCHEMA_VERSION,
+};
+use rasa_bench::compare::CompareOutcome;
+use rasa_serve::{ServeConfig, Server};
+use rasa_trace::{generate, tiny_cluster};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 42;
+const TENANTS: usize = 12;
+const OVERLOAD_BURST: usize = 24;
+/// Services per benchmark problem — large enough that a solve dominates
+/// HTTP overhead, small enough to certify well inside the default
+/// deadline (a deadline-clipped round would bench the deadline, not the
+/// solver).
+const SERVICES: usize = 24;
+
+fn compare_mode(args: &[String]) -> ! {
+    let (old_path, new_path) = match (args.first(), args.get(1)) {
+        (Some(o), Some(n)) => (o.clone(), n.clone()),
+        _ => {
+            eprintln!("usage: serve --compare OLD.json NEW.json [--threshold-pct P] [--abs-slack-ms S]");
+            std::process::exit(1);
+        }
+    };
+    let mut cfg = ServeCompareConfig::default();
+    let mut i = 2;
+    while i + 1 < args.len() + 1 {
+        match (args.get(i).map(String::as_str), args.get(i + 1)) {
+            (Some("--threshold-pct"), Some(v)) => {
+                cfg.latency_pct = v.parse().unwrap_or(cfg.latency_pct);
+                i += 2;
+            }
+            (Some("--abs-slack-ms"), Some(v)) => {
+                cfg.abs_slack_ms = v.parse().unwrap_or(cfg.abs_slack_ms);
+                i += 2;
+            }
+            (Some(other), _) => {
+                eprintln!("unknown compare flag {other}");
+                std::process::exit(1);
+            }
+            (None, _) => break,
+        }
+    }
+    let old = load_serve_artifact(&old_path).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    let new = load_serve_artifact(&new_path).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    match compare_serve_artifacts(&old, &new, &cfg) {
+        CompareOutcome::Pass => {
+            println!("serve compare: PASS ({old_path} vs {new_path})");
+            std::process::exit(0);
+        }
+        CompareOutcome::Regressions(findings) => {
+            eprintln!("serve compare: {} regression(s):", findings.len());
+            for f in &findings {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(2);
+        }
+        CompareOutcome::Incomparable(reason) => {
+            eprintln!("serve compare: incomparable — {reason}");
+            std::process::exit(3);
+        }
+    }
+}
+
+fn problem_body(services: usize, seed: u64) -> String {
+    let mut spec = tiny_cluster(seed);
+    spec.services = services;
+    spec.target_containers = services as u64 * 4;
+    spec.machines = (services / 3).max(4);
+    serde_json::to_string(&generate(&spec)).unwrap_or_else(|e| {
+        eprintln!("serve bench: problem serialization failed: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// One timed HTTP exchange; returns (status, elapsed_ms).
+fn timed_request(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, f64) {
+    let started = Instant::now();
+    let status = (|| -> Option<u16> {
+        let mut stream = TcpStream::connect(addr).ok()?;
+        let request = format!(
+            "{method} {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(request.as_bytes()).ok()?;
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).ok()?;
+        raw.split_whitespace().nth(1).and_then(|s| s.parse().ok())
+    })()
+    .unwrap_or(0);
+    (status, started.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--compare") {
+        compare_mode(&args[1..]);
+    }
+
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 2,
+        max_tenants: TENANTS + 4,
+        seed: SEED,
+        drain_grace: Duration::from_secs(30),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(config).unwrap_or_else(|e| {
+        eprintln!("serve bench: bind failed: {e}");
+        std::process::exit(1);
+    });
+    let addr = server.local_addr().unwrap_or_else(|e| {
+        eprintln!("serve bench: local_addr failed: {e}");
+        std::process::exit(1);
+    });
+    let handle = server.handle();
+    let daemon = std::thread::spawn(move || server.run());
+
+    // Phase 1: cold snapshot rounds, one per fresh tenant.
+    let mut cold_samples = Vec::with_capacity(TENANTS);
+    for i in 0..TENANTS {
+        let body = problem_body(SERVICES, SEED.wrapping_add(i as u64));
+        let (status, ms) = timed_request(addr, "POST", &format!("/snapshot?tenant=b{i}"), &body);
+        if status != 200 {
+            eprintln!("serve bench: cold snapshot for b{i} got {status}");
+            std::process::exit(1);
+        }
+        cold_samples.push(ms);
+    }
+
+    // Phase 2: warm rounds — an empty delta re-runs the round against an
+    // unchanged world, so every subproblem replays from the solve cache.
+    // This isolates the cache path the daemon lives on in steady state;
+    // cold minus warm is the price of an actual solve.
+    let mut warm_samples = Vec::with_capacity(TENANTS);
+    for i in 0..TENANTS {
+        let delta = "{\"edge_updates\":[],\"replica_updates\":[]}";
+        let (status, ms) = timed_request(addr, "POST", &format!("/delta?tenant=b{i}"), delta);
+        if status != 200 {
+            eprintln!("serve bench: warm delta for b{i} got {status}");
+            std::process::exit(1);
+        }
+        warm_samples.push(ms);
+    }
+
+    // Phase 3: synchronized overload burst against one tenant.
+    let barrier = Arc::new(Barrier::new(OVERLOAD_BURST));
+    let clients: Vec<_> = (0..OVERLOAD_BURST)
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            let body = problem_body(12, SEED.wrapping_add(1000 + i as u64));
+            std::thread::spawn(move || {
+                barrier.wait();
+                timed_request(addr, "POST", "/snapshot?tenant=burst", &body).0
+            })
+        })
+        .collect();
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    for client in clients {
+        match client.join() {
+            Ok(200) => accepted += 1,
+            Ok(429) => rejected += 1,
+            Ok(other) => {
+                eprintln!("serve bench: overload burst got unexpected {other}");
+                std::process::exit(1);
+            }
+            Err(_) => {
+                eprintln!("serve bench: overload client panicked");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Phase 4: drain with fresh work enqueued.
+    for i in 0..3 {
+        let body = problem_body(10, SEED.wrapping_add(2000 + i));
+        let target = format!("/snapshot?tenant=d{i}");
+        std::thread::spawn(move || timed_request(addr, "POST", &target, &body));
+    }
+    std::thread::sleep(Duration::from_millis(20));
+    handle.shutdown();
+    let drain = daemon.join().unwrap_or_else(|_| {
+        eprintln!("serve bench: daemon thread panicked");
+        std::process::exit(1);
+    });
+
+    let cold = LatencySummary::from_samples(&cold_samples);
+    let warm = LatencySummary::from_samples(&warm_samples);
+    let artifact = ServeBenchArtifact {
+        schema_version: SERVE_BENCH_SCHEMA_VERSION,
+        seed: SEED,
+        requests_per_phase: TENANTS,
+        warm_speedup: if warm.p50_ms > 0.0 { cold.p50_ms / warm.p50_ms } else { 0.0 },
+        cold,
+        warm,
+        overload: OverloadSummary {
+            offered: OVERLOAD_BURST as u64,
+            accepted,
+            rejected_429: rejected,
+            rejection_rate: rejected as f64 / OVERLOAD_BURST as f64,
+        },
+        drain_ms: drain.drain_seconds * 1e3,
+        drain_abandoned: drain.abandoned_jobs,
+    };
+
+    println!(
+        "cold  p50 {:8.2} ms  p95 {:8.2} ms  p99 {:8.2} ms",
+        artifact.cold.p50_ms, artifact.cold.p95_ms, artifact.cold.p99_ms
+    );
+    println!(
+        "warm  p50 {:8.2} ms  p95 {:8.2} ms  p99 {:8.2} ms  (speedup x{:.2})",
+        artifact.warm.p50_ms, artifact.warm.p95_ms, artifact.warm.p99_ms, artifact.warm_speedup
+    );
+    println!(
+        "overload: {} offered, {} accepted, {} shed (rate {:.2})",
+        artifact.overload.offered,
+        artifact.overload.accepted,
+        artifact.overload.rejected_429,
+        artifact.overload.rejection_rate
+    );
+    println!(
+        "drain: {:.1} ms, {} abandoned",
+        artifact.drain_ms, artifact.drain_abandoned
+    );
+
+    if artifact.overload.rejected_429 == 0 {
+        eprintln!("serve bench: overload burst shed nothing — backpressure is not engaging");
+        std::process::exit(1);
+    }
+
+    let out = std::env::var("RASA_SERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    let json = match serde_json::to_string_pretty(&artifact) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("serve bench: artifact serialization failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("serve bench: writing {out} failed: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}

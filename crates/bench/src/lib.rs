@@ -146,6 +146,7 @@ mod tests {
 pub mod artifact;
 pub mod compare;
 pub mod production;
+pub mod serve_artifact;
 
 /// Train (or load from the `target/experiments` cache) the GCN selector
 /// used by the RASA pipeline in the experiment binaries — the paper's

@@ -1,0 +1,296 @@
+//! The `BENCH_serve.json` artifact schema and regression gate: request
+//! latency percentiles (cold snapshot rounds vs warm delta rounds),
+//! rejection behavior under deliberate queue overload, and graceful-drain
+//! timing for the `rasa-serve` daemon. Version-stamped independently of
+//! the pipeline artifact — the two evolve on different schedules.
+
+use crate::artifact::extract_schema_version;
+use crate::compare::CompareOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Version stamped into every serve artifact. Bump on any field change
+/// that would make old/new artifacts incomparable.
+pub const SERVE_BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Exact latency percentiles over one request phase, in milliseconds.
+/// Computed from the raw per-request samples (not histogram buckets), so
+/// p99 and max are exact.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Requests measured.
+    pub count: u64,
+    /// Median, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile, milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile, milliseconds.
+    pub p99_ms: f64,
+    /// Slowest request, milliseconds.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarize raw samples (milliseconds). Empty input gives all zeros.
+    pub fn from_samples(samples: &[f64]) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let at = |q: f64| {
+            let idx = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        LatencySummary {
+            count: sorted.len() as u64,
+            p50_ms: at(0.50),
+            p95_ms: at(0.95),
+            p99_ms: at(0.99),
+            max_ms: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// What happened when the bench deliberately overloaded one tenant's
+/// bounded queue with a synchronized burst.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OverloadSummary {
+    /// Concurrent requests offered in the burst.
+    pub offered: u64,
+    /// Requests that solved (`200`).
+    pub accepted: u64,
+    /// Requests shed with `429` + `Retry-After`.
+    pub rejected_429: u64,
+    /// `rejected_429 / offered`.
+    pub rejection_rate: f64,
+}
+
+/// The `BENCH_serve.json` artifact.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeBenchArtifact {
+    /// Schema version (see [`SERVE_BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Seed the daemon and workload ran under.
+    pub seed: u64,
+    /// Requests per latency phase (cold and warm each measure this many).
+    pub requests_per_phase: usize,
+    /// Cold rounds: first snapshot per fresh tenant (no cache, no
+    /// incumbent).
+    pub cold: LatencySummary,
+    /// Warm rounds: small deltas against warmed tenants (cache replays).
+    pub warm: LatencySummary,
+    /// `cold.p50_ms / warm.p50_ms` (0 when warm p50 is 0).
+    pub warm_speedup: f64,
+    /// Overload burst behavior.
+    pub overload: OverloadSummary,
+    /// Graceful-drain wall time, milliseconds.
+    pub drain_ms: f64,
+    /// Jobs abandoned at the drain grace cutoff (0 in a healthy bench).
+    pub drain_abandoned: u64,
+}
+
+/// Thresholds for the serve regression gate.
+#[derive(Clone, Debug)]
+pub struct ServeCompareConfig {
+    /// Allowed relative latency growth per percentile, percent.
+    pub latency_pct: f64,
+    /// Absolute slack on top of the relative bound, milliseconds.
+    pub abs_slack_ms: f64,
+    /// Allowed absolute drift of the overload rejection rate.
+    pub rejection_slack: f64,
+    /// Allowed relative drain-time growth, percent.
+    pub drain_pct: f64,
+}
+
+impl Default for ServeCompareConfig {
+    fn default() -> Self {
+        ServeCompareConfig {
+            latency_pct: 50.0,
+            abs_slack_ms: 10.0,
+            rejection_slack: 0.35,
+            drain_pct: 100.0,
+        }
+    }
+}
+
+/// Load and schema-check a serve artifact from `path`.
+pub fn load_serve_artifact(path: &str) -> Result<ServeBenchArtifact, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    match extract_schema_version(&text) {
+        None => Err(format!(
+            "{path}: no schema_version field — regenerate with \
+             `cargo run --release -p rasa-bench --bin serve`"
+        )),
+        Some(v) if v != SERVE_BENCH_SCHEMA_VERSION => Err(format!(
+            "{path}: schema_version {v} but this binary compares \
+             v{SERVE_BENCH_SCHEMA_VERSION} serve artifacts; regenerate the artifact"
+        )),
+        Some(_) => serde_json::from_str(&text).map_err(|e| format!("{path}: {e}")),
+    }
+}
+
+/// Diff `new` against the `old` baseline under `cfg`.
+pub fn compare_serve_artifacts(
+    old: &ServeBenchArtifact,
+    new: &ServeBenchArtifact,
+    cfg: &ServeCompareConfig,
+) -> CompareOutcome {
+    if old.requests_per_phase != new.requests_per_phase {
+        return CompareOutcome::Incomparable(format!(
+            "phase-size mismatch: baseline measured {} requests per phase, candidate {}",
+            old.requests_per_phase, new.requests_per_phase
+        ));
+    }
+    if old.overload.offered != new.overload.offered {
+        return CompareOutcome::Incomparable(format!(
+            "overload-burst mismatch: baseline offered {}, candidate {}",
+            old.overload.offered, new.overload.offered
+        ));
+    }
+
+    let mut findings = Vec::new();
+    let factor = 1.0 + cfg.latency_pct / 100.0;
+    for (phase, old_l, new_l) in [("cold", &old.cold, &new.cold), ("warm", &old.warm, &new.warm)] {
+        for (pct, old_v, new_v) in [
+            ("p50", old_l.p50_ms, new_l.p50_ms),
+            ("p95", old_l.p95_ms, new_l.p95_ms),
+            ("p99", old_l.p99_ms, new_l.p99_ms),
+        ] {
+            let bound = old_v * factor + cfg.abs_slack_ms;
+            if new_v > bound {
+                findings.push(format!(
+                    "{phase} {pct} regressed: {old_v:.3} ms -> {new_v:.3} ms \
+                     (bound {bound:.3} ms = old x{factor:.2} + {:.1} ms slack)",
+                    cfg.abs_slack_ms
+                ));
+            }
+        }
+    }
+
+    // The overload burst must still shed load — a daemon that stops
+    // rejecting under a queue-saturating burst has lost its backpressure,
+    // and one that rejects everything has lost its throughput.
+    if old.overload.rejected_429 > 0 && new.overload.rejected_429 == 0 {
+        findings.push(
+            "overload burst no longer sheds load: baseline returned 429s, candidate none \
+             — backpressure is gone"
+                .to_string(),
+        );
+    }
+    if new.overload.accepted == 0 {
+        findings.push("overload burst accepted nothing — daemon rejects all traffic".to_string());
+    }
+    let rate_drift = (new.overload.rejection_rate - old.overload.rejection_rate).abs();
+    if rate_drift > cfg.rejection_slack {
+        findings.push(format!(
+            "overload rejection rate drifted: {:.2} -> {:.2} (allowed ±{:.2})",
+            old.overload.rejection_rate, new.overload.rejection_rate, cfg.rejection_slack
+        ));
+    }
+
+    let drain_bound = old.drain_ms * (1.0 + cfg.drain_pct / 100.0) + cfg.abs_slack_ms;
+    if new.drain_ms > drain_bound {
+        findings.push(format!(
+            "drain regressed: {:.1} ms -> {:.1} ms (bound {:.1} ms)",
+            old.drain_ms, new.drain_ms, drain_bound
+        ));
+    }
+    if new.drain_abandoned > old.drain_abandoned {
+        findings.push(format!(
+            "drain abandoned more jobs: {} -> {}",
+            old.drain_abandoned, new.drain_abandoned
+        ));
+    }
+
+    if findings.is_empty() {
+        CompareOutcome::Pass
+    } else {
+        CompareOutcome::Regressions(findings)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn base() -> ServeBenchArtifact {
+        ServeBenchArtifact {
+            schema_version: SERVE_BENCH_SCHEMA_VERSION,
+            seed: 42,
+            requests_per_phase: 12,
+            cold: LatencySummary {
+                count: 12,
+                p50_ms: 20.0,
+                p95_ms: 40.0,
+                p99_ms: 45.0,
+                max_ms: 50.0,
+            },
+            warm: LatencySummary {
+                count: 12,
+                p50_ms: 8.0,
+                p95_ms: 15.0,
+                p99_ms: 18.0,
+                max_ms: 20.0,
+            },
+            warm_speedup: 2.5,
+            overload: OverloadSummary {
+                offered: 24,
+                accepted: 6,
+                rejected_429: 18,
+                rejection_rate: 0.75,
+            },
+            drain_ms: 30.0,
+            drain_abandoned: 0,
+        }
+    }
+
+    #[test]
+    fn self_compare_passes() {
+        let a = base();
+        assert!(matches!(
+            compare_serve_artifacts(&a, &a, &ServeCompareConfig::default()),
+            CompareOutcome::Pass
+        ));
+    }
+
+    #[test]
+    fn latency_blowup_and_lost_backpressure_are_regressions() {
+        let old = base();
+        let mut new = base();
+        new.warm.p95_ms = 200.0;
+        new.overload.rejected_429 = 0;
+        new.overload.rejection_rate = 0.0;
+        match compare_serve_artifacts(&old, &new, &ServeCompareConfig::default()) {
+            CompareOutcome::Regressions(findings) => {
+                assert!(findings.iter().any(|f| f.contains("warm p95")));
+                assert!(findings.iter().any(|f| f.contains("backpressure")));
+                assert!(findings.iter().any(|f| f.contains("rejection rate drifted")));
+            }
+            other => panic!("expected regressions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn phase_size_mismatch_is_incomparable_not_a_regression() {
+        let old = base();
+        let mut new = base();
+        new.requests_per_phase = 99;
+        assert!(matches!(
+            compare_serve_artifacts(&old, &new, &ServeCompareConfig::default()),
+            CompareOutcome::Incomparable(_)
+        ));
+    }
+
+    #[test]
+    fn percentiles_from_samples_are_exact() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p95_ms, 95.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert_eq!(LatencySummary::from_samples(&[]).count, 0);
+    }
+}

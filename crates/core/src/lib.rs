@@ -40,6 +40,7 @@
 pub mod certify;
 pub mod pipeline;
 pub mod selector_choice;
+pub mod service;
 pub mod solve_cache;
 pub mod solve_guard;
 pub mod training;
@@ -48,6 +49,10 @@ pub use certify::{certify_placement, CertificationFailure, OBJECTIVE_REL_TOL};
 pub use pipeline::{RasaConfig, RasaPipeline, RasaRun, SubproblemReport};
 pub use rasa_lp::Deadline;
 pub use selector_choice::SelectorChoice;
+pub use service::{
+    AllocationSession, DeltaPlan, EdgeUpdate, PublishedPlacement, ReplicaUpdate, SessionError,
+    SessionRound, SnapshotDelta,
+};
 pub use solve_cache::{CacheRoundStats, CachedSubSolve, SolveCache};
 pub use solve_guard::{
     guarded_schedule, FaultInjection, GuardedOutcome, PanickingScheduler, SolveStatus,

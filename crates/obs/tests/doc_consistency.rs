@@ -18,7 +18,7 @@ use std::collections::BTreeSet;
 use std::path::Path;
 
 /// Prefixes that make a string literal a metric/span name candidate.
-const PREFIXES: [&str; 14] = [
+const PREFIXES: [&str; 15] = [
     "admission",
     "certify",
     "simplex",
@@ -33,6 +33,7 @@ const PREFIXES: [&str; 14] = [
     "lp",
     "mip",
     "chaos",
+    "serve",
 ];
 
 fn is_name_candidate(s: &str) -> bool {

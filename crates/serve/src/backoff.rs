@@ -1,0 +1,90 @@
+//! Jittered exponential backoff for transient solve failures.
+//!
+//! The schedule is "equal jitter": retry `k` sleeps uniformly in
+//! `[ceil/2, ceil]` where `ceil = min(cap, base * 2^k)`. Jitter keeps
+//! simultaneous retries from different tenants de-synchronized; the lower
+//! bound keeps the daemon from hammering a failing solver instantly. The
+//! RNG is seeded, so a given seed produces one deterministic schedule —
+//! asserted by tests and relied on by the seeded soak campaign.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::Duration;
+
+/// A seeded backoff delay generator.
+#[derive(Debug)]
+pub struct BackoffSchedule {
+    base: Duration,
+    cap: Duration,
+    rng: StdRng,
+}
+
+impl BackoffSchedule {
+    /// A schedule starting at `base`, doubling per attempt, capped at
+    /// `cap`, jittered by a RNG seeded with `seed`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        BackoffSchedule {
+            base: base.max(Duration::from_millis(1)),
+            cap: cap.max(base),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The delay before retry `attempt` (0-based). Consumes RNG state, so
+    /// call it once per actual retry.
+    pub fn next_delay(&mut self, attempt: u32) -> Duration {
+        let ceil = self.ceiling(attempt);
+        let half = ceil / 2;
+        let frac: f64 = self.rng.gen_range(0.0..1.0);
+        half + Duration::from_secs_f64(half.as_secs_f64() * frac)
+    }
+
+    /// The deterministic (jitter-free) upper bound for retry `attempt`.
+    pub fn ceiling(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX);
+        self.base.saturating_mul(factor).min(self.cap)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = BackoffSchedule::new(Duration::from_millis(50), Duration::from_secs(1), 42);
+        let mut b = BackoffSchedule::new(Duration::from_millis(50), Duration::from_secs(1), 42);
+        let sa: Vec<Duration> = (0..8).map(|k| a.next_delay(k)).collect();
+        let sb: Vec<Duration> = (0..8).map(|k| b.next_delay(k)).collect();
+        assert_eq!(sa, sb, "seeded schedules must be bit-identical");
+    }
+
+    #[test]
+    fn different_seeds_jitter_differently() {
+        let mut a = BackoffSchedule::new(Duration::from_millis(50), Duration::from_secs(1), 1);
+        let mut b = BackoffSchedule::new(Duration::from_millis(50), Duration::from_secs(1), 2);
+        let sa: Vec<Duration> = (0..8).map(|k| a.next_delay(k)).collect();
+        let sb: Vec<Duration> = (0..8).map(|k| b.next_delay(k)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn delays_stay_inside_the_jitter_window() {
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(1);
+        let mut s = BackoffSchedule::new(base, cap, 7);
+        for attempt in 0..12 {
+            let ceil = s.ceiling(attempt);
+            let d = s.next_delay(attempt);
+            assert!(d >= ceil / 2, "attempt {attempt}: {d:?} below {ceil:?}/2");
+            assert!(d <= ceil, "attempt {attempt}: {d:?} above {ceil:?}");
+            assert!(ceil <= cap);
+        }
+        // exponential growth until the cap
+        assert_eq!(s.ceiling(0), base);
+        assert_eq!(s.ceiling(1), base * 2);
+        assert_eq!(s.ceiling(10), cap);
+        // huge attempt numbers must not overflow
+        assert_eq!(s.ceiling(u32::MAX), cap);
+    }
+}

@@ -1,0 +1,393 @@
+//! A deliberately tiny HTTP/1.1 layer on `std::net` — no external
+//! dependencies, one request per connection (`Connection: close`).
+//!
+//! The parser is written for hostile inputs: header and body sizes are
+//! capped, reads carry a socket timeout (so a slow-loris client costs one
+//! bounded read, not a wedged thread), and every failure mode maps to a
+//! typed [`HttpError`] the server turns into a specific status code
+//! instead of a panic or a silent hang.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Parser limits and socket timeouts.
+#[derive(Clone, Copy, Debug)]
+pub struct HttpLimits {
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum body bytes (larger declared bodies are refused with 413).
+    pub max_body_bytes: usize,
+    /// Socket read timeout; a client quieter than this is dropped (408).
+    pub read_timeout: Duration,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 4 * 1024 * 1024,
+            read_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Why a request could not be read. Each variant maps to one response
+/// status in the server (`Timeout` → 408, `BodyTooLarge` → 413,
+/// `Malformed` → 400, `Disconnected`/`Io` → close without response).
+#[derive(Debug)]
+pub enum HttpError {
+    /// The client went quiet longer than the read timeout (slow-loris).
+    Timeout,
+    /// Declared or actual body exceeded [`HttpLimits::max_body_bytes`],
+    /// or the head exceeded [`HttpLimits::max_head_bytes`].
+    BodyTooLarge {
+        /// The configured limit that was exceeded.
+        limit: usize,
+    },
+    /// The bytes on the wire are not a parseable HTTP/1.1 request.
+    Malformed(&'static str),
+    /// The client hung up before the request was complete.
+    Disconnected,
+    /// Any other socket error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Timeout => write!(f, "read timed out"),
+            HttpError::BodyTooLarge { limit } => {
+                write!(f, "request exceeds the {limit}-byte limit")
+            }
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::Disconnected => write!(f, "client disconnected mid-request"),
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, `DELETE`, …
+    pub method: String,
+    /// Path without the query string, e.g. `/snapshot`.
+    pub path: String,
+    /// Query parameters (`?tenant=acme&deadline_ms=500`).
+    pub query: BTreeMap<String, String>,
+    /// Raw body (UTF-8; JSON endpoints parse it further).
+    pub body: String,
+}
+
+impl Request {
+    /// A query parameter by name.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(String::as_str)
+    }
+}
+
+/// Read and parse one request from `stream` under `limits`.
+pub fn read_request(stream: &mut TcpStream, limits: &HttpLimits) -> Result<Request, HttpError> {
+    stream
+        .set_read_timeout(Some(limits.read_timeout))
+        .map_err(HttpError::Io)?;
+
+    // read until the blank line separating head from body
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > limits.max_head_bytes {
+            return Err(HttpError::BodyTooLarge {
+                limit: limits.max_head_bytes,
+            });
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::Disconnected),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing method"))?
+        .to_string();
+    let target = parts.next().ok_or(HttpError::Malformed("missing target"))?;
+    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed("bad content-length"))?;
+        }
+    }
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::BodyTooLarge {
+            limit: limits.max_body_bytes,
+        });
+    }
+
+    // body: whatever followed the head in the buffer, plus the rest
+    let mut body_bytes = buf[head_end + 4..].to_vec();
+    while body_bytes.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::Disconnected),
+            Ok(n) => body_bytes.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    body_bytes.truncate(content_length);
+    let body =
+        String::from_utf8(body_bytes).map_err(|_| HttpError::Malformed("body is not UTF-8"))?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), BTreeMap::new()),
+    };
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+fn parse_query(q: &str) -> BTreeMap<String, String> {
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect()
+}
+
+/// One response, written with `Connection: close` and a computed
+/// `Content-Length`.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the computed ones.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body,
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response (used by `/metrics`).
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body,
+            content_type: "text/plain; version=0.0.4",
+        }
+    }
+
+    /// Attach an extra header (e.g. `Retry-After`).
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.headers.push((name.to_string(), value));
+        self
+    }
+
+    /// Serialize onto `stream`. Errors are returned, not panicked — a
+    /// client that hung up mid-response is routine.
+    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(value);
+            out.push_str("\r\n");
+        }
+        out.push_str("\r\n");
+        out.push_str(&self.body);
+        stream.write_all(out.as_bytes())
+    }
+}
+
+/// Canonical reason phrase for the status codes this daemon emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::thread;
+
+    fn round_trip(raw: &[u8], limits: HttpLimits) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            // keep the socket open long enough for the reader to finish
+            thread::sleep(Duration::from_millis(200));
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let result = read_request(&mut stream, &limits);
+        writer.join().unwrap();
+        result
+    }
+
+    #[test]
+    fn parses_a_post_with_query_and_body() {
+        let raw =
+            b"POST /snapshot?tenant=acme&deadline_ms=250 HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"a\": 1}x";
+        let req = round_trip(raw, HttpLimits::default()).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/snapshot");
+        assert_eq!(req.param("tenant"), Some("acme"));
+        assert_eq!(req.param("deadline_ms"), Some("250"));
+        assert_eq!(req.body, "{\"a\": 1}x");
+    }
+
+    #[test]
+    fn oversized_declared_body_is_refused() {
+        let raw = b"POST /snapshot HTTP/1.1\r\nContent-Length: 999999\r\n\r\n";
+        let limits = HttpLimits {
+            max_body_bytes: 1024,
+            ..HttpLimits::default()
+        };
+        assert!(matches!(
+            round_trip(raw, limits),
+            Err(HttpError::BodyTooLarge { limit: 1024 })
+        ));
+    }
+
+    #[test]
+    fn slow_loris_times_out() {
+        let limits = HttpLimits {
+            read_timeout: Duration::from_millis(50),
+            ..HttpLimits::default()
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET / HT").unwrap();
+            thread::sleep(Duration::from_millis(300));
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let result = read_request(&mut stream, &limits);
+        assert!(matches!(result, Err(HttpError::Timeout)));
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn mid_request_disconnect_is_typed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"POST /delta HTTP/1.1\r\nContent-Length: 100\r\n\r\nhalf")
+                .unwrap();
+            // drop: connection closes with 96 body bytes missing
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let result = read_request(&mut stream, &HttpLimits::default());
+        assert!(matches!(result, Err(HttpError::Disconnected)));
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn garbage_is_malformed_not_a_panic() {
+        let raw = b"NONSENSE\r\n\r\n";
+        assert!(matches!(
+            round_trip(raw, HttpLimits::default()),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        Response::json(429, "{\"error\":\"backpressure\"}".to_string())
+            .with_header("Retry-After", "3".to_string())
+            .write_to(&mut stream)
+            .unwrap();
+        drop(stream);
+        let wire = reader.join().unwrap();
+        assert!(wire.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(wire.contains("Retry-After: 3\r\n"));
+        assert!(wire.contains("Content-Length: 24\r\n"));
+        assert!(wire.ends_with("{\"error\":\"backpressure\"}"));
+    }
+}

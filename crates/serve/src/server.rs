@@ -1,0 +1,927 @@
+//! The daemon: accept loop, worker pool, per-tenant state, and the drain
+//! coordinator.
+//!
+//! Request lifecycle (one `POST /snapshot` or `POST /delta`):
+//!
+//! 1. **Parse** — bounded read ([`crate::http`]), typed 400/408/413 on
+//!    hostile input; JSON bodies report the 1-based line/column where
+//!    parsing stopped, like `rasa_trace::persist::PersistError`.
+//! 2. **Gate** — draining refuses with 503, the per-tenant circuit
+//!    breaker may short-circuit to a stale-but-certified answer, and the
+//!    bounded queue sheds overload with `429 + Retry-After`.
+//! 3. **Solve** — a worker applies the mutation through the admission
+//!    gate, re-solves warm via the session cache under the tenant's
+//!    deadline budget, retrying transient failures with jittered backoff.
+//! 4. **Certify & publish** — only placements passing
+//!    `certify_placement` are published; an uncertified round leaves the
+//!    previous placement in effect and the client is told so.
+//!
+//! Panics are isolated per connection and per solve round; a caught panic
+//! is counted, reported to the breaker, and answered with the last
+//! certified placement when one exists.
+
+use crate::backoff::BackoffSchedule;
+use crate::breaker::{BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker};
+use crate::http::{read_request, HttpError, HttpLimits, Request, Response};
+use crate::queue::{BoundedQueue, QueueFull};
+use rasa_core::{AllocationSession, RasaConfig, SessionError, SnapshotDelta};
+use rasa_core::Deadline;
+use rasa_model::{Placement, Problem};
+use rasa_obs::flight;
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Solver worker threads.
+    pub workers: usize,
+    /// Per-tenant bounded queue capacity (beyond it: 429).
+    pub queue_capacity: usize,
+    /// Maximum simultaneous tenants (beyond it: 429 on new tenants).
+    pub max_tenants: usize,
+    /// HTTP parser limits and socket timeout.
+    pub http: HttpLimits,
+    /// Default per-round solve deadline budget.
+    pub default_deadline: Duration,
+    /// Cap for per-request `?deadline_ms=` overrides.
+    pub max_deadline: Duration,
+    /// How long a handler waits for its round's result before answering
+    /// 504 (the round still completes and publishes).
+    pub request_timeout: Duration,
+    /// Retries after a transient solve failure (certification failure).
+    pub max_retries: u32,
+    /// Jittered-backoff base delay between retries.
+    pub backoff_base: Duration,
+    /// Jittered-backoff delay cap.
+    pub backoff_cap: Duration,
+    /// Per-tenant circuit breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Seed for backoff jitter (per-tenant streams derive from it).
+    pub seed: u64,
+    /// Pipeline configuration used by every tenant session.
+    pub rasa: RasaConfig,
+    /// How long drain waits for in-flight rounds before black-boxing the
+    /// still-queued remainder.
+    pub drain_grace: Duration,
+    /// Where to flush a final Prometheus snapshot on drain (optional).
+    pub metrics_flush_path: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 4,
+            max_tenants: 64,
+            http: HttpLimits::default(),
+            default_deadline: Duration::from_secs(2),
+            max_deadline: Duration::from_secs(10),
+            request_timeout: Duration::from_secs(30),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_millis(500),
+            breaker: BreakerConfig::default(),
+            seed: 42,
+            rasa: RasaConfig::default(),
+            drain_grace: Duration::from_secs(5),
+            metrics_flush_path: None,
+        }
+    }
+}
+
+/// What graceful drain accomplished.
+#[derive(Clone, Copy, Debug)]
+pub struct DrainReport {
+    /// Wall-clock the drain took.
+    pub drain_seconds: f64,
+    /// Queued jobs answered `503` and black-boxed instead of solved.
+    pub abandoned_jobs: u64,
+    /// Rounds that completed after drain began (finished, not dropped).
+    pub inflight_completed: u64,
+    /// Flight-recorder black-box files written over the process lifetime.
+    pub blackbox_dumps: u64,
+}
+
+enum JobKind {
+    Snapshot(Box<Problem>),
+    Delta(SnapshotDelta),
+}
+
+struct Job {
+    kind: JobKind,
+    deadline: Duration,
+    probe: bool,
+    reply: SyncSender<Response>,
+}
+
+/// Snapshot of the last published placement, readable without touching the
+/// (potentially solving) engine lock.
+#[derive(Clone)]
+struct PublishedView {
+    round: u64,
+    generation: u64,
+    objective: f64,
+    normalized: f64,
+    placement: Placement,
+}
+
+struct Control {
+    breaker: CircuitBreaker,
+    backoff: BackoffSchedule,
+}
+
+struct TenantSlot {
+    name: String,
+    queue: BoundedQueue<Job>,
+    engine: Mutex<AllocationSession>,
+    control: Mutex<Control>,
+    published: Mutex<Option<PublishedView>>,
+    /// Latest accepted snapshot generation (mirrors the session's, but
+    /// readable without the engine lock).
+    latest_generation: AtomicU64,
+}
+
+struct Shared {
+    config: ServeConfig,
+    tenants: Mutex<BTreeMap<String, Arc<TenantSlot>>>,
+    work: Mutex<VecDeque<String>>,
+    work_cv: Condvar,
+    draining: AtomicBool,
+    workers_stop: AtomicBool,
+    active_rounds: AtomicU64,
+    open_connections: AtomicU64,
+    abandoned_jobs: AtomicU64,
+    inflight_completed: AtomicU64,
+}
+
+/// Recover a mutex guard even if a (caught) panic poisoned it: the daemon
+/// must keep serving other requests, and the guarded state is structurally
+/// valid Rust data either way.
+fn lock_or_recover<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Shared {
+    fn enqueue_work(&self, tenant: &str) {
+        lock_or_recover(&self.work).push_back(tenant.to_string());
+        self.work_cv.notify_one();
+    }
+
+    fn tenant(&self, name: &str) -> Option<Arc<TenantSlot>> {
+        lock_or_recover(&self.tenants).get(name).cloned()
+    }
+
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.work_cv.notify_all();
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn valid_tenant(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+}
+
+/// The daemon. Bind, then either [`Server::run`] on the current thread or
+/// keep a [`ServerHandle`] and run on a spawned one; `run` returns the
+/// [`DrainReport`] after a graceful drain.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Cloneable remote control for a running [`Server`]: initiate drain,
+/// observe drain state.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begin graceful drain: stop accepting, finish or black-box in-flight
+    /// rounds, flush the flight recorder and metrics. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// `true` once drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+}
+
+impl Server {
+    /// Bind the listener (non-blocking accept; the loop polls the drain
+    /// flag between accepts).
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            config,
+            tenants: Mutex::new(BTreeMap::new()),
+            work: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            workers_stop: AtomicBool::new(false),
+            active_rounds: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            abandoned_jobs: AtomicU64::new(0),
+            inflight_completed: AtomicU64::new(0),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (useful with `addr = "127.0.0.1:0"`).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A remote-control handle.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serve until drain is initiated (via [`ServerHandle::shutdown`] or
+    /// `POST /drain`), then drain gracefully and report.
+    pub fn run(self) -> DrainReport {
+        let shared = &self.shared;
+        let mut workers = Vec::new();
+        for i in 0..shared.config.workers.max(1) {
+            let s = Arc::clone(shared);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("rasa-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&s))
+                    .expect("spawning a worker thread"),
+            );
+        }
+
+        while !shared.draining.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let s = Arc::clone(shared);
+                    s.open_connections.fetch_add(1, Ordering::SeqCst);
+                    let spawned = thread::Builder::new()
+                        .name("rasa-serve-conn".to_string())
+                        .spawn(move || {
+                            handle_connection(&s, stream);
+                            s.open_connections.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    if spawned.is_err() {
+                        shared.open_connections.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => thread::sleep(Duration::from_millis(20)),
+            }
+        }
+
+        drain(shared, workers)
+    }
+}
+
+/// The drain coordinator: give in-flight work a grace window, then answer
+/// and black-box whatever is still queued, stop the workers, and flush.
+fn drain(shared: &Arc<Shared>, workers: Vec<thread::JoinHandle<()>>) -> DrainReport {
+    let obs = rasa_obs::global();
+    let started = Instant::now();
+
+    // Phase 1: let workers finish queued + in-flight rounds.
+    while started.elapsed() < shared.config.drain_grace {
+        let queued: usize = lock_or_recover(&shared.tenants)
+            .values()
+            .map(|t| t.queue.len())
+            .sum();
+        let busy = shared.active_rounds.load(Ordering::SeqCst) > 0
+            || shared.open_connections.load(Ordering::SeqCst) > 0
+            || queued > 0;
+        if !busy {
+            break;
+        }
+        shared.work_cv.notify_all();
+        thread::sleep(Duration::from_millis(20));
+    }
+
+    // Phase 2: whatever is still queued gets an explicit 503 and a
+    // black-box dump — never a silent drop.
+    let tenants: Vec<Arc<TenantSlot>> = lock_or_recover(&shared.tenants).values().cloned().collect();
+    for slot in &tenants {
+        for job in slot.queue.drain() {
+            if job.probe {
+                lock_or_recover(&slot.control).breaker.abandon_probe();
+            }
+            let mut scope = flight::begin_solve(
+                "serve.drain_abandon",
+                &[("tenant", slot.name.clone())],
+            );
+            scope.set_verdict("drained", true);
+            drop(scope);
+            obs.inc("serve.drained_jobs");
+            shared.abandoned_jobs.fetch_add(1, Ordering::SeqCst);
+            let _ = job.reply.try_send(
+                Response::json(503, "{\"error\":\"draining\"}".to_string())
+                    .with_header("Retry-After", "10".to_string()),
+            );
+        }
+    }
+
+    // Phase 3: stop and join the worker pool (a worker mid-round finishes
+    // it first; rounds are deadline-bounded).
+    shared.workers_stop.store(true, Ordering::SeqCst);
+    shared.work_cv.notify_all();
+    for w in workers {
+        let _ = w.join();
+    }
+
+    // Phase 4: flush observability.
+    let drain_seconds = started.elapsed().as_secs_f64();
+    obs.record("serve.drain_seconds", drain_seconds);
+    if let Some(path) = &shared.config.metrics_flush_path {
+        let snapshot = obs.snapshot();
+        match rasa_obs::write_prometheus(&snapshot, rasa_obs::MetricsGlossary::builtin()) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(path, text) {
+                    eprintln!("rasa-serve: metrics flush to {} failed: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("rasa-serve: metrics flush failed: {e}"),
+        }
+    }
+
+    DrainReport {
+        drain_seconds,
+        abandoned_jobs: shared.abandoned_jobs.load(Ordering::SeqCst),
+        inflight_completed: shared.inflight_completed.load(Ordering::SeqCst),
+        blackbox_dumps: flight::recorder().dumps_written(),
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let name = {
+            let mut work = lock_or_recover(&shared.work);
+            loop {
+                if let Some(n) = work.pop_front() {
+                    break Some(n);
+                }
+                if shared.workers_stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .work_cv
+                    .wait_timeout(work, Duration::from_millis(100))
+                    .unwrap_or_else(|poisoned| {
+                        let g = poisoned.into_inner();
+                        (g.0, g.1)
+                    });
+                work = guard;
+            }
+        };
+        let Some(name) = name else { return };
+        if let Some(slot) = shared.tenant(&name) {
+            process_one(shared, &slot);
+        }
+    }
+}
+
+/// Pop and run one job for `slot`, with panic isolation around the round.
+fn process_one(shared: &Arc<Shared>, slot: &Arc<TenantSlot>) {
+    let Some(job) = slot.queue.pop() else { return };
+    let obs = rasa_obs::global();
+    obs.inc("serve.rounds");
+    shared.active_rounds.fetch_add(1, Ordering::SeqCst);
+    let started = Instant::now();
+    let draining = shared.draining.load(Ordering::SeqCst);
+
+    let Job {
+        kind,
+        deadline,
+        probe,
+        reply,
+    } = job;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_round(shared, slot, kind, deadline)
+    }));
+    let response = match outcome {
+        Ok(response) => response,
+        Err(_) => {
+            // The pipeline has its own panic guards, so reaching this belt
+            // means something outside them blew up. Count it, penalize the
+            // breaker, serve stale if possible.
+            obs.inc("serve.solve_panics");
+            breaker_report(slot, false);
+            stale_or_unavailable(slot, "solve_panicked")
+        }
+    };
+    // `probe` rounds already reported success/failure to the breaker in
+    // run_round / above; nothing extra — the flag only matters when a probe
+    // is abandoned before running (drain path calls abandon_probe).
+    let _ = probe;
+    obs.record_duration("serve.round_seconds", started.elapsed());
+    let _ = reply.try_send(response);
+    if draining {
+        shared.inflight_completed.fetch_add(1, Ordering::SeqCst);
+    }
+    shared.active_rounds.fetch_sub(1, Ordering::SeqCst);
+    if !slot.queue.is_empty() {
+        shared.enqueue_work(&slot.name);
+    }
+}
+
+/// Report a round result to the tenant's breaker, counting trips and
+/// recoveries.
+fn breaker_report(slot: &TenantSlot, success: bool) {
+    let obs = rasa_obs::global();
+    let mut control = lock_or_recover(&slot.control);
+    let (trips, recoveries) = (control.breaker.trips(), control.breaker.recoveries());
+    if success {
+        control.breaker.on_success();
+    } else {
+        control.breaker.on_failure(Instant::now());
+    }
+    if control.breaker.trips() > trips {
+        obs.inc("serve.breaker_trips");
+    }
+    if control.breaker.recoveries() > recoveries {
+        obs.inc("serve.breaker_recoveries");
+    }
+}
+
+/// Apply the job's mutation and solve-with-retries. Returns the response
+/// to send; all state updates (publish view, breaker) happen here.
+fn run_round(
+    shared: &Arc<Shared>,
+    slot: &Arc<TenantSlot>,
+    kind: JobKind,
+    deadline: Duration,
+) -> Response {
+    let obs = rasa_obs::global();
+    let mut session = lock_or_recover(&slot.engine);
+
+    let admission = match kind {
+        JobKind::Snapshot(problem) => {
+            obs.inc("serve.snapshots");
+            session.apply_snapshot(&problem)
+        }
+        JobKind::Delta(delta) => {
+            obs.inc("serve.deltas");
+            match session.apply_delta(&delta) {
+                Ok(report) => {
+                    if let Ok(plan) = session.delta_plan() {
+                        obs.add("serve.delta_dirty", plan.dirty as u64);
+                        obs.add("serve.delta_unchanged", plan.unchanged as u64);
+                    }
+                    report
+                }
+                Err(e) => {
+                    obs.inc("serve.delta_rejected");
+                    return Response::json(
+                        422,
+                        format!("{{\"error\":\"delta_rejected\",\"detail\":\"{e}\"}}"),
+                    );
+                }
+            }
+        }
+    };
+    slot.latest_generation
+        .store(session.generation(), Ordering::SeqCst);
+
+    let mut attempt: u32 = 0;
+    loop {
+        let mut scope = flight::begin_solve(
+            "serve.round",
+            &[
+                ("tenant", slot.name.clone()),
+                ("attempt", attempt.to_string()),
+            ],
+        );
+        match session.resolve(Deadline::after(deadline)) {
+            Ok(round) => {
+                scope.set_verdict(if round.degraded { "degraded" } else { "ok" }, round.degraded);
+                drop(scope);
+                obs.inc("serve.rounds_published");
+                if round.degraded {
+                    obs.inc("serve.rounds_degraded");
+                }
+                *lock_or_recover(&slot.published) = Some(PublishedView {
+                    round: round.round,
+                    generation: session.generation(),
+                    objective: round.objective,
+                    normalized: round.normalized,
+                    placement: round.run.outcome.placement.clone(),
+                });
+                // A degraded round is still published (it certified), but
+                // it counts as ladder exhaustion for the breaker.
+                breaker_report(slot, !round.degraded);
+                let (hits, misses) = round
+                    .run
+                    .cache
+                    .as_ref()
+                    .map(|c| (c.hits, c.misses))
+                    .unwrap_or((0, 0));
+                return Response::json(
+                    200,
+                    format!(
+                        "{{\"tenant\":\"{}\",\"accepted\":true,\"certified\":true,\"stale\":false,\
+                         \"round\":{},\"objective\":{:.6},\"normalized\":{:.6},\"degraded\":{},\
+                         \"cache\":{{\"hits\":{hits},\"misses\":{misses}}},\
+                         \"admission\":{{\"clean\":{},\"quarantined_services\":{},\"quarantined_machines\":{}}}}}",
+                        slot.name,
+                        round.round,
+                        round.objective,
+                        round.normalized,
+                        round.degraded,
+                        admission.is_clean(),
+                        admission.quarantined_services.len(),
+                        admission.quarantined_machines.len(),
+                    ),
+                );
+            }
+            Err(SessionError::Uncertified(failure)) => {
+                scope.set_verdict("uncertified", true);
+                drop(scope);
+                obs.inc("serve.uncertified_rejected");
+                if attempt < shared.config.max_retries
+                    && !shared.draining.load(Ordering::SeqCst)
+                {
+                    obs.inc("serve.retries");
+                    let delay = lock_or_recover(&slot.control).backoff.next_delay(attempt);
+                    attempt += 1;
+                    thread::sleep(delay);
+                    continue;
+                }
+                breaker_report(slot, false);
+                let _ = failure;
+                return stale_or_unavailable(slot, "uncertified_after_retries");
+            }
+            Err(e) => {
+                scope.set_verdict("rejected", true);
+                drop(scope);
+                return Response::json(
+                    422,
+                    format!("{{\"error\":\"rejected\",\"detail\":\"{e}\"}}"),
+                );
+            }
+        }
+    }
+}
+
+/// Degraded-mode answer: the last certified placement with `stale: true`,
+/// or 503 when this tenant has never published.
+fn stale_or_unavailable(slot: &TenantSlot, reason: &str) -> Response {
+    let obs = rasa_obs::global();
+    let published = lock_or_recover(&slot.published).clone();
+    match published {
+        Some(view) => {
+            obs.inc("serve.stale_served");
+            Response::json(
+                200,
+                format!(
+                    "{{\"tenant\":\"{}\",\"accepted\":false,\"certified\":true,\"stale\":true,\
+                     \"round\":{},\"objective\":{:.6},\"normalized\":{:.6},\"reason\":\"{reason}\"}}",
+                    slot.name, view.round, view.objective, view.normalized,
+                ),
+            )
+        }
+        None => Response::json(
+            503,
+            format!("{{\"error\":\"{reason}\",\"stale\":true,\"no_placement\":true}}"),
+        )
+        .with_header("Retry-After", "5".to_string()),
+    }
+}
+
+/// Per-connection entry point with panic isolation.
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        handle_request(shared, &mut stream);
+    }));
+    if result.is_err() {
+        rasa_obs::global().inc("serve.connection_panics");
+        let _ = Response::json(500, "{\"error\":\"internal\"}".to_string()).write_to(&mut stream);
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, stream: &mut TcpStream) {
+    let obs = rasa_obs::global();
+    let started = Instant::now();
+    // The listener is non-blocking and the accepted socket inherits that on
+    // some platforms; the parser sets its own read timeout.
+    let _ = stream.set_nonblocking(false);
+    let request = match read_request(stream, &shared.config.http) {
+        Ok(request) => request,
+        Err(error) => {
+            let status = match &error {
+                HttpError::Timeout => {
+                    obs.inc("serve.read_timeouts");
+                    Some(408)
+                }
+                HttpError::BodyTooLarge { .. } => {
+                    obs.inc("serve.payload_too_large");
+                    Some(413)
+                }
+                HttpError::Malformed(_) => {
+                    obs.inc("serve.bad_requests");
+                    Some(400)
+                }
+                HttpError::Disconnected | HttpError::Io(_) => {
+                    obs.inc("serve.disconnects");
+                    None
+                }
+            };
+            if let Some(status) = status {
+                let _ = Response::json(status, format!("{{\"error\":\"{error}\"}}"))
+                    .write_to(stream);
+            }
+            obs.record_duration("serve.request_seconds", started.elapsed());
+            return;
+        }
+    };
+    obs.inc("serve.requests");
+    let response = route(shared, &request);
+    let _ = response.write_to(stream);
+    obs.record_duration("serve.request_seconds", started.elapsed());
+}
+
+fn route(shared: &Arc<Shared>, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::json(
+            200,
+            format!(
+                "{{\"status\":\"ok\",\"draining\":{}}}",
+                shared.draining.load(Ordering::SeqCst)
+            ),
+        ),
+        ("GET", "/metrics") => metrics_response(),
+        ("GET", "/placement") => placement_response(shared, request),
+        ("POST", "/snapshot") => ingest(shared, request, true),
+        ("POST", "/delta") => ingest(shared, request, false),
+        ("DELETE", "/tenant") => remove_tenant(shared, request),
+        ("POST", "/drain") => {
+            shared.begin_drain();
+            Response::json(202, "{\"draining\":true}".to_string())
+        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/placement" | "/snapshot" | "/delta" | "/tenant" | "/drain",
+        ) => Response::json(405, "{\"error\":\"method not allowed\"}".to_string()),
+        _ => Response::json(404, "{\"error\":\"not found\"}".to_string()),
+    }
+}
+
+fn metrics_response() -> Response {
+    let snapshot = rasa_obs::global().snapshot();
+    match rasa_obs::write_prometheus(&snapshot, rasa_obs::MetricsGlossary::builtin()) {
+        Ok(text) => Response::text(200, text),
+        Err(e) => Response::text(500, format!("metrics exposition failed: {e}\n")),
+    }
+}
+
+fn tenant_param(request: &Request) -> Result<&str, Response> {
+    match request.param("tenant") {
+        Some(name) if valid_tenant(name) => Ok(name),
+        Some(_) => {
+            rasa_obs::global().inc("serve.bad_requests");
+            Err(Response::json(
+                400,
+                "{\"error\":\"tenant must be 1-64 chars of [A-Za-z0-9_-]\"}".to_string(),
+            ))
+        }
+        None => {
+            rasa_obs::global().inc("serve.bad_requests");
+            Err(Response::json(
+                400,
+                "{\"error\":\"missing tenant parameter\"}".to_string(),
+            ))
+        }
+    }
+}
+
+fn placement_response(shared: &Arc<Shared>, request: &Request) -> Response {
+    let tenant = match tenant_param(request) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    let Some(slot) = shared.tenant(tenant) else {
+        return Response::json(404, "{\"error\":\"unknown tenant\"}".to_string());
+    };
+    let view = lock_or_recover(&slot.published).clone();
+    let Some(view) = view else {
+        return Response::json(404, "{\"error\":\"no placement published yet\"}".to_string());
+    };
+    let stale = view.generation < slot.latest_generation.load(Ordering::SeqCst);
+    let breaker = match lock_or_recover(&slot.control).breaker.state(Instant::now()) {
+        BreakerState::Closed => "closed",
+        BreakerState::Open => "open",
+        BreakerState::HalfOpen => "half_open",
+    };
+    let placement_json = match serde_json::to_string(&view.placement) {
+        Ok(j) => j,
+        Err(_) => return Response::json(500, "{\"error\":\"serialize\"}".to_string()),
+    };
+    Response::json(
+        200,
+        format!(
+            "{{\"tenant\":\"{tenant}\",\"round\":{},\"generation\":{},\"stale\":{stale},\
+             \"breaker\":\"{breaker}\",\"objective\":{:.6},\"normalized\":{:.6},\
+             \"placement\":{placement_json}}}",
+            view.round, view.generation, view.objective, view.normalized,
+        ),
+    )
+}
+
+fn remove_tenant(shared: &Arc<Shared>, request: &Request) -> Response {
+    let tenant = match tenant_param(request) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    let removed = lock_or_recover(&shared.tenants).remove(tenant);
+    match removed {
+        Some(slot) => {
+            rasa_obs::global().inc("serve.tenants_removed");
+            for job in slot.queue.drain() {
+                let _ = job.reply.try_send(Response::json(
+                    503,
+                    "{\"error\":\"tenant removed\"}".to_string(),
+                ));
+            }
+            Response::json(200, format!("{{\"tenant\":\"{tenant}\",\"removed\":true}}"))
+        }
+        None => Response::json(404, "{\"error\":\"unknown tenant\"}".to_string()),
+    }
+}
+
+/// Body-parse failures answer 400 with the same line/column reporting
+/// `rasa_trace::persist::PersistError` gives for on-disk artifacts.
+fn bad_body(error: &serde_json::Error) -> Response {
+    rasa_obs::global().inc("serve.bad_requests");
+    let (line, column) = (error.line(), error.column());
+    let position = match (line, column) {
+        (Some(l), Some(c)) => format!("\"line\":{l},\"column\":{c},"),
+        _ => String::new(),
+    };
+    let detail: String = error
+        .to_string()
+        .chars()
+        .map(|c| if c == '"' { '\'' } else { c })
+        .collect();
+    Response::json(
+        400,
+        format!("{{\"error\":\"malformed json\",{position}\"detail\":\"{detail}\"}}"),
+    )
+}
+
+fn ingest(shared: &Arc<Shared>, request: &Request, is_snapshot: bool) -> Response {
+    let obs = rasa_obs::global();
+    if shared.draining.load(Ordering::SeqCst) {
+        obs.inc("serve.rejected_draining");
+        return Response::json(503, "{\"error\":\"draining\"}".to_string())
+            .with_header("Retry-After", "10".to_string());
+    }
+    let tenant = match tenant_param(request) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    let kind = if is_snapshot {
+        match serde_json::from_str::<Problem>(&request.body) {
+            Ok(problem) => JobKind::Snapshot(Box::new(problem)),
+            Err(e) => return bad_body(&e),
+        }
+    } else {
+        match serde_json::from_str::<SnapshotDelta>(&request.body) {
+            Ok(delta) => JobKind::Delta(delta),
+            Err(e) => return bad_body(&e),
+        }
+    };
+    let deadline = match request.param("deadline_ms") {
+        None => shared.config.default_deadline,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(ms) if ms > 0 => Duration::from_millis(ms).min(shared.config.max_deadline),
+            _ => {
+                obs.inc("serve.bad_requests");
+                return Response::json(
+                    400,
+                    "{\"error\":\"deadline_ms must be a positive integer\"}".to_string(),
+                );
+            }
+        },
+    };
+
+    let slot = {
+        let mut tenants = lock_or_recover(&shared.tenants);
+        match tenants.get(tenant) {
+            Some(slot) => Arc::clone(slot),
+            None => {
+                if tenants.len() >= shared.config.max_tenants {
+                    obs.inc("serve.rejected_tenant_capacity");
+                    return Response::json(
+                        429,
+                        "{\"error\":\"tenant capacity reached\"}".to_string(),
+                    )
+                    .with_header("Retry-After", "30".to_string());
+                }
+                obs.inc("serve.tenants_created");
+                let seed = shared.config.seed ^ fnv1a(tenant);
+                let slot = Arc::new(TenantSlot {
+                    name: tenant.to_string(),
+                    queue: BoundedQueue::new(shared.config.queue_capacity),
+                    engine: Mutex::new(AllocationSession::new(shared.config.rasa.clone())),
+                    control: Mutex::new(Control {
+                        breaker: CircuitBreaker::new(shared.config.breaker),
+                        backoff: BackoffSchedule::new(
+                            shared.config.backoff_base,
+                            shared.config.backoff_cap,
+                            seed,
+                        ),
+                    }),
+                    published: Mutex::new(None),
+                    latest_generation: AtomicU64::new(0),
+                });
+                tenants.insert(tenant.to_string(), Arc::clone(&slot));
+                slot
+            }
+        }
+    };
+
+    // Circuit breaker gate. While open, the mutation is NOT applied — the
+    // client gets the last certified placement (stale) plus a Retry-After,
+    // and should re-send after the cooldown.
+    let decision = lock_or_recover(&slot.control).breaker.admit(Instant::now());
+    let probe = match decision {
+        BreakerDecision::Solve => false,
+        BreakerDecision::Probe => true,
+        BreakerDecision::ServeStale => {
+            return stale_or_unavailable(&slot, "breaker_open")
+                .with_header("Retry-After", "5".to_string());
+        }
+    };
+
+    let (tx, rx) = sync_channel(1);
+    let job = Job {
+        kind,
+        deadline,
+        probe,
+        reply: tx,
+    };
+    match slot.queue.try_push(job) {
+        Ok(depth) => obs.record("serve.queue_depth", depth as f64),
+        Err(QueueFull(job)) => {
+            if job.probe {
+                lock_or_recover(&slot.control).breaker.abandon_probe();
+            }
+            obs.inc("serve.rejected_queue_full");
+            let retry_after = shared.config.default_deadline.as_secs().max(1);
+            return Response::json(
+                429,
+                format!(
+                    "{{\"error\":\"queue full\",\"tenant\":\"{tenant}\",\"capacity\":{}}}",
+                    slot.queue.capacity()
+                ),
+            )
+            .with_header("Retry-After", retry_after.to_string());
+        }
+    }
+    shared.enqueue_work(tenant);
+
+    match rx.recv_timeout(shared.config.request_timeout) {
+        Ok(response) => response,
+        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+            obs.inc("serve.request_timeouts");
+            Response::json(
+                504,
+                "{\"error\":\"round still running; poll /placement\"}".to_string(),
+            )
+        }
+    }
+}

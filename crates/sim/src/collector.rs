@@ -70,7 +70,7 @@ mod tests {
         let s1 = b.add_service("b", 1, ResourceVec::cpu_mem(1.0, 1.0));
         b.add_machine(ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::EMPTY);
         b.add_affinity(s0, s1, 10.0);
-        b.build().unwrap()
+        b.build().expect("test problem builds")
     }
 
     #[test]

@@ -347,7 +347,7 @@ mod tests {
         b.add_machines(3, ResourceVec::cpu_mem(8.0, 8.0), FeatureMask::EMPTY);
         b.add_affinity(s0, s1, 10.0);
         b.add_affinity(s1, s2, 2.0);
-        b.build().unwrap()
+        b.build().expect("test problem builds")
     }
 
     fn scattered(problem: &Problem) -> Placement {
@@ -430,7 +430,11 @@ mod tests {
         let current = scattered(&p);
         // candidate missing one container of s0 and with an extra of s2
         let mut candidate = current.clone();
-        let first_m = candidate.machines_of(ServiceId(0)).next().unwrap().0;
+        let first_m = candidate
+            .machines_of(ServiceId(0))
+            .next()
+            .expect("scattered placement places service 0")
+            .0;
         candidate.remove(ServiceId(0), first_m, 1);
         candidate.add(ServiceId(2), MachineId(0), 1);
         reconcile_counts(&p, &current, &mut candidate);

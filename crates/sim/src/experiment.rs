@@ -131,10 +131,11 @@ pub fn run_production_experiment(
     // tracked pairs: heaviest edges
     let mut edge_order: Vec<usize> = (0..problem.affinity_edges.len()).collect();
     edge_order.sort_by(|&a, &b| {
+        // total_cmp: admission repairs non-finite weights, but a total
+        // order keeps the sort panic-free even on un-admitted input
         problem.affinity_edges[b]
             .weight
-            .partial_cmp(&problem.affinity_edges[a].weight)
-            .unwrap()
+            .total_cmp(&problem.affinity_edges[a].weight)
     });
     let tracked: Vec<usize> = edge_order
         .iter()

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 //! # rasa-sim
 //!
@@ -25,7 +26,11 @@
 //! * [`corruption`] — seeded *data*-corruption chaos (NaN/Inf flips,
 //!   dangling references, truncated artifacts, poisoned cache entries)
 //!   asserting the pipeline's two-gate trust boundary: no panics, no
-//!   uncertified placement.
+//!   uncertified placement;
+//! * [`soak`] — seeded churn campaign against a live `rasa-serve` daemon
+//!   (tenant arrivals/departures, delta storms, slow-loris, disconnects,
+//!   corrupted snapshots) asserting zero panics, zero uncertified
+//!   publishes, and bounded state.
 
 pub mod chaos;
 pub mod collector;
@@ -34,9 +39,11 @@ pub mod cronjob;
 pub mod experiment;
 pub mod failover;
 pub mod network;
+pub mod soak;
 
 pub use chaos::{run_chaos, ChaosEvent, ChaosReport, ChaosSchedule, InvariantChecker};
 pub use corruption::{run_corruption_campaign, CorruptionKind, CorruptionReport, CorruptionRound};
+pub use soak::{run_soak, SoakConfig, SoakReport};
 pub use collector::{ClusterState, DataCollector};
 pub use cronjob::{CronJob, CronJobConfig, TickOutcome};
 pub use experiment::{run_production_experiment, ExperimentConfig, ExperimentReport, PairSeries};

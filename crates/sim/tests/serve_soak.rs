@@ -1,0 +1,59 @@
+//! End-to-end soak: the seeded churn campaign against a live in-process
+//! `rasa-serve` daemon must finish with zero panics, zero uncertified
+//! publishes, bounded tenant state, and a clean drain — the acceptance
+//! test for the service layer's robustness contract.
+
+#![allow(clippy::unwrap_used)]
+
+use rasa_sim::soak::{run_soak, SoakConfig};
+
+#[test]
+fn churn_campaign_holds_the_robustness_contract() {
+    let config = SoakConfig {
+        seed: 20260808,
+        rounds: 90,
+        ..SoakConfig::default()
+    };
+    let report = run_soak(&config);
+
+    assert!(
+        report.is_clean(),
+        "soak violations: {:#?}\nfull report: {}",
+        report.violations,
+        serde_json::to_string_pretty(&report).unwrap()
+    );
+    assert_eq!(report.rounds_executed, 90, "wall cap must not truncate");
+    assert_eq!(report.accepted_uncertified, 0);
+    assert_eq!(report.counter("serve.solve_panics"), 0);
+    assert_eq!(report.counter("serve.connection_panics"), 0);
+
+    // the campaign must actually exercise the interesting paths
+    assert!(report.responses.ok > 10, "healthy traffic: {:?}", report.responses);
+    assert!(
+        report.actions.starved_deltas > 0 && report.actions.slow_loris > 0,
+        "schedule must include hostile actions: {:?}",
+        report.actions
+    );
+    assert!(
+        report.counter("serve.requests") > 50,
+        "daemon saw the traffic: {:?}",
+        report.serve_counters
+    );
+
+    // starved deadlines tripped at least one breaker, and while open the
+    // daemon served stale-but-certified placements
+    assert!(
+        report.counter("serve.breaker_trips") >= 1,
+        "starved tenant must trip its breaker: {:?}",
+        report.serve_counters
+    );
+    assert!(
+        report.stale_served >= 1,
+        "open breaker must serve stale placements: {:?}",
+        report.serve_counters
+    );
+
+    // drain completed and was measured
+    assert!(report.drain.drain_seconds >= 0.0);
+    assert!(report.wall_seconds > 0.0);
+}
