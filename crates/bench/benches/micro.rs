@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rasa_graph::{multilevel_partition, AffinityGraph, MultilevelConfig};
+use rasa_lp::factor::{EtaFile, LuFactors, LuWorkspace, SparseCol};
 use rasa_lp::LpModel;
 use rasa_mip::MipModel;
 use rasa_model::{gained_affinity, Placement};
@@ -28,6 +29,73 @@ fn bench_simplex(c: &mut Criterion) {
             m.add_row_le(coeffs, 10.0);
         }
         b.iter(|| m.solve());
+    });
+}
+
+/// A nonsingular banded basis (strong diagonal + `band` sub-diagonals per
+/// column) — the nnz-proportional workload the sparse kernel is built for.
+fn banded_basis(m: usize, band: usize) -> Vec<SparseCol> {
+    (0..m)
+        .map(|i| {
+            let mut col: SparseCol = vec![(i, 4.0 + (i % 7) as f64 * 0.25)];
+            for d in 1..=band {
+                if i + d < m {
+                    col.push((i + d, -0.5 + d as f64 * 0.1));
+                }
+            }
+            col
+        })
+        .collect()
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let m = 600;
+    let cols = banded_basis(m, 6);
+    let rhs: Vec<f64> = (0..m).map(|i| (i % 13) as f64 - 6.0).collect();
+
+    c.bench_function("lu_factorize_600_banded", |b| {
+        let mut ws = LuWorkspace::new(m);
+        b.iter(|| LuFactors::factorize(m, |i| &cols[i], 1e-12, &mut ws).expect("nonsingular"));
+    });
+
+    let mut ws = LuWorkspace::new(m);
+    let lu = LuFactors::factorize(m, |i| &cols[i], 1e-12, &mut ws).expect("nonsingular");
+    c.bench_function("lu_ftran_600", |b| {
+        let mut ws = LuWorkspace::new(m);
+        let mut out = vec![0.0; m];
+        b.iter(|| {
+            lu.ftran(&rhs, &mut out, &mut ws);
+            std::hint::black_box(&out);
+        });
+    });
+    c.bench_function("lu_btran_600", |b| {
+        let mut ws = LuWorkspace::new(m);
+        let mut out = vec![0.0; m];
+        b.iter(|| {
+            lu.btran(&rhs, &mut out, &mut ws);
+            std::hint::black_box(&out);
+        });
+    });
+    c.bench_function("eta_update_and_ftran_600", |b| {
+        // one basis exchange appended to a 16-deep eta file, then an FTRAN
+        // pass through the whole file — the steady-state pivot workload
+        let mut ws = LuWorkspace::new(m);
+        let mut w = vec![0.0; m];
+        lu.ftran(&rhs, &mut w, &mut ws);
+        w[37] = 1.5; // a usable pivot at the exchange row
+        let mut file = EtaFile::new();
+        for _ in 0..16 {
+            file.push(37, &w);
+        }
+        b.iter_batched(
+            || (file.clone(), w.clone()),
+            |(mut file, mut x)| {
+                file.push(37, &x);
+                file.apply_ftran(&mut x);
+                std::hint::black_box(&x);
+            },
+            BatchSize::SmallInput,
+        );
     });
 }
 
@@ -119,6 +187,6 @@ fn bench_objective(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_simplex, bench_mip, bench_formulation, bench_partitioning, bench_gcn, bench_objective
+    targets = bench_simplex, bench_lu, bench_mip, bench_formulation, bench_partitioning, bench_gcn, bench_objective
 }
 criterion_main!(benches);

@@ -9,14 +9,13 @@
 //! Shape to reproduce: only GCN-BASED is best-or-tied on *every* cluster;
 //! fixed CG / fixed MIP / HEURISTIC / MLP each lose somewhere.
 
-use rasa_bench::{evaluation_clusters, pct, print_table, save_json, scale, timeout, Scale};
+use rasa_bench::{evaluation_clusters, labelling_budget, pct, print_table, save_json, timeout};
 use rasa_core::{
     generate_training_set, Deadline, RasaConfig, RasaPipeline, Scheduler, SelectorChoice,
 };
 use rasa_select::{train_gcn, train_mlp, PoolAlgorithm};
 use rasa_trace::{generate, t_clusters};
 use serde::Serialize;
-use std::time::Duration;
 
 #[derive(Serialize)]
 struct Row {
@@ -28,10 +27,7 @@ struct Row {
 fn main() {
     let budget = timeout();
     // ---- train the learned selectors ----
-    let (label_limit, label_budget) = match scale() {
-        Scale::Full => (120, Duration::from_secs(2)),
-        Scale::Small => (40, Duration::from_millis(800)),
-    };
+    let (label_limit, label_budget) = labelling_budget();
     eprintln!("[train] generating ≤{label_limit} labelled subproblems from the T-clusters…");
     let train_problems: Vec<_> = t_clusters(900).iter().map(generate).collect();
     let data = generate_training_set(&train_problems, label_limit, label_budget, 7);

@@ -3,11 +3,21 @@
 //! `--compare` regression gate CI runs against the committed baseline.
 //!
 //! Bench mode runs the full partition → select → solve → combine pipeline
-//! on seeded traces (four tiny clusters at the default `small` scale — fast
-//! enough for a CI smoke job and comfortably inside the solver deadline —
-//! or the T-clusters at `full`), once with the default heuristic selector
-//! and once forcing column generation (so the CG counters are exercised
-//! even where the heuristic would route everything to MIP), then emits:
+//! on seeded traces, once with the default heuristic selector and once
+//! forcing column generation (so the CG counters are exercised even where
+//! the heuristic would route everything to MIP). The trace set follows
+//! the scale — `--scale NAME` on the command line, else `RASA_SCALE`:
+//!
+//! * `small` (default) — four tiny clusters, fast enough for a CI smoke
+//!   job and comfortably inside the solver deadline;
+//! * `medium` / `large` / `xl` — the M-ratio bench ladder
+//!   (`rasa_trace::medium_clusters` and friends): rungs that preserve the
+//!   paper's Table II container:machine ratios while growing from
+//!   half-scale S1/S3 analogues up to the S2+S4 pair. Each rung has a
+//!   committed baseline (`BENCH_pipeline_<scale>.json`) for `--compare`;
+//! * `full` — the T-clusters.
+//!
+//! Then emits:
 //!
 //! * `BENCH_pipeline.json` (schema v2, see `rasa_bench::artifact`):
 //!   per-stage latency percentiles (p50/p95/p99 plus the exact max from
@@ -24,9 +34,12 @@
 //! cold-vs-warm per-round latency plus cache hit/miss/invalidation tallies.
 //!
 //! Compare mode (`--compare OLD.json NEW.json [--threshold-pct P]
-//! [--abs-slack-ms S]`) diffs two artifacts and exits 0 (no regression),
-//! 2 (regression found), or 3 (artifacts incomparable); schema-version
-//! mismatches are rejected with a clear error. See `rasa_bench::compare`.
+//! [--abs-slack-ms S] [--counter-factor F]`) diffs two artifacts and exits
+//! 0 (no regression), 2 (regression found), or 3 (artifacts incomparable);
+//! schema-version mismatches are rejected with a clear error. See
+//! `rasa_bench::compare`. `--counter-factor` widens the hot-counter
+//! explosion bound — needed for cross-machine ladder-rung gates, where
+//! anytime solvers do wall-clock-proportional work.
 //!
 //! Environment (bench mode):
 //!
@@ -38,25 +51,47 @@
 //!   objective drifts from its cold round, the warm p50 latency exceeds
 //!   0.7× the cold p50, the Prometheus exposition hits an undocumented
 //!   metric, or the flight recorder costs more than 5% at 1-in-N
-//!   sampling; `0`: report only;
+//!   sampling; `0`: report only. On the ladder rungs budget exhaustion
+//!   (`deadline_expired`) is expected anytime-solver behavior, not a
+//!   failure, and the warm-determinism/speedup checks skip
+//!   deadline-truncated runs (their results are wall-clock-dependent);
 //! * `RASA_BENCH_ROUNDS` — rounds per (trace, selector); the `--rounds N`
 //!   CLI flag takes precedence; default 3, minimum 1;
 //! * `RASA_BENCH_OVERHEAD` — `0` skips the recorder-overhead measurement;
 //! * `RASA_FLIGHT_DIR` / `RASA_FLIGHT_SAMPLE` / `RASA_FLIGHT_MAX_DUMPS` —
 //!   enable the flight recorder for the main bench runs (off by default);
-//! * `RASA_SCALE` / `RASA_TIMEOUT_SECS` — as for every rasa-bench binary.
+//! * `RASA_SCALE` / `RASA_TIMEOUT_SECS` — as for every rasa-bench binary,
+//!   except the ladder rungs raise the *default* budget (medium 20 s,
+//!   large 30 s, xl 60 s) toward the paper's one-minute M-cluster budget;
+//!   an explicit `RASA_TIMEOUT_SECS` still wins.
 
 use rasa_bench::artifact::{
     median, BenchArtifact, RecorderOverhead, RoundRecord, RunRecord, StageLatency,
     WarmStartSummary, BENCH_SCHEMA_VERSION,
 };
 use rasa_bench::compare::{compare_artifacts, load_artifact, CompareConfig, CompareOutcome};
-use rasa_bench::{print_table, scale, timeout, Scale};
+use rasa_bench::{print_table, scale, timeout_for, Scale};
 use rasa_core::{Deadline, RasaConfig, RasaPipeline, SelectorChoice, SolveCache, SolveStatus};
 use rasa_model::Problem;
 use rasa_obs::FlightConfig;
-use rasa_trace::{generate, t_clusters, tiny_cluster};
+use rasa_trace::{generate, large_clusters, medium_clusters, t_clusters, tiny_cluster, xl_clusters};
 use std::time::{Duration, Instant};
+
+/// `--scale NAME` from the CLI (takes precedence over `RASA_SCALE`).
+/// Unknown names abort loudly instead of silently benchmarking `small`.
+fn cli_scale(args: &[String]) -> Option<Scale> {
+    let name = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))?;
+    match Scale::parse(name) {
+        Some(s) => Some(s),
+        None => {
+            eprintln!("error: unknown --scale {name:?} (small|medium|large|xl|full)");
+            std::process::exit(1);
+        }
+    }
+}
 
 /// `--rounds N` from the CLI, else `RASA_BENCH_ROUNDS`, else 3.
 fn rounds_per_run() -> usize {
@@ -101,7 +136,7 @@ fn run_compare(args: &[String]) -> ! {
     let (Some(old_path), Some(new_path)) = (args.get(at + 1), args.get(at + 2)) else {
         eprintln!(
             "usage: pipeline --compare OLD.json NEW.json \
-             [--threshold-pct P] [--abs-slack-ms S]"
+             [--threshold-pct P] [--abs-slack-ms S] [--counter-factor F]"
         );
         std::process::exit(1);
     };
@@ -111,6 +146,9 @@ fn run_compare(args: &[String]) -> ! {
     }
     if let Some(s) = float_flag(args, "--abs-slack-ms") {
         cfg.abs_slack_ms = s;
+    }
+    if let Some(f) = float_flag(args, "--counter-factor") {
+        cfg.counter_factor = f;
     }
 
     let load = |path: &str| -> BenchArtifact {
@@ -151,7 +189,7 @@ fn run_compare(args: &[String]) -> ! {
 /// Measure flight-recorder overhead: the same cold pipeline run with the
 /// recorder off and sampling 1-in-N, interleaved so machine drift hits
 /// both sides equally. Recorder state is restored afterwards.
-fn measure_recorder_overhead(problem: &Problem, budget: Duration) -> RecorderOverhead {
+fn measure_recorder_overhead(problem: &Problem, budget: Duration, sc: Scale) -> RecorderOverhead {
     let rec = rasa_obs::recorder();
     let prev_enabled = rec.enabled();
     let prev_config = rec.config();
@@ -172,9 +210,12 @@ fn measure_recorder_overhead(problem: &Problem, budget: Duration) -> RecorderOve
     // warm-up (page caches, allocator, branch predictors) before timing
     rec.set_enabled(false);
     let _ = run();
-    let iters = match scale() {
+    // fewer iterations as the per-run cost grows up the ladder
+    let iters = match sc {
         Scale::Small => 5,
-        Scale::Full => 3,
+        Scale::Medium => 4,
+        Scale::Large | Scale::Full => 3,
+        Scale::Xl => 2,
     };
     let mut disabled = Vec::with_capacity(iters);
     let mut enabled = Vec::with_capacity(iters);
@@ -210,10 +251,13 @@ fn main() {
     let strict = std::env::var("RASA_BENCH_STRICT").as_deref() != Ok("0");
     let out_path =
         std::env::var("RASA_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
-    let budget = timeout();
+    let sc = cli_scale(&args).unwrap_or_else(scale);
+    // scale-aware default budget (RASA_TIMEOUT_SECS still overrides):
+    // the ladder rungs get proportionally more of the paper's one-minute
+    // M-cluster budget as the clusters grow toward M size
+    let budget = timeout_for(sc);
 
-    let specs = match scale() {
-        Scale::Full => t_clusters(7),
+    let specs = match sc {
         Scale::Small => (1..=4u64)
             .map(|seed| {
                 let mut spec = tiny_cluster(seed);
@@ -221,6 +265,10 @@ fn main() {
                 spec
             })
             .collect(),
+        Scale::Medium => medium_clusters(),
+        Scale::Large => large_clusters(),
+        Scale::Xl => xl_clusters(),
+        Scale::Full => t_clusters(7),
     };
     let traces: Vec<_> = specs
         .into_iter()
@@ -356,15 +404,12 @@ fn main() {
         None
     } else {
         eprintln!("[overhead] measuring flight-recorder cost (interleaved off/on runs)…");
-        Some(measure_recorder_overhead(&traces[0].1, budget))
+        Some(measure_recorder_overhead(&traces[0].1, budget, sc))
     };
 
     let artifact = BenchArtifact {
         schema_version: BENCH_SCHEMA_VERSION,
-        scale: match scale() {
-            Scale::Small => "small".into(),
-            Scale::Full => "full".into(),
-        },
+        scale: sc.as_str().into(),
         timeout_secs: budget.as_secs_f64(),
         rounds,
         runs,
@@ -459,13 +504,31 @@ fn main() {
         if let Some(e) = prom_error {
             failures.push(format!("prometheus exposition failed: {e}"));
         }
+        // On the M-scale ladder rungs the solvers are *expected* to run to
+        // their budget on some subproblems (anytime behavior, exactly as
+        // the paper's one-minute M-cluster runs): budget exhaustion is not
+        // a failure there, and the determinism checks below are skipped
+        // for deadline-truncated runs because their results are
+        // wall-clock-dependent by construction. Panics, infeasibility,
+        // and fallback transitions still fail at every scale.
+        let ladder = matches!(sc, Scale::Medium | Scale::Large | Scale::Xl);
+        let expired =
+            |r: &RunRecord| r.statuses.iter().any(|(k, _)| k == "deadline_expired");
         for r in &artifact.runs {
-            if r.degraded {
-                failures.push(format!(
-                    "run {}/{} degraded: {:?}",
-                    r.trace, r.selector, r.statuses
-                ));
+            if !r.degraded {
+                continue;
             }
+            let only_budget_exhaustion = r
+                .statuses
+                .iter()
+                .all(|(k, _)| k == "ok" || k == "deadline_expired");
+            if ladder && only_budget_exhaustion {
+                continue;
+            }
+            failures.push(format!(
+                "run {}/{} degraded: {:?}",
+                r.trace, r.selector, r.statuses
+            ));
         }
         for counter in ["simplex.pivots", "bnb.nodes", "cg.rounds"] {
             if snapshot.counter(counter) == 0 {
@@ -475,7 +538,12 @@ fn main() {
         if artifact.rounds > 1 {
             // warm rounds must reproduce the cold objective exactly —
             // identical problem + deterministic partition → full replay
+            // (not required of deadline-truncated ladder runs: a re-solve
+            // with a fresh budget legitimately improves on a truncated one)
             for r in &artifact.runs {
+                if ladder && expired(r) {
+                    continue;
+                }
                 let cold_obj = r.rounds[0].normalized_gained_affinity;
                 for round in &r.rounds[1..] {
                     if (round.normalized_gained_affinity - cold_obj).abs() > 1e-9 {
@@ -493,13 +561,18 @@ fn main() {
             if snapshot.counter("cache.sub_hits") == 0 {
                 failures.push("warm rounds produced no cache hits".into());
             }
-            if let Some(ws) = &artifact.warm_start {
-                if ws.warm_p50_secs > 0.7 * ws.cold_p50_secs {
-                    failures.push(format!(
-                        "warm p50 {:.3} ms exceeds 0.7× cold p50 {:.3} ms",
-                        ws.warm_p50_secs * 1e3,
-                        ws.cold_p50_secs * 1e3
-                    ));
+            // the warm-speedup floor only makes sense when warm rounds are
+            // pure cache replays — a truncated subproblem re-solves with a
+            // fresh budget every round, so skip it if any run expired
+            if !(ladder && artifact.runs.iter().any(expired)) {
+                if let Some(ws) = &artifact.warm_start {
+                    if ws.warm_p50_secs > 0.7 * ws.cold_p50_secs {
+                        failures.push(format!(
+                            "warm p50 {:.3} ms exceeds 0.7× cold p50 {:.3} ms",
+                            ws.warm_p50_secs * 1e3,
+                            ws.cold_p50_secs * 1e3
+                        ));
+                    }
                 }
             }
         }

@@ -8,7 +8,10 @@
 //! All binaries honor two environment variables:
 //!
 //! * `RASA_SCALE` — `small` (default: quick, minutes-total runs on reduced
-//!   clusters) or `full` (the S1–S4 clusters of DESIGN.md §6);
+//!   clusters), the bench ladder `medium` / `large` / `xl` (rungs that
+//!   grow toward the paper's M1–M4 container:machine ratios, see
+//!   `rasa_trace` ladder specs), or `full` (the S1–S4 clusters of
+//!   DESIGN.md §6);
 //! * `RASA_TIMEOUT_SECS` — per-algorithm time-out (default 10, the scaled
 //!   analogue of the paper's one minute).
 
@@ -16,46 +19,104 @@ use rasa_model::Problem;
 use rasa_trace::{generate, s_clusters, ClusterSpec};
 use std::time::Duration;
 
-/// Benchmark scale selected via `RASA_SCALE`.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+/// Benchmark scale selected via `RASA_SCALE` (or `--scale` where a binary
+/// supports the flag). Ordered smallest to largest.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub enum Scale {
-    /// Reduced clusters; minutes-total runtime.
+    /// Reduced clusters; minutes-total runtime. The CI smoke scale.
     Small,
-    /// The S1–S4 analogues of Table II (DESIGN.md §6).
+    /// First ladder rung: half-scale S1/S3 analogues (M1/20, M3/2).
+    Medium,
+    /// Second ladder rung: the S1 + S3 pair (M1/10, M3 at full size).
+    Large,
+    /// Top ladder rung: the S2 + S4 pair (M2/10, M4/10) — the largest
+    /// committed-baseline scale, approaching the paper's M-clusters.
+    Xl,
+    /// The complete S1–S4 analogues of Table II (DESIGN.md §6).
     Full,
 }
 
-/// Read `RASA_SCALE` (default `small`).
-pub fn scale() -> Scale {
-    match std::env::var("RASA_SCALE").as_deref() {
-        Ok("full") | Ok("FULL") => Scale::Full,
-        _ => Scale::Small,
+impl Scale {
+    /// Parse a scale name as used by `RASA_SCALE` and `--scale`
+    /// (case-insensitive). Unknown names return `None` so callers can
+    /// distinguish "unset" from "typo".
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "large" => Some(Scale::Large),
+            "xl" => Some(Scale::Xl),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
     }
+
+    /// The canonical lowercase name, as recorded in `BenchArtifact::scale`
+    /// and used for per-scale cache/baseline file names.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
+            Scale::Xl => "xl",
+            Scale::Full => "full",
+        }
+    }
+}
+
+/// Read `RASA_SCALE` (default `small`; unknown values also fall back to
+/// `small`, matching the historical behavior).
+pub fn scale() -> Scale {
+    std::env::var("RASA_SCALE")
+        .ok()
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Small)
 }
 
 /// Read `RASA_TIMEOUT_SECS` (default 10).
 pub fn timeout() -> Duration {
+    timeout_for(Scale::Small)
+}
+
+/// Per-run solver budget: `RASA_TIMEOUT_SECS` when set, else a
+/// scale-aware default. The paper gives its M-clusters a one-minute
+/// budget; the historical 10 s default is the 1/10-scale analogue, and
+/// the ladder rungs step the default back up toward the paper's as the
+/// clusters grow. `full` keeps 10 s (the S-clusters are 1/10 scale).
+pub fn timeout_for(sc: Scale) -> Duration {
+    let default_secs = match sc {
+        Scale::Small | Scale::Full => 10,
+        Scale::Medium => 20,
+        Scale::Large => 30,
+        Scale::Xl => 60,
+    };
     let secs = std::env::var("RASA_TIMEOUT_SECS")
         .ok()
         .and_then(|s| s.parse::<u64>().ok())
-        .unwrap_or(10);
+        .unwrap_or(default_secs);
     Duration::from_secs(secs)
 }
 
 /// The evaluation clusters for the selected scale, generated and named.
+///
+/// `Small` and `Medium` shrink every S-cluster by a common divisor (4 and
+/// 2 respectively), preserving the container:machine ratios; `Large`,
+/// `Xl`, and `Full` use the S-clusters as committed.
 pub fn evaluation_clusters() -> Vec<(String, Problem)> {
-    let specs: Vec<ClusterSpec> = match scale() {
-        Scale::Full => s_clusters(),
-        Scale::Small => s_clusters()
-            .into_iter()
-            .map(|spec| ClusterSpec {
-                services: spec.services / 4,
-                target_containers: spec.target_containers / 4,
-                machines: spec.machines / 4,
-                ..spec
-            })
-            .collect(),
+    let divisor = match scale() {
+        Scale::Small => 4,
+        Scale::Medium => 2,
+        Scale::Large | Scale::Xl | Scale::Full => 1,
     };
+    let specs: Vec<ClusterSpec> = s_clusters()
+        .into_iter()
+        .map(|spec| ClusterSpec {
+            services: spec.services / divisor as usize,
+            target_containers: spec.target_containers / divisor,
+            machines: spec.machines / divisor as usize,
+            ..spec
+        })
+        .collect();
     specs
         .into_iter()
         .map(|spec| (spec.name.clone(), generate(&spec)))
@@ -141,12 +202,42 @@ mod tests {
     fn pct_formats() {
         assert_eq!(pct(0.1234), "12.3%");
     }
+
+    #[test]
+    fn scale_names_round_trip() {
+        for s in [Scale::Small, Scale::Medium, Scale::Large, Scale::Xl, Scale::Full] {
+            assert_eq!(Scale::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(Scale::parse("XL"), Some(Scale::Xl));
+        assert_eq!(Scale::parse("FULL"), Some(Scale::Full));
+        assert_eq!(Scale::parse("gigantic"), None);
+    }
+
+    #[test]
+    fn ladder_is_ordered_by_size() {
+        assert!(Scale::Small < Scale::Medium);
+        assert!(Scale::Medium < Scale::Large);
+        assert!(Scale::Large < Scale::Xl);
+        assert!(Scale::Xl < Scale::Full);
+    }
 }
 
 pub mod artifact;
 pub mod compare;
 pub mod production;
 pub mod serve_artifact;
+
+/// How many T-cluster subproblems to label (and the per-label race
+/// budget) when training the learned selectors at the current scale.
+/// Ladder rungs interpolate between the `small` and `full` settings.
+pub fn labelling_budget() -> (usize, Duration) {
+    match scale() {
+        Scale::Small => (40, Duration::from_millis(800)),
+        Scale::Medium => (60, Duration::from_secs(1)),
+        Scale::Large => (90, Duration::from_millis(1_500)),
+        Scale::Xl | Scale::Full => (120, Duration::from_secs(2)),
+    }
+}
 
 /// Train (or load from the `target/experiments` cache) the GCN selector
 /// used by the RASA pipeline in the experiment binaries — the paper's
@@ -157,10 +248,7 @@ pub mod serve_artifact;
 pub fn trained_gcn_selector() -> rasa_select::GcnSelector {
     let cache = std::path::PathBuf::from(format!(
         "target/experiments/gcn_selector_{}.json",
-        match scale() {
-            Scale::Full => "full",
-            Scale::Small => "small",
-        }
+        scale().as_str()
     ));
     if let Ok(cached) = rasa_select::training::load_gcn(&cache) {
         eprintln!(
@@ -169,10 +257,7 @@ pub fn trained_gcn_selector() -> rasa_select::GcnSelector {
         );
         return cached;
     }
-    let (label_limit, label_budget) = match scale() {
-        Scale::Full => (120, Duration::from_secs(2)),
-        Scale::Small => (40, Duration::from_millis(800)),
-    };
+    let (label_limit, label_budget) = labelling_budget();
     eprintln!("[train] labelling ≤{label_limit} T-cluster subproblems for the GCN selector…");
     let train_problems: Vec<Problem> = rasa_trace::t_clusters(900)
         .iter()

@@ -12,25 +12,22 @@ use std::time::Duration;
 /// Build the production-experiment cluster and report for the current
 /// scale settings.
 pub fn run_production(seed: u64) -> (rasa_model::Problem, ExperimentReport, ExperimentConfig) {
-    let spec = match crate::scale() {
-        crate::Scale::Full => ClusterSpec {
-            name: "prod".into(),
-            services: 200,
-            target_containers: 1200,
-            machines: 50,
-            machine_types: 3,
-            seed,
-            ..Default::default()
-        },
-        crate::Scale::Small => ClusterSpec {
-            name: "prod".into(),
-            services: 60,
-            target_containers: 280,
-            machines: 16,
-            machine_types: 2,
-            seed,
-            ..Default::default()
-        },
+    // services/containers/machines per scale; the ladder rungs step the
+    // churning cluster up toward the `full` production analogue
+    let (services, target_containers, machines, machine_types) = match crate::scale() {
+        crate::Scale::Small => (60, 280, 16, 2),
+        crate::Scale::Medium => (100, 520, 22, 2),
+        crate::Scale::Large => (150, 840, 36, 3),
+        crate::Scale::Xl | crate::Scale::Full => (200, 1200, 50, 3),
+    };
+    let spec = ClusterSpec {
+        name: "prod".into(),
+        services,
+        target_containers,
+        machines,
+        machine_types,
+        seed,
+        ..Default::default()
     };
     let problem = generate(&spec);
     let initial = Original.schedule(&problem, Deadline::none()).placement;

@@ -16,9 +16,15 @@
 //! * deadline-aware solving ([`Deadline`]) so RASA can return its best
 //!   result under the paper's one-minute-style time-outs.
 //!
-//! The implementation favors clarity and numerical robustness over raw
-//! speed: dense basis inverse, Dantzig pricing with a Bland fallback for
-//! degeneracy, and explicit feasibility re-checks after refactorization.
+//! The kernel is a **sparse** revised simplex: the basis is held as a
+//! sparse LU factorization ([`factor::LuFactors`], Gilbert–Peierls
+//! left-looking elimination) updated in product form between periodic
+//! refactorizations ([`factor::EtaFile`]), with partial (sectioned)
+//! Dantzig pricing ([`pricing::PartialPricing`]), a Harris-style two-pass
+//! ratio test, and a permanent Bland fallback for degeneracy — so solve
+//! cost tracks the nonzero count, not `m²`. The historical dense-inverse
+//! kernel is retained as [`dense`] purely as a reference implementation
+//! for differential testing.
 //!
 //! ## Example
 //!
@@ -36,7 +42,10 @@
 //! assert!((sol.objective - 10.0).abs() < 1e-7); // x = 2, y = 2
 //! ```
 
+pub mod dense;
+pub mod factor;
 pub mod model;
+pub mod pricing;
 pub mod simplex;
 pub mod solution;
 pub mod time;

@@ -1,4 +1,5 @@
-//! Bounded-variable revised simplex with a two-phase start.
+//! Bounded-variable revised simplex with a two-phase start and a sparse
+//! LU-factorized basis.
 //!
 //! ## Method
 //!
@@ -16,17 +17,44 @@
 //! *Phase 2* maximizes the true objective from the feasible basis, with
 //! artificial bounds pinned to `[0, 0]`.
 //!
-//! The basis inverse is held densely and updated in product form each
-//! pivot; it is refactorized from scratch periodically and whenever the
-//! primal residual drifts. Pricing is Dantzig (steepest reduced cost) with
-//! a permanent switch to Bland's rule if a long degenerate stall indicates
-//! cycling risk.
+//! ## Basis machinery
+//!
+//! The basis is held as a sparse LU factorization
+//! ([`LuFactors`], Gilbert–Peierls left-looking
+//! elimination with partial pivoting and a fill-reducing column order) plus
+//! a product-form [`EtaFile`] that absorbs pivots
+//! between refactorizations, so FTRAN/BTRAN cost tracks the factor
+//! nonzeros instead of `m²`. The factorization is rebuilt from the basis
+//! columns every [`SimplexOptions::refactor_every`] pivots, which also
+//! resets the eta file and recomputes the basic values to squash
+//! accumulated drift. A refactorization that finds the basis numerically
+//! singular bumps the `simplex.refactor_singular` counter and emits a
+//! `refactor_singular` flight event (a silent cold start was how
+//! warm-start decay used to hide from BENCH artifacts).
+//!
+//! Pricing is partial (sectioned) Dantzig
+//! ([`PartialPricing`]): a cyclic window of
+//! columns is scanned each iteration and the best eligible reduced cost in
+//! the first non-empty window enters; a full eligible-free wrap proves
+//! optimality. A long degenerate stall still switches permanently to
+//! Bland's rule. The ratio test is a Harris-style two-pass: pass 1
+//! computes the minimum *relaxed* ratio (each basic variable may overshoot
+//! its bound by `feas_tol`), pass 2 picks the largest-|pivot| row among
+//! those whose exact ratio fits under that bound — degenerate ties break
+//! toward numerical stability instead of first-row order.
+//!
+//! The historical dense-inverse kernel survives as
+//! [`dense`](crate::dense) for differential testing.
 
 #![allow(clippy::needless_range_loop)] // dense index arithmetic over parallel arrays
 
+use crate::factor::{EtaFile, LuFactors, LuWorkspace};
 use crate::model::{LpModel, RowSense};
+use crate::pricing::PartialPricing;
 use crate::solution::{Basis, LpSolution, LpStatus, SimplexStats};
 use crate::time::Deadline;
+
+pub use crate::dense::MAX_DENSE_ROWS;
 
 /// Tunable knobs for [`solve_simplex`].
 #[derive(Clone, Debug)]
@@ -39,7 +67,8 @@ pub struct SimplexOptions {
     pub feas_tol: f64,
     /// Smallest acceptable pivot magnitude.
     pub pivot_tol: f64,
-    /// Refactorize the basis inverse every this many pivots.
+    /// Refactorize the basis every this many pivots (also bounds the eta
+    /// file length, and with it FTRAN/BTRAN cost drift).
     pub refactor_every: usize,
     /// Switch to Bland's rule after this many consecutive non-improving
     /// (degenerate) iterations.
@@ -58,6 +87,11 @@ impl Default for SimplexOptions {
         }
     }
 }
+
+/// Pivot magnitude below which a basis is declared numerically singular
+/// during (re)factorization. Matches the historical dense Gauss–Jordan
+/// threshold so singularity verdicts agree across kernels.
+const SINGULAR_TOL: f64 = 1e-12;
 
 /// Sparse column: (row, coefficient) pairs.
 type Col = Vec<(usize, f64)>;
@@ -80,13 +114,80 @@ struct State {
     basic_row: Vec<Option<usize>>,
     /// For nonbasic variables: resting at upper bound?
     at_upper: Vec<bool>,
-    /// Dense row-major basis inverse, `m × m`.
-    binv: Vec<f64>,
+    /// Sparse LU factors of the basis as of the last refactorization.
+    lu: LuFactors,
+    /// Product-form updates appended since then.
+    etas: EtaFile,
     iterations: usize,
     pivots_since_refactor: usize,
     use_bland: bool,
     stall: usize,
     stats: SimplexStats,
+}
+
+/// Per-solve dense scratch (reused so the pivot loop never allocates).
+struct Scratch {
+    /// LU workspace (marks, stacks, solve accumulators).
+    ws: LuWorkspace,
+    /// FTRAN right-hand side, indexed by original row.
+    rhs: Vec<f64>,
+    /// Entering column's FTRAN image `w = B⁻¹ A_q`, by basis position.
+    w: Vec<f64>,
+    /// Basic cost vector / BTRAN input, by basis position.
+    cb: Vec<f64>,
+    /// Duals `y`, indexed by original row.
+    y: Vec<f64>,
+    /// Spare factors: every (re)factorization targets this slot first and
+    /// swaps in on success, recycling the entry pools and keeping the live
+    /// factors intact when the basis turns out singular.
+    spare: LuFactors,
+}
+
+impl Scratch {
+    fn new(m: usize) -> Self {
+        Scratch {
+            ws: LuWorkspace::new(m),
+            rhs: vec![0.0; m],
+            w: vec![0.0; m],
+            cb: vec![0.0; m],
+            y: vec![0.0; m],
+            spare: LuFactors::default(),
+        }
+    }
+
+    fn resize(&mut self, m: usize) {
+        if self.rhs.len() < m {
+            self.rhs.resize(m, 0.0);
+            self.w.resize(m, 0.0);
+            self.cb.resize(m, 0.0);
+            self.y.resize(m, 0.0);
+        }
+    }
+}
+
+thread_local! {
+    /// Recycled [`Scratch`] — the pricing loops of B&B and column
+    /// generation fire thousands of small LP solves per round, so the
+    /// per-solve workspace is kept warm per thread instead of reallocated.
+    static SCRATCH: std::cell::RefCell<Option<Scratch>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Take the thread's recycled scratch (or build one). Re-entrant solves on
+/// the same thread simply build a fresh workspace.
+fn take_scratch(m: usize) -> Scratch {
+    match SCRATCH.with(|s| s.borrow_mut().take()) {
+        Some(mut s) => {
+            s.resize(m);
+            s
+        }
+        None => Scratch::new(m),
+    }
+}
+
+/// Return a scratch to the thread-local slot for the next solve.
+fn put_scratch(s: Scratch) {
+    SCRATCH.with(|slot| *slot.borrow_mut() = Some(s));
 }
 
 impl Tableau {
@@ -95,95 +196,57 @@ impl Tableau {
     }
 }
 
-/// `w = B⁻¹ · A_j` for a sparse column.
-fn ftran(binv: &[f64], m: usize, col: &Col, out: &mut [f64]) {
-    out[..m].fill(0.0);
+/// `w = B⁻¹ · A_j`: scatter the sparse column, LU forward/backward solve,
+/// then the eta file in recording order. `out` is basis-position indexed.
+fn ftran_col(state: &State, scratch: &mut Scratch, col: &Col, m: usize) {
+    scratch.rhs[..m].fill(0.0);
     for &(row, a) in col {
-        let base = row; // B⁻¹ column `row` lives at binv[i*m + row]
-        for i in 0..m {
-            out[i] += a * binv[i * m + base];
-        }
+        scratch.rhs[row] += a;
     }
+    state.lu.ftran(&scratch.rhs, &mut scratch.w, &mut scratch.ws);
+    state.etas.apply_ftran(&mut scratch.w[..m]);
 }
 
-/// `y = c_Bᵀ · B⁻¹`.
-fn btran(binv: &[f64], m: usize, cb: &[f64], out: &mut [f64]) {
-    out[..m].fill(0.0);
-    for i in 0..m {
-        let ci = cb[i];
-        if ci != 0.0 {
-            let row = &binv[i * m..(i + 1) * m];
-            for (o, &v) in out.iter_mut().zip(row) {
-                *o += ci * v;
-            }
-        }
-    }
+/// `y = c_Bᵀ · B⁻¹`: eta file newest-first on the basis-position input,
+/// then the LU transpose solves. Clobbers `scratch.cb`; duals land in
+/// `scratch.y` indexed by original row.
+fn btran_duals(state: &State, scratch: &mut Scratch, m: usize) {
+    state.etas.apply_btran(&mut scratch.cb[..m]);
+    state.lu.btran(&scratch.cb, &mut scratch.y, &mut scratch.ws);
 }
 
-/// Invert the current basis matrix from scratch (Gauss–Jordan with partial
-/// pivoting). Returns `false` if the basis is numerically singular.
-fn refactorize(tab: &Tableau, state: &mut State) -> bool {
-    let m = tab.m;
-    // Build dense B (column i = column of basis[i]).
-    let mut bmat = vec![0.0f64; m * m];
-    for (i, &j) in state.basis.iter().enumerate() {
-        for &(row, a) in tab.col(j) {
-            bmat[row * m + i] = a;
-        }
+/// Rebuild the LU factors from the current basis columns, reset the eta
+/// file. Returns `false` (and counts + flight-records the singularity) if
+/// the basis is numerically singular; the factors are left unchanged so
+/// the caller can decide how to bail out.
+fn refactorize(tab: &Tableau, state: &mut State, scratch: &mut Scratch, context: &str) -> bool {
+    let ok = {
+        let basis = &state.basis;
+        scratch.spare.factorize_into(
+            tab.m,
+            |i| tab.cols[basis[i]].as_slice(),
+            SINGULAR_TOL,
+            &mut scratch.ws,
+        )
+    };
+    if ok {
+        std::mem::swap(&mut state.lu, &mut scratch.spare);
+        state.etas.clear();
+        state.pivots_since_refactor = 0;
+        state.stats.refactorizations += 1;
+        true
+    } else {
+        state.stats.refactor_singular += 1;
+        let m = tab.m as u64;
+        rasa_obs::flight::emit(|| rasa_obs::TraceEvent::refactor_singular(context, m));
+        false
     }
-    // Augment with identity and eliminate.
-    let mut inv = vec![0.0f64; m * m];
-    for i in 0..m {
-        inv[i * m + i] = 1.0;
-    }
-    for col in 0..m {
-        // partial pivot
-        let mut piv_row = col;
-        let mut piv_val = bmat[col * m + col].abs();
-        for r in (col + 1)..m {
-            let v = bmat[r * m + col].abs();
-            if v > piv_val {
-                piv_val = v;
-                piv_row = r;
-            }
-        }
-        if piv_val < 1e-12 {
-            return false;
-        }
-        if piv_row != col {
-            for k in 0..m {
-                bmat.swap(col * m + k, piv_row * m + k);
-                inv.swap(col * m + k, piv_row * m + k);
-            }
-        }
-        let p = bmat[col * m + col];
-        for k in 0..m {
-            bmat[col * m + k] /= p;
-            inv[col * m + k] /= p;
-        }
-        for r in 0..m {
-            if r == col {
-                continue;
-            }
-            let f = bmat[r * m + col];
-            if f != 0.0 {
-                for k in 0..m {
-                    bmat[r * m + k] -= f * bmat[col * m + k];
-                    inv[r * m + k] -= f * inv[col * m + k];
-                }
-            }
-        }
-    }
-    state.binv = inv;
-    state.pivots_since_refactor = 0;
-    state.stats.refactorizations += 1;
-    true
 }
 
 /// Recompute basic variable values: `x_B = B⁻¹ (b − N x_N)`.
-fn recompute_basics(tab: &Tableau, state: &mut State) {
+fn recompute_basics(tab: &Tableau, state: &mut State, scratch: &mut Scratch) {
     let m = tab.m;
-    let mut rhs = tab.b.clone();
+    scratch.rhs[..m].copy_from_slice(&tab.b);
     for j in 0..tab.cols.len() {
         if state.basic_row[j].is_some() {
             continue;
@@ -191,17 +254,14 @@ fn recompute_basics(tab: &Tableau, state: &mut State) {
         let xj = state.x[j];
         if xj != 0.0 {
             for &(row, a) in tab.col(j) {
-                rhs[row] -= a * xj;
+                scratch.rhs[row] -= a * xj;
             }
         }
     }
+    state.lu.ftran(&scratch.rhs, &mut scratch.w, &mut scratch.ws);
+    state.etas.apply_ftran(&mut scratch.w[..m]);
     for i in 0..m {
-        let mut v = 0.0;
-        let row = &state.binv[i * m..(i + 1) * m];
-        for (k, &r) in rhs.iter().enumerate() {
-            v += row[k] * r;
-        }
-        state.x[state.basis[i]] = v;
+        state.x[state.basis[i]] = scratch.w[i];
     }
 }
 
@@ -211,11 +271,55 @@ enum PhaseOutcome {
     IterationLimit,
 }
 
+/// Entering-variable eligibility: reduced cost and movement direction, or
+/// `None` when the column cannot improve the objective.
+fn eligibility(
+    tab: &Tableau,
+    state: &State,
+    cost: &[f64],
+    y: &[f64],
+    opt_tol: f64,
+    j: usize,
+) -> Option<(f64, f64)> {
+    if state.basic_row[j].is_some() {
+        return None;
+    }
+    let (l, u) = (tab.lower[j], tab.upper[j]);
+    if l == u {
+        return None; // fixed variable can never improve
+    }
+    let mut d = cost[j];
+    for &(row, a) in tab.col(j) {
+        d -= y[row] * a;
+    }
+    let dir = if state.at_upper[j] {
+        if d < -opt_tol {
+            -1.0
+        } else {
+            return None;
+        }
+    } else if l.is_infinite() && u.is_infinite() {
+        // free at 0: move either way
+        if d > opt_tol {
+            1.0
+        } else if d < -opt_tol {
+            -1.0
+        } else {
+            return None;
+        }
+    } else if d > opt_tol {
+        1.0
+    } else {
+        return None;
+    };
+    Some((d, dir))
+}
+
 /// Run the simplex to optimality for the cost vector `cost`.
-#[allow(clippy::too_many_arguments)]
 fn run_phase(
     tab: &Tableau,
     state: &mut State,
+    scratch: &mut Scratch,
     cost: &[f64],
     options: &SimplexOptions,
     deadline: Deadline,
@@ -223,10 +327,7 @@ fn run_phase(
 ) -> PhaseOutcome {
     let m = tab.m;
     let total = tab.cols.len();
-    let mut y = vec![0.0f64; m];
-    let mut w = vec![0.0f64; m];
-    let mut cb = vec![0.0f64; m];
-    let mut last_obj = f64::NEG_INFINITY;
+    let mut pricer = PartialPricing::new(total);
     let mut local_iters = 0usize;
 
     loop {
@@ -239,110 +340,156 @@ fn run_phase(
 
         // duals
         for i in 0..m {
-            cb[i] = cost[state.basis[i]];
+            scratch.cb[i] = cost[state.basis[i]];
         }
-        btran(&state.binv, m, &cb, &mut y);
+        btran_duals(state, scratch, m);
 
-        // pricing
-        let mut entering: Option<(usize, f64, f64)> = None; // (var, reduced cost, dir)
-        for j in 0..total {
-            if state.basic_row[j].is_some() {
-                continue;
-            }
-            let (l, u) = (tab.lower[j], tab.upper[j]);
-            if l == u {
-                continue; // fixed variable can never improve
-            }
-            let mut d = cost[j];
-            for &(row, a) in tab.col(j) {
-                d -= y[row] * a;
-            }
-            let dir = if state.at_upper[j] {
-                if d < -options.opt_tol {
-                    -1.0
-                } else {
-                    continue;
-                }
-            } else if l.is_infinite() && u.is_infinite() {
-                // free at 0: move either way
-                if d > options.opt_tol {
-                    1.0
-                } else if d < -options.opt_tol {
-                    -1.0
-                } else {
-                    continue;
-                }
-            } else if d > options.opt_tol {
-                1.0
-            } else {
-                continue;
+        // pricing: Bland scans first-eligible in index order (anti-cycling
+        // needs the fixed ordering); otherwise the partial pricer picks the
+        // best reduced cost in its cyclic window.
+        let entering: Option<(usize, f64, f64)> = if state.use_bland {
+            (0..total).find_map(|j| {
+                eligibility(tab, state, cost, &scratch.y, options.opt_tol, j)
+                    .map(|(d, dir)| (j, d, dir))
+            })
+        } else {
+            let picked = {
+                let y = &scratch.y;
+                pricer.select(total, |j| {
+                    eligibility(tab, state, cost, y, options.opt_tol, j).map(|(d, _)| d.abs())
+                })
             };
-            if state.use_bland {
-                entering = Some((j, d, dir));
-                break;
-            }
-            match entering {
-                Some((_, best, _)) if d.abs() <= best.abs() => {}
-                _ => entering = Some((j, d, dir)),
-            }
-        }
+            picked.and_then(|j| {
+                eligibility(tab, state, cost, &scratch.y, options.opt_tol, j)
+                    .map(|(d, dir)| (j, d, dir))
+            })
+        };
 
-        let Some((q, _dq, dir)) = entering else {
+        let Some((q, d_q, dir)) = entering else {
             return PhaseOutcome::Done; // optimal for this cost vector
         };
 
         // direction through the basis
-        ftran(&state.binv, m, tab.col(q), &mut w);
+        ftran_col(state, scratch, tab.col(q), m);
 
-        // ratio test
+        // ---- Harris two-pass ratio test ----
+        // Pass 1: smallest ratio when every basic variable may overshoot
+        // its bound by feas_tol. Pass 2: among rows whose *exact* ratio
+        // fits under that relaxed bound, take the largest |pivot| — on
+        // degenerate ties this prefers the numerically stable pivot where
+        // the historical rule took whichever row came first.
         let span_q = tab.upper[q] - tab.lower[q]; // may be inf
-        let mut t_star = if span_q.is_finite() {
-            span_q
-        } else {
-            f64::INFINITY
-        };
-        let mut leave: Option<(usize, bool)> = None; // (row, leaving-to-upper?)
+        let mut t_relax = f64::INFINITY;
         for i in 0..m {
-            let wi = w[i];
+            let wi = scratch.w[i];
             if wi.abs() <= options.pivot_tol {
                 continue;
             }
             let k = state.basis[i];
             let xk = state.x[k];
             let step = dir * wi;
-            if step > 0.0 {
+            let t = if step > 0.0 {
                 // basic var decreases toward its lower bound
                 let lk = tab.lower[k];
-                if lk.is_finite() {
-                    let t = ((xk - lk) / step).max(0.0);
-                    if t < t_star - 1e-12 {
-                        t_star = t;
-                        leave = Some((i, false));
-                    }
+                if !lk.is_finite() {
+                    continue;
                 }
+                ((xk - lk + options.feas_tol) / step).max(0.0)
             } else {
                 // basic var increases toward its upper bound
                 let uk = tab.upper[k];
-                if uk.is_finite() {
-                    let t = ((uk - xk) / -step).max(0.0);
-                    if t < t_star - 1e-12 {
-                        t_star = t;
-                        leave = Some((i, true));
-                    }
+                if !uk.is_finite() {
+                    continue;
                 }
+                ((uk - xk + options.feas_tol) / -step).max(0.0)
+            };
+            if t < t_relax {
+                t_relax = t;
             }
         }
 
-        if t_star.is_infinite() {
+        if t_relax.is_infinite() && !span_q.is_finite() {
             return PhaseOutcome::Unbounded;
+        }
+
+        let t_star;
+        let mut leave: Option<(usize, bool)> = None; // (row, leaving-to-upper?)
+        let cap = t_relax.min(span_q);
+        if t_relax.is_finite() {
+            let mut best_mag = 0.0f64;
+            let mut t_exact_min = f64::INFINITY;
+            let mut candidates = 0usize;
+            for i in 0..m {
+                let wi = scratch.w[i];
+                if wi.abs() <= options.pivot_tol {
+                    continue;
+                }
+                let k = state.basis[i];
+                let xk = state.x[k];
+                let step = dir * wi;
+                let (t, to_upper) = if step > 0.0 {
+                    let lk = tab.lower[k];
+                    if !lk.is_finite() {
+                        continue;
+                    }
+                    (((xk - lk) / step).max(0.0), false)
+                } else {
+                    let uk = tab.upper[k];
+                    if !uk.is_finite() {
+                        continue;
+                    }
+                    (((uk - xk) / -step).max(0.0), true)
+                };
+                if t < t_exact_min {
+                    t_exact_min = t;
+                }
+                if t <= cap {
+                    candidates += 1;
+                    let mag = wi.abs();
+                    if mag > best_mag {
+                        best_mag = mag;
+                        leave = Some((i, to_upper));
+                    }
+                }
+            }
+            if span_q.is_finite() && t_exact_min >= span_q - 1e-12 {
+                // the entering variable reaches its far bound first
+                leave = None;
+                t_star = span_q;
+            } else if let Some((r, _)) = leave {
+                if candidates > 1 {
+                    state.stats.harris_ties += 1;
+                }
+                // recover the chosen row's exact ratio
+                let wi = scratch.w[r];
+                let k = state.basis[r];
+                let xk = state.x[k];
+                let step = dir * wi;
+                t_star = if step > 0.0 {
+                    ((xk - tab.lower[k]) / step).max(0.0)
+                } else {
+                    ((tab.upper[k] - xk) / -step).max(0.0)
+                };
+            } else {
+                // all finite-bound rows were filtered by pivot_tol slack;
+                // fall back to the entering variable's own span
+                if span_q.is_finite() {
+                    t_star = span_q;
+                } else {
+                    return PhaseOutcome::Unbounded;
+                }
+            }
+        } else {
+            // no blocking row at all: bound flip (span_q finite here)
+            t_star = span_q;
         }
 
         // apply the step
         if t_star > 0.0 {
             for i in 0..m {
-                if w[i] != 0.0 {
+                if scratch.w[i] != 0.0 {
                     let k = state.basis[i];
-                    state.x[k] -= dir * t_star * w[i];
+                    state.x[k] -= dir * t_star * scratch.w[i];
                 }
             }
             state.x[q] += dir * t_star;
@@ -374,49 +521,27 @@ fn run_phase(
                 state.basis[r] = q;
                 state.basic_row[q] = Some(r);
 
-                // product-form update of B⁻¹
-                let wr = w[r];
-                debug_assert!(wr.abs() > options.pivot_tol);
-                let (before, rest) = state.binv.split_at_mut(r * m);
-                let (pivot_row, after) = rest.split_at_mut(m);
-                for v in pivot_row.iter_mut() {
-                    *v /= wr;
-                }
-                let update = |rows: &mut [f64], base: usize| {
-                    for (bi, chunk) in rows.chunks_exact_mut(m).enumerate() {
-                        let i = base + bi;
-                        let wi = w[i];
-                        if wi != 0.0 {
-                            for (c, p) in chunk.iter_mut().zip(pivot_row.iter()) {
-                                *c -= wi * *p;
-                            }
-                        }
-                    }
-                };
-                update(before, 0);
-                update(after, r + 1);
+                // product-form update: append an eta instead of touching
+                // an O(m²) inverse
+                debug_assert!(scratch.w[r].abs() > options.pivot_tol);
+                let stored = state.etas.push(r, &scratch.w[..m]);
+                state.stats.eta_updates += 1;
+                state.stats.eta_nnz += stored;
 
                 state.pivots_since_refactor += 1;
                 if state.pivots_since_refactor >= options.refactor_every {
-                    if !refactorize(tab, state) {
+                    if !refactorize(tab, state, scratch, "mid_solve") {
                         return PhaseOutcome::IterationLimit;
                     }
-                    recompute_basics(tab, state);
+                    recompute_basics(tab, state, scratch);
                 }
             }
         }
 
-        // degeneracy / cycling guard
-        let obj: f64 = state
-            .basis
-            .iter()
-            .map(|&j| cost[j] * state.x[j])
-            .sum::<f64>()
-            + (0..total)
-                .filter(|&j| state.basic_row[j].is_none())
-                .map(|j| cost[j] * state.x[j])
-                .sum::<f64>();
-        if obj > last_obj + options.opt_tol {
+        // degeneracy / cycling guard: the objective gain of this iteration
+        // is exactly |reduced cost| × step length, so a full O(columns)
+        // objective recompute is unnecessary here.
+        if d_q.abs() * t_star > options.opt_tol {
             // progress resets the stall counter but NOT `use_bland`: the
             // switch to Bland's rule is permanent for the rest of the solve.
             // Degenerate LPs alternate improving and stalled stretches, and
@@ -430,19 +555,11 @@ fn run_phase(
                 state.stats.bland_activations += 1;
             }
         }
-        last_obj = obj;
 
         state.iterations += 1;
         local_iters += 1;
     }
 }
-
-/// Largest row count the dense basis inverse accepts (`m²` doubles; 12k
-/// rows ≈ 1.2 GB). Models beyond this return `IterationLimit` immediately
-/// instead of exhausting memory — the behaviour large NO-PARTITION runs in
-/// the paper's Fig 6 exhibit ("the program succeeds only for one
-/// small-scale cluster").
-pub const MAX_DENSE_ROWS: usize = 12_000;
 
 /// Solve `model` (maximization) with the given options and deadline.
 ///
@@ -476,6 +593,10 @@ pub fn solve_simplex_warm(
         obs.add("simplex.pivots", sol.stats.pivots as u64);
         obs.add("simplex.bound_flips", sol.stats.bound_flips as u64);
         obs.add("simplex.refactorizations", sol.stats.refactorizations as u64);
+        obs.add("simplex.refactor_singular", sol.stats.refactor_singular as u64);
+        obs.add("simplex.eta_updates", sol.stats.eta_updates as u64);
+        obs.add("simplex.eta_nnz", sol.stats.eta_nnz as u64);
+        obs.add("simplex.harris_ties", sol.stats.harris_ties as u64);
         obs.add("simplex.bland_activations", sol.stats.bland_activations as u64);
         obs.add("simplex.phase1_iterations", sol.stats.phase1_iterations as u64);
         obs.add("simplex.phase2_iterations", sol.stats.phase2_iterations as u64);
@@ -491,9 +612,20 @@ pub fn solve_simplex_warm(
 
 /// Try to rebuild a [`State`] from a warm-start basis: validate its shape,
 /// rest every nonbasic variable on a bound (honoring `at_upper` where the
-/// bound is finite), refactorize, and accept only if the implied basic
+/// bound is finite), factorize, and accept only if the implied basic
 /// values are primal-feasible within `feas_tol`.
-fn try_warm_state(tab: &Tableau, n: usize, wb: &Basis, feas_tol: f64) -> Option<State> {
+///
+/// A numerically singular basis is rejected here with the singularity
+/// counted in `singular` (surfaced as `simplex.refactor_singular` on the
+/// cold-started solve that follows) — it used to vanish without a trace.
+fn try_warm_state(
+    tab: &Tableau,
+    n: usize,
+    wb: &Basis,
+    feas_tol: f64,
+    scratch: &mut Scratch,
+    singular: &mut usize,
+) -> Option<State> {
     let m = tab.m;
     let total = n + m;
     if wb.basic.len() != m || wb.at_upper.len() != total {
@@ -528,22 +660,37 @@ fn try_warm_state(tab: &Tableau, n: usize, wb: &Basis, feas_tol: f64) -> Option<
             0.0
         };
     }
+    let ok = {
+        let basic = &wb.basic;
+        scratch.spare.factorize_into(
+            m,
+            |i| tab.cols[basic[i]].as_slice(),
+            SINGULAR_TOL,
+            &mut scratch.ws,
+        )
+    };
+    if !ok {
+        *singular += 1;
+        let m64 = m as u64;
+        rasa_obs::flight::emit(|| rasa_obs::TraceEvent::refactor_singular("warm_start", m64));
+        return None; // numerically singular basis
+    }
+    let lu = std::mem::take(&mut scratch.spare);
     let mut state = State {
         x,
         basis: wb.basic.clone(),
         basic_row,
         at_upper,
-        binv: vec![0.0f64; m * m],
+        lu,
+        etas: EtaFile::new(),
         iterations: 0,
         pivots_since_refactor: 0,
         use_bland: false,
         stall: 0,
         stats: SimplexStats::default(),
     };
-    if !refactorize(tab, &mut state) {
-        return None; // numerically singular basis
-    }
-    recompute_basics(tab, &mut state);
+    state.stats.refactorizations += 1;
+    recompute_basics(tab, &mut state, scratch);
     for i in 0..m {
         let k = state.basis[i];
         let v = state.x[k];
@@ -552,6 +699,65 @@ fn try_warm_state(tab: &Tableau, n: usize, wb: &Basis, feas_tol: f64) -> Option<
         }
     }
     Some(state)
+}
+
+/// Rowless models reduce to independently optimizing each variable over
+/// its box; shared by the sparse and dense kernels.
+pub(crate) fn solve_bounds_only(model: &LpModel) -> LpSolution {
+    let n = model.num_vars();
+    let mut x = vec![0.0; n];
+    for j in 0..n {
+        let c = model.objective[j];
+        let (l, u) = (model.lower[j], model.upper[j]);
+        x[j] = if c > 0.0 {
+            if u.is_finite() {
+                u
+            } else {
+                return LpSolution {
+                    status: LpStatus::Unbounded,
+                    objective: f64::INFINITY,
+                    x,
+                    duals: vec![],
+                    feasible: true,
+                    iterations: 0,
+                    stats: SimplexStats::default(),
+                    basis: None,
+                };
+            }
+        } else if c < 0.0 {
+            if l.is_finite() {
+                l
+            } else {
+                return LpSolution {
+                    status: LpStatus::Unbounded,
+                    objective: f64::INFINITY,
+                    x,
+                    duals: vec![],
+                    feasible: true,
+                    iterations: 0,
+                    stats: SimplexStats::default(),
+                    basis: None,
+                };
+            }
+        } else if l.is_finite() {
+            l
+        } else if u.is_finite() {
+            u
+        } else {
+            0.0
+        };
+    }
+    let objective = model.objective_value(&x);
+    LpSolution {
+        status: LpStatus::Optimal,
+        objective,
+        x,
+        duals: vec![],
+        feasible: true,
+        iterations: 0,
+        stats: SimplexStats::default(),
+        basis: None,
+    }
 }
 
 fn solve_simplex_impl(
@@ -563,68 +769,26 @@ fn solve_simplex_impl(
     let n = model.num_vars();
     let m = model.num_rows();
 
-    if m > MAX_DENSE_ROWS {
-        let mut sol = LpSolution::infeasible(n, m, 0);
-        sol.status = LpStatus::IterationLimit;
-        return sol;
+    if m == 0 {
+        return solve_bounds_only(model);
     }
 
-    if m == 0 {
-        // Pure bound optimization.
-        let mut x = vec![0.0; n];
-        for j in 0..n {
-            let c = model.objective[j];
-            let (l, u) = (model.lower[j], model.upper[j]);
-            x[j] = if c > 0.0 {
-                if u.is_finite() {
-                    u
-                } else {
-                    return LpSolution {
-                        status: LpStatus::Unbounded,
-                        objective: f64::INFINITY,
-                        x,
-                        duals: vec![],
-                        feasible: true,
-                        iterations: 0,
-                        stats: SimplexStats::default(),
-                        basis: None,
-                    };
-                }
-            } else if c < 0.0 {
-                if l.is_finite() {
-                    l
-                } else {
-                    return LpSolution {
-                        status: LpStatus::Unbounded,
-                        objective: f64::INFINITY,
-                        x,
-                        duals: vec![],
-                        feasible: true,
-                        iterations: 0,
-                        stats: SimplexStats::default(),
-                        basis: None,
-                    };
-                }
-            } else if l.is_finite() {
-                l
-            } else if u.is_finite() {
-                u
-            } else {
-                0.0
-            };
-        }
-        let objective = model.objective_value(&x);
-        return LpSolution {
-            status: LpStatus::Optimal,
-            objective,
-            x,
-            duals: vec![],
-            feasible: true,
-            iterations: 0,
-            stats: SimplexStats::default(),
-            basis: None,
-        };
-    }
+    let mut scratch = take_scratch(m);
+    let sol = solve_with_scratch(model, options, deadline, warm, &mut scratch, n, m);
+    put_scratch(scratch);
+    sol
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_with_scratch(
+    model: &LpModel,
+    options: &SimplexOptions,
+    deadline: Deadline,
+    warm: Option<&Basis>,
+    scratch: &mut Scratch,
+    n: usize,
+    m: usize,
+) -> LpSolution {
 
     // ---- computational form ----
     let mut cols: Vec<Col> = Vec::with_capacity(n + m);
@@ -662,7 +826,10 @@ fn solve_simplex_impl(
     };
 
     // ---- warm start: revive the supplied basis if it still validates ----
-    let warm_state = warm.and_then(|wb| try_warm_state(&tab, n, wb, options.feas_tol));
+    let mut warm_singular = 0usize;
+    let warm_state = warm.and_then(|wb| {
+        try_warm_state(&tab, n, wb, options.feas_tol, scratch, &mut warm_singular)
+    });
 
     let (mut state, n_art) = if let Some(mut s) = warm_state {
         // Feasible basis recovered: no artificials, phase 1 skipped.
@@ -729,19 +896,26 @@ fn solve_simplex_impl(
             basic_row[j] = Some(i);
         }
 
-        // B is diagonal ±1 at start (slacks +1, artificials ±1) → B⁻¹ = B.
-        let mut binv = vec![0.0f64; m * m];
-        for (i, &j) in basis.iter().enumerate() {
-            let sign = tab.cols[j][0].1;
-            binv[i * m + i] = 1.0 / sign;
+        // B is diagonal ±1 at start (slacks +1, artificials ±1): its LU
+        // factorization is immediate and cannot be singular.
+        let ok = scratch.spare.factorize_into(
+            m,
+            |i| tab.cols[basis[i]].as_slice(),
+            SINGULAR_TOL,
+            &mut scratch.ws,
+        );
+        if !ok {
+            unreachable!("±1 diagonal start basis cannot be singular");
         }
+        let lu = std::mem::take(&mut scratch.spare);
 
         let mut state = State {
             x,
             basis,
             basic_row,
             at_upper,
-            binv,
+            lu,
+            etas: EtaFile::new(),
             iterations: 0,
             pivots_since_refactor: 0,
             use_bland: false,
@@ -749,6 +923,7 @@ fn solve_simplex_impl(
             stats: SimplexStats::default(),
         };
         state.stats.warm_rejected = warm.is_some();
+        state.stats.refactor_singular += warm_singular;
         (state, n_art)
     };
 
@@ -764,6 +939,7 @@ fn solve_simplex_impl(
         let outcome = run_phase(
             &tab,
             &mut state,
+            scratch,
             &cost1,
             options,
             deadline,
@@ -773,7 +949,13 @@ fn solve_simplex_impl(
         state.stats.phase1_iterations = state.iterations;
         match outcome {
             PhaseOutcome::Done => {
-                if infeasibility > 1e-6 {
+                // Judge the residual infeasibility at the same feas_tol the
+                // phases pivot against. This gate was historically a
+                // hardcoded 1e-6, an order looser than the default
+                // tolerance — near-infeasible models slipped through and
+                // were only (wrongly) blessed by the equally loose exit
+                // verdict below.
+                if infeasibility > options.feas_tol {
                     let mut sol = LpSolution::infeasible(n, m, state.iterations);
                     sol.stats = state.stats;
                     return sol;
@@ -814,20 +996,30 @@ fn solve_simplex_impl(
     let mut cost2 = vec![0.0f64; total];
     cost2[..n].copy_from_slice(&model.objective);
     let budget = options.max_iterations.saturating_sub(state.iterations);
-    let outcome = run_phase(&tab, &mut state, &cost2, options, deadline, budget);
+    let outcome = run_phase(&tab, &mut state, scratch, &cost2, options, deadline, budget);
     state.stats.phase2_iterations = state.iterations - state.stats.phase1_iterations;
 
+    // squash incremental drift before judging the result: basic values are
+    // recomputed from the factorization one last time
+    recompute_basics(&tab, &mut state, scratch);
+
     // duals at the final basis
-    let mut cb = vec![0.0f64; m];
     for i in 0..m {
-        cb[i] = cost2[state.basis[i]];
+        scratch.cb[i] = cost2[state.basis[i]];
     }
-    let mut duals = vec![0.0f64; m];
-    btran(&state.binv, m, &cb, &mut duals);
+    btran_duals(&state, scratch, m);
+    let duals = scratch.y[..m].to_vec();
+
+    // hand the factor pools back for the next solve on this thread
+    scratch.spare = std::mem::take(&mut state.lu);
 
     let xs: Vec<f64> = state.x[..n].to_vec();
     let objective = model.objective_value(&xs);
-    let feasible = model.is_feasible_point(&xs, options.feas_tol.max(1e-6) * 10.0);
+    // The exit verdict uses the same feas_tol the phases pivoted against.
+    // It was historically `feas_tol.max(1e-6) * 10.0` — 10× looser than
+    // anything the solve enforced, so a solution could be declared
+    // Optimal+feasible here and then rejected by certify_placement.
+    let feasible = model.is_feasible_point(&xs, options.feas_tol);
 
     let status = match outcome {
         PhaseOutcome::Done => LpStatus::Optimal,

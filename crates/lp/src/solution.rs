@@ -12,6 +12,21 @@ pub struct SimplexStats {
     pub bound_flips: usize,
     /// From-scratch basis-inverse refactorizations.
     pub refactorizations: usize,
+    /// Refactorization attempts that found the basis numerically singular
+    /// (warm-start bases rejected for this reason, or mid-solve bail-outs).
+    pub refactor_singular: usize,
+    /// Product-form eta updates appended to the factorization between
+    /// refactorizations (one per basis-exchange pivot in the sparse kernel;
+    /// always 0 in the dense reference kernel).
+    pub eta_updates: usize,
+    /// Total nonzeros stored across all eta updates this solve — the
+    /// fill-in the eta file accumulated before each refactorization reset.
+    pub eta_nnz: usize,
+    /// Degenerate ratio-test ties resolved by the Harris-style
+    /// magnitude-preferring second pass (more than one row tied within the
+    /// relaxed ratio bound; always 0 in the dense reference kernel, which
+    /// keeps the historical first-row tie-break).
+    pub harris_ties: usize,
     /// Times the pricing rule switched to Bland's rule (sticky within a
     /// solve, so at most 1 unless the solve is restarted).
     pub bland_activations: usize,

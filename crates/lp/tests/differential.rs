@@ -1,0 +1,108 @@
+//! Differential testing: the sparse LU kernel against the retained dense
+//! reference kernel ([`rasa_lp::dense`]) on seeded random bounded LPs.
+//!
+//! Both kernels implement the same bounded-variable two-phase simplex with
+//! the same tolerances, so on every instance they must agree on the status
+//! and (when optimal) on the objective to within 1e-6 — the bases may
+//! legitimately differ (degenerate ties break differently by design; see
+//! `numerics_regression.rs`). Warm-start bases are interchangeable across
+//! kernels because the `Basis` contract is defined on the computational
+//! form, not on the factorization.
+
+use proptest::prelude::*;
+use rasa_lp::time::Deadline;
+use rasa_lp::{LpModel, LpStatus, SimplexOptions};
+
+/// A random bounded LP mixing `<=`, `>=`, and `==` rows. Upper bounds are
+/// finite so the LP is never unbounded; equality rows make some instances
+/// infeasible, which the two kernels must also agree on.
+fn mixed_lp_strategy() -> impl Strategy<Value = LpModel> {
+    let dims = (1usize..6, 1usize..7);
+    dims.prop_flat_map(|(n, m)| {
+        let objs = proptest::collection::vec(-4.0f64..8.0, n);
+        let uppers = proptest::collection::vec(0.5f64..5.0, n);
+        let coeffs = proptest::collection::vec(proptest::collection::vec(0.0f64..3.0, n), m);
+        let rhs = proptest::collection::vec(0.5f64..12.0, m);
+        let senses = proptest::collection::vec(0u8..3, m);
+        (objs, uppers, coeffs, rhs, senses).prop_map(|(objs, uppers, coeffs, rhs, senses)| {
+            let mut model = LpModel::new();
+            let vars: Vec<_> = objs
+                .iter()
+                .zip(&uppers)
+                .map(|(&c, &u)| model.add_var(0.0, u, c))
+                .collect();
+            for ((row, &b), &sense) in coeffs.iter().zip(&rhs).zip(&senses) {
+                let entries: Vec<_> = vars
+                    .iter()
+                    .zip(row)
+                    .filter(|(_, &a)| a > 0.25)
+                    .map(|(&v, &a)| (v, a))
+                    .collect();
+                if entries.is_empty() {
+                    continue;
+                }
+                match sense {
+                    0 => model.add_row_le(entries, b),
+                    1 => model.add_row_ge(entries, b * 0.25),
+                    _ => model.add_row_eq(entries, b * 0.5),
+                }
+            }
+            model
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn kernels_agree_on_status_and_objective(model in mixed_lp_strategy()) {
+        let opts = SimplexOptions::default();
+        let sparse = model.solve_with(&opts, Deadline::none());
+        let dense = rasa_lp::dense::solve_dense(&model, &opts, Deadline::none(), None);
+
+        prop_assert_eq!(
+            sparse.status, dense.status,
+            "status disagreement: sparse {:?} vs dense {:?}",
+            sparse.status, dense.status
+        );
+        prop_assert_eq!(sparse.feasible, dense.feasible);
+        if sparse.status == LpStatus::Optimal {
+            prop_assert!(
+                (sparse.objective - dense.objective).abs() < 1e-6,
+                "objective disagreement: sparse {} vs dense {}",
+                sparse.objective, dense.objective
+            );
+            // both optimal points must be genuinely feasible
+            prop_assert!(model.is_feasible_point(&sparse.x, 1e-6));
+            prop_assert!(model.is_feasible_point(&dense.x, 1e-6));
+        }
+    }
+
+    #[test]
+    fn bases_warm_start_across_kernels(model in mixed_lp_strategy()) {
+        let opts = SimplexOptions::default();
+        let sparse = model.solve_with(&opts, Deadline::none());
+        prop_assume!(sparse.status == LpStatus::Optimal && sparse.basis.is_some());
+        let basis = sparse.basis.as_ref().unwrap();
+
+        // sparse basis → sparse warm re-solve: accepted, same objective
+        let rewarm = model.solve_warm(&opts, Deadline::none(), Some(basis));
+        prop_assert!(rewarm.stats.warm_accepted);
+        prop_assert_eq!(rewarm.status, LpStatus::Optimal);
+        prop_assert!((rewarm.objective - sparse.objective).abs() < 1e-6);
+
+        // sparse basis → dense kernel: the Basis contract is kernel-free
+        let dense = rasa_lp::dense::solve_dense(&model, &opts, Deadline::none(), Some(basis));
+        prop_assert_eq!(dense.status, LpStatus::Optimal);
+        prop_assert!(dense.stats.warm_accepted);
+        prop_assert!((dense.objective - sparse.objective).abs() < 1e-6);
+
+        // dense basis → sparse kernel, completing the round trip
+        if let Some(dense_basis) = dense.basis.as_ref() {
+            let back = model.solve_warm(&opts, Deadline::none(), Some(dense_basis));
+            prop_assert_eq!(back.status, LpStatus::Optimal);
+            prop_assert!((back.objective - sparse.objective).abs() < 1e-6);
+        }
+    }
+}

@@ -1,33 +1,55 @@
-//! Guard-rail behaviour: the dense simplex must refuse models whose basis
-//! inverse would not fit in memory, returning an anytime-compatible
-//! `IterationLimit` instead of allocating gigabytes (the graceful version
-//! of the paper's NO-PARTITION failures on large clusters).
+//! Guard-rail behaviour around the dense-kernel size cap.
+//!
+//! The production (sparse) kernel has no row cap: a model past
+//! `MAX_DENSE_ROWS` solves fine because the LU factors only store
+//! nonzeros. The retained dense reference kernel keeps the cap — its
+//! `m × m` inverse genuinely would not fit — and must refuse such models
+//! with an anytime-compatible `IterationLimit` instead of allocating
+//! gigabytes (the graceful version of the paper's NO-PARTITION failures
+//! on large clusters).
 
-use rasa_lp::{LpModel, LpStatus};
+use rasa_lp::time::Deadline;
+use rasa_lp::{LpModel, LpStatus, SimplexOptions};
+
+/// One bounded variable replicated across `rows` trivial `<=` rows.
+fn tall_model(rows: usize, upper: f64, rhs: f64) -> LpModel {
+    let mut m = LpModel::new();
+    let x = m.add_var(0.0, upper, 1.0);
+    for _ in 0..rows {
+        m.add_row_le(vec![(x, 1.0)], rhs);
+    }
+    m
+}
 
 #[test]
-fn oversized_models_are_rejected_gracefully() {
-    // MAX_DENSE_ROWS + 1 trivial rows — never allocate the basis inverse
-    let mut m = LpModel::new();
-    let x = m.add_var(0.0, 1.0, 1.0);
-    for _ in 0..(rasa_lp::simplex::MAX_DENSE_ROWS + 1) {
-        m.add_row_le(vec![(x, 1.0)], 1.0);
-    }
+fn oversized_models_solve_on_the_sparse_kernel() {
+    // MAX_DENSE_ROWS + 1 rows used to be an immediate IterationLimit; the
+    // sparse kernel stores O(nnz) and just solves it.
+    let m = tall_model(rasa_lp::simplex::MAX_DENSE_ROWS + 1, 1.0, 1.0);
     let sol = m.solve();
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!(sol.feasible);
+    assert!((sol.x[0] - 1.0).abs() < 1e-6);
+}
+
+#[test]
+fn oversized_models_are_rejected_gracefully_by_the_dense_kernel() {
+    // the reference kernel keeps the memory guard
+    let m = tall_model(rasa_lp::dense::MAX_DENSE_ROWS + 1, 1.0, 1.0);
+    let sol = rasa_lp::dense::solve_dense(&m, &SimplexOptions::default(), Deadline::none(), None);
     assert_eq!(sol.status, LpStatus::IterationLimit);
     assert!(!sol.feasible);
 }
 
 #[test]
 fn boundary_size_is_still_accepted_structurally() {
-    // a few thousand rows solve fine (sanity check just below the guard's
-    // *mechanism*, far below the actual limit to keep the test fast)
-    let mut m = LpModel::new();
-    let x = m.add_var(0.0, 10.0, 1.0);
-    for _ in 0..500 {
-        m.add_row_le(vec![(x, 1.0)], 7.0);
-    }
+    // a few hundred rows solve fine on both kernels (sanity check of the
+    // shared mechanism, far below the dense cap to keep the test fast)
+    let m = tall_model(500, 10.0, 7.0);
     let sol = m.solve();
     assert_eq!(sol.status, LpStatus::Optimal);
     assert!((sol.x[0] - 7.0).abs() < 1e-6);
+    let dense = rasa_lp::dense::solve_dense(&m, &SimplexOptions::default(), Deadline::none(), None);
+    assert_eq!(dense.status, LpStatus::Optimal);
+    assert!((dense.x[0] - 7.0).abs() < 1e-6);
 }

@@ -1,0 +1,66 @@
+//! Scaling gate: factorization and solve cost must track the nonzero
+//! count, not `m²`.
+//!
+//! A banded basis (constant nonzeros per column) is factorized and
+//! FTRAN-solved at `m` and `4m`. With work proportional to nnz the cost
+//! ratio is ~4×; the old dense kernel was 64× for factorization (O(m³) on
+//! its Gauss–Jordan inverse) and 16× for its O(m²) ftran. The assertion
+//! allows a generous 20× to stay robust on noisy CI machines while still
+//! rejecting any quadratic regression.
+
+use rasa_lp::factor::{LuFactors, LuWorkspace, SparseCol};
+use std::time::Instant;
+
+/// A nonsingular banded matrix: strong diagonal plus `band` sub-diagonal
+/// entries per column — nnz grows linearly in `m`.
+fn banded_cols(m: usize, band: usize) -> Vec<SparseCol> {
+    (0..m)
+        .map(|i| {
+            let mut col: SparseCol = vec![(i, 4.0 + (i % 7) as f64 * 0.25)];
+            for d in 1..=band {
+                let r = i + d;
+                if r < m {
+                    col.push((r, -0.5 + (d as f64) * 0.1));
+                }
+            }
+            col.sort_by_key(|&(r, _)| r);
+            col
+        })
+        .collect()
+}
+
+/// Median-of-`reps` wall time for one factorize + a batch of ftrans.
+fn measure(m: usize, reps: usize) -> f64 {
+    let cols = banded_cols(m, 6);
+    let mut ws = LuWorkspace::new(m);
+    let b: Vec<f64> = (0..m).map(|i| (i % 13) as f64 - 6.0).collect();
+    let mut out = vec![0.0; m];
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            let lu = LuFactors::factorize(m, |i| &cols[i], 1e-12, &mut ws)
+                .expect("banded matrix is nonsingular");
+            for _ in 0..8 {
+                lu.ftran(&b, &mut out, &mut ws);
+            }
+            std::hint::black_box(&out);
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[reps / 2]
+}
+
+#[test]
+fn factorize_and_ftran_scale_near_nnz_not_m_squared() {
+    // warm-up so the first measurement doesn't pay page faults
+    let _ = measure(400, 3);
+    let small = measure(400, 9);
+    let big = measure(1600, 9);
+    let ratio = big / small.max(1e-9);
+    assert!(
+        ratio < 20.0,
+        "4x rows cost {ratio:.1}x time (small {small:.6}s, big {big:.6}s) — \
+         near-nnz scaling should be ~4x, dense scaling would be 16-64x"
+    );
+}

@@ -88,6 +88,10 @@ pub enum EventKind {
     /// Independent certification rejected a candidate placement
     /// (constraint violations or an objective mismatch).
     CertifyFailure,
+    /// A simplex basis refactorization found the basis numerically
+    /// singular — a warm-start basis was discarded (cold start follows) or
+    /// an in-progress solve bailed out.
+    RefactorSingular,
 }
 
 impl EventKind {
@@ -104,6 +108,7 @@ impl EventKind {
             EventKind::FallbackTransition => "fallback_transition",
             EventKind::AdmissionQuarantine => "admission_quarantine",
             EventKind::CertifyFailure => "certify_failure",
+            EventKind::RefactorSingular => "refactor_singular",
         }
     }
 }
@@ -193,6 +198,18 @@ impl TraceEvent {
     /// `"warm->phase2"`.
     pub fn simplex_phase(transition: &str) -> Self {
         TraceEvent::new(EventKind::SimplexPhase, Vec::new(), transition.to_string())
+    }
+
+    /// A basis refactorization found the basis singular. `context` names
+    /// where it happened (`"warm_start"` for a rejected warm basis,
+    /// `"mid_solve"` for an in-progress bail-out); `m` is the basis
+    /// dimension.
+    pub fn refactor_singular(context: &str, m: u64) -> Self {
+        TraceEvent::new(
+            EventKind::RefactorSingular,
+            vec![("m".into(), m as f64)],
+            context.to_string(),
+        )
     }
 
     /// A cache decision (`hit` selects [`EventKind::CacheHit`] /

@@ -215,6 +215,7 @@ fn every_event_kind_is_documented() {
         EventKind::FallbackTransition,
         EventKind::AdmissionQuarantine,
         EventKind::CertifyFailure,
+        EventKind::RefactorSingular,
     ] {
         assert!(
             events.contains(kind.as_str()),

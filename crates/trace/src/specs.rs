@@ -65,6 +65,55 @@ pub fn s_clusters() -> Vec<ClusterSpec> {
     ]
 }
 
+/// First rung of the pipeline-bench ladder: half-scale S1 and S3
+/// analogues, i.e. M1 ÷ 20 and M3 ÷ 2 from Table II.
+///
+/// Every rung preserves the paper's container : machine ratios (M1 26.2,
+/// M3 36.3 ctr/machine here), so growing up the ladder changes problem
+/// *size* without changing problem *shape*:
+///
+/// | Rung | Specs | #svc | #ctr | #mach | ctr/mach |
+/// |--------|---------|------|-------|-------|----------|
+/// | medium | M1 ÷ 20 | 295 | 1,282 | 49 | 26.2 |
+/// | medium | M3 ÷ 2 | 274 | 1,742 | 48 | 36.3 |
+pub fn medium_clusters() -> Vec<ClusterSpec> {
+    let s = s_clusters();
+    [&s[0], &s[2]]
+        .iter()
+        .map(|spec| ClusterSpec {
+            name: format!("{}-half", spec.name),
+            services: spec.services / 2,
+            target_containers: spec.target_containers / 2,
+            machines: spec.machines / 2,
+            seed: spec.seed + 100,
+            ..(*spec).clone()
+        })
+        .collect()
+}
+
+/// Second rung of the pipeline-bench ladder: the committed S1 + S3 pair
+/// (M1 ÷ 10 and M3 at full size — M3 is already small in the paper), the
+/// two smaller evaluation clusters. Ratios 26.2 and 36.3 ctr/machine,
+/// exactly Table II's.
+pub fn large_clusters() -> Vec<ClusterSpec> {
+    s_clusters()
+        .into_iter()
+        .filter(|spec| spec.name == "S1" || spec.name == "S3")
+        .collect()
+}
+
+/// Top rung of the pipeline-bench ladder: the committed S2 + S4 pair
+/// (M2 ÷ 10 and M4 ÷ 10), the two larger evaluation clusters — ~15k and
+/// ~11k containers over ~500 machines each, ratios 28.9 and 26.0
+/// ctr/machine, approaching the paper's M-cluster shapes as closely as
+/// the scaled reproduction goes.
+pub fn xl_clusters() -> Vec<ClusterSpec> {
+    s_clusters()
+        .into_iter()
+        .filter(|spec| spec.name == "S2" || spec.name == "S4")
+        .collect()
+}
+
 /// Training clusters (the paper samples 1000 subproblems from four
 /// clusters T1–T4 disjoint from the test set). Smaller and with varied
 /// skew so the classifier sees both CG-friendly and MIP-friendly regimes.
@@ -135,6 +184,51 @@ mod tests {
         let p = generate(&tiny_cluster(1));
         assert_eq!(p.num_services(), 30);
         assert!(p.affinity_edges.len() > 5);
+    }
+
+    #[test]
+    fn ladder_rungs_preserve_m_cluster_ratios() {
+        // every rung keeps containers-per-machine within 2× of the paper's
+        // M-ratios (26–37), the same shape invariant as the S-clusters
+        for (rung, specs) in [
+            ("medium", medium_clusters()),
+            ("large", large_clusters()),
+            ("xl", xl_clusters()),
+        ] {
+            assert_eq!(specs.len(), 2, "{rung}");
+            for spec in &specs {
+                let ratio = spec.target_containers as f64 / spec.machines as f64;
+                assert!(
+                    (24.0..40.0).contains(&ratio),
+                    "{rung}/{}: ctr/machine ratio {ratio:.1} outside the M-cluster band",
+                    spec.name
+                );
+            }
+        }
+        // rungs grow strictly in total containers
+        let total = |specs: &[ClusterSpec]| -> u64 {
+            specs.iter().map(|s| s.target_containers).sum()
+        };
+        let (m, l, x) = (
+            total(&medium_clusters()),
+            total(&large_clusters()),
+            total(&xl_clusters()),
+        );
+        assert!(m < l && l < x, "ladder must grow: {m} < {l} < {x}");
+    }
+
+    #[test]
+    fn medium_clusters_are_half_scale_s1_s3() {
+        let m = medium_clusters();
+        assert_eq!(m[0].name, "S1-half");
+        assert_eq!(m[0].services, 295);
+        assert_eq!(m[0].target_containers, 1_282);
+        assert_eq!(m[0].machines, 49);
+        assert_eq!(m[1].name, "S3-half");
+        assert_eq!(m[1].target_containers, 1_742);
+        // distinct seeds so the rung is not a subsample of the S-run
+        let s = s_clusters();
+        assert_ne!(m[0].seed, s[0].seed);
     }
 
     #[test]
