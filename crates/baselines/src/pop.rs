@@ -4,10 +4,9 @@
 //! services, so the random split loses cross-part affinity — exactly the
 //! failure mode Fig 9 shows.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rasa_lp::Deadline;
-use rasa_model::{Placement, Problem, ServiceId};
+use rasa_model::{Placement, Problem};
+use rasa_solver::pop::split_services;
 use rasa_solver::{complete_placement, MipBased, ScheduleOutcome, Scheduler};
 use std::time::Instant;
 
@@ -50,15 +49,10 @@ impl Scheduler for Pop {
 
     fn schedule(&self, problem: &Problem, deadline: Deadline) -> ScheduleOutcome {
         let start = Instant::now();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let k = self.parts.min(problem.num_services().max(1));
-
-        // random service split (client granularity)
-        let mut service_sets: Vec<Vec<ServiceId>> = vec![Vec::new(); k];
-        for svc in &problem.services {
-            service_sets[rng.gen_range(0..k)].push(svc.id);
-        }
-        service_sets.retain(|s| !s.is_empty());
+        // the one true shard split, shared with the solver-layer POP
+        // strategy rung (`rasa_solver::pop`) so baseline and rung cannot
+        // drift apart
+        let service_sets = split_services(problem, self.parts, self.seed);
         // machines split proportionally to each part's demand, reusing the
         // same apportionment RASA uses so the comparison isolates the
         // service split
@@ -129,6 +123,40 @@ mod tests {
             pop.gained_affinity,
             mip.gained_affinity
         );
+    }
+
+    #[test]
+    fn baseline_and_strategy_rung_share_the_split() {
+        // satellite: the baseline and the solver-layer POP rung must use
+        // the same seeded shard split. Same (parts, seed) → same split
+        // (checked via the shared helper) and the same objective when the
+        // rung mirrors the baseline's configuration.
+        use rasa_solver::{PopOptions, PopStrategy};
+        let p = coupled_problem();
+        for seed in [0u64, 7, 42] {
+            let a = split_services(&p, 4, seed);
+            let b = split_services(&p, 4, seed);
+            assert_eq!(a, b, "seed {seed}: identical seeds, identical splits");
+            let base = Pop {
+                parts: 4,
+                seed,
+                complete: true,
+            }
+            .schedule(&p, Deadline::none());
+            let rung = PopStrategy::new(PopOptions {
+                parts: 4,
+                seed,
+                complete: true,
+                ..Default::default()
+            })
+            .schedule(&p, Deadline::none());
+            assert!(
+                (base.gained_affinity - rung.gained_affinity).abs() < 1e-6,
+                "seed {seed}: baseline {} vs rung {}",
+                base.gained_affinity,
+                rung.gained_affinity
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! **BENCH_portfolio** — the learned portfolio selector vs every fixed
+//! single-strategy baseline, plus the `--compare` regression gate CI runs
+//! against the committed `BENCH_portfolio.json` baseline.
+//!
+//! Bench mode follows the online loop end to end:
+//!
+//! 1. **label** — collect subproblems from the T-clusters and from
+//!    shifted-seed evaluation-family clusters, and race all four pool
+//!    arms (MIP / CG / POP / greedy) on each, producing the full-feedback
+//!    selection-sample stream;
+//! 2. **persist** — write the stream as JSONL (the same format sessions
+//!    persist through `rasa-trace`), so the `retrain` binary can re-fit
+//!    offline from this exact data;
+//! 3. **retrain** — fit the portfolio selector with a holdout split and
+//!    record the regret report;
+//! 4. **evaluate** — run the full RASA pipeline on the evaluation
+//!    clusters with the selector pinned to each fixed strategy and with
+//!    the learned portfolio, recording objective and wall time.
+//!
+//! Shape to reproduce: the portfolio stays within a point of the best
+//! fixed strategy on mean objective (it may *beat* every fixed arm when
+//! clusters disagree about the best algorithm) without a latency blowup.
+//!
+//! Compare mode (`--compare OLD.json NEW.json [--threshold-pct P]
+//! [--abs-slack-ms S]`) diffs two artifacts and exits 0 (no regression),
+//! 2 (regression found), or 3 (artifacts incomparable).
+//!
+//! Environment (bench mode): `RASA_PORTFOLIO_BENCH_OUT` — artifact path
+//! (default `BENCH_portfolio.json`).
+
+use rasa_bench::compare::CompareOutcome;
+use rasa_bench::portfolio_artifact::{
+    compare_portfolio_artifacts, load_portfolio_artifact, PortfolioBenchArtifact,
+    PortfolioCompareConfig, PortfolioRow, PORTFOLIO_BENCH_SCHEMA_VERSION,
+};
+use rasa_bench::serve_artifact::LatencySummary;
+use rasa_bench::{
+    evaluation_clusters, labelling_budget, pct, print_table, save_json, scale, timeout,
+    training_clusters,
+};
+use rasa_core::{
+    training_subproblems, Deadline, RasaConfig, RasaPipeline, Scheduler, SelectorChoice,
+};
+use rasa_model::Problem;
+use rasa_select::{label_portfolio, retrain_from_samples, SelectionSample};
+use rasa_trace::{generate, save_jsonl, t_clusters};
+use std::path::Path;
+
+/// Shard count for the POP rung during labelling — matches
+/// `RasaConfig::default().pop.parts` so labels are on-policy.
+const POP_PARTS: usize = 4;
+/// Cap on labelled subproblems: full-feedback labels race all four arms,
+/// so each label costs ~4x a binary CG-vs-MIP label.
+const LABEL_CAP: usize = 48;
+
+/// The labelling pool: the T-clusters (the paper's disjoint training set)
+/// plus shifted-seed evaluation-family clusters, with subproblems drawn
+/// evenly from every problem. Stratifying matters: `training_subproblems`
+/// fills its limit from the first problems it visits, and a stream drawn
+/// from one corner of the distribution mis-ranks the anytime arms
+/// everywhere else.
+fn labelling_pool(limit: usize) -> Vec<Problem> {
+    let mut problems: Vec<Problem> = t_clusters(900).iter().map(generate).collect();
+    problems.extend(training_clusters().into_iter().map(|(_, p)| p));
+    let per_problem = limit.div_ceil(problems.len()).max(1);
+    problems
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, p)| {
+            training_subproblems(std::slice::from_ref(p), per_problem, 7 + pi as u64)
+        })
+        .take(limit)
+        .collect()
+}
+
+fn compare_mode(args: &[String]) -> ! {
+    let (old_path, new_path) = match (args.first(), args.get(1)) {
+        (Some(o), Some(n)) => (o.clone(), n.clone()),
+        _ => {
+            eprintln!(
+                "usage: portfolio --compare OLD.json NEW.json [--threshold-pct P] [--abs-slack-ms S]"
+            );
+            std::process::exit(1);
+        }
+    };
+    let mut cfg = PortfolioCompareConfig::default();
+    let mut i = 2;
+    while i < args.len() {
+        match (args.get(i).map(String::as_str), args.get(i + 1)) {
+            (Some("--threshold-pct"), Some(v)) => {
+                cfg.latency_pct = v.parse().unwrap_or(cfg.latency_pct);
+                i += 2;
+            }
+            (Some("--abs-slack-ms"), Some(v)) => {
+                cfg.abs_slack_ms = v.parse().unwrap_or(cfg.abs_slack_ms);
+                i += 2;
+            }
+            (Some(other), _) => {
+                eprintln!("unknown compare flag {other}");
+                std::process::exit(1);
+            }
+            (None, _) => break,
+        }
+    }
+    let old = load_portfolio_artifact(&old_path).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    let new = load_portfolio_artifact(&new_path).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    match compare_portfolio_artifacts(&old, &new, &cfg) {
+        CompareOutcome::Pass => {
+            println!("portfolio compare: PASS ({old_path} vs {new_path})");
+            std::process::exit(0);
+        }
+        CompareOutcome::Regressions(findings) => {
+            eprintln!("portfolio compare: {} regression(s):", findings.len());
+            for f in &findings {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(2);
+        }
+        CompareOutcome::Incomparable(reason) => {
+            eprintln!("portfolio compare: incomparable — {reason}");
+            std::process::exit(3);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--compare") {
+        compare_mode(&args[1..]);
+    }
+
+    let budget = timeout();
+
+    // ---- label: full-feedback samples from the T-clusters ----
+    // Race the arms at the per-subproblem slice evaluation runs actually
+    // grant (the global budget split over a typical handful of
+    // subproblems), not the quick binary-labelling budget: labelling the
+    // anytime solvers at a fraction of the deployed budget systematically
+    // understates them and teaches the selector to over-route to the
+    // fast lossy arms.
+    let (label_limit, quick_budget) = labelling_budget();
+    let label_budget = quick_budget.max(budget / 4);
+    let limit = label_limit.min(LABEL_CAP);
+    eprintln!("[label] racing all four arms on ≤{limit} training subproblems…");
+    let subs = labelling_pool(limit);
+    let samples: Vec<SelectionSample> = subs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, sub)| {
+            label_portfolio(sub, label_budget, POP_PARTS, 900 + i as u64).into_samples()
+        })
+        .collect();
+    eprintln!(
+        "[label] {} samples from {} subproblems",
+        samples.len(),
+        subs.len()
+    );
+
+    // ---- persist the stream (the retrain binary's input) ----
+    let _ = std::fs::create_dir_all("target/experiments");
+    let stream_path = Path::new("target/experiments/selection_samples.jsonl");
+    match save_jsonl(&samples, stream_path) {
+        Ok(()) => eprintln!("[artifact] {}", stream_path.display()),
+        Err(e) => {
+            eprintln!("portfolio bench: writing sample stream failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // ---- retrain the portfolio selector with a holdout ----
+    let (selector, report) = retrain_from_samples(&samples, 0.25, 1e-3, 42);
+    eprintln!(
+        "[retrain] {} train / {} holdout — policy {:.4}, always-MIP {:.4}, \
+         best fixed {} at {:.4}, regret {:.4}",
+        report.train_samples,
+        report.holdout_samples,
+        report.policy_value,
+        report.always_mip_value,
+        report.best_fixed_arm,
+        report.best_fixed_value,
+        report.estimated_regret
+    );
+    save_json("portfolio_regret", &report);
+
+    // ---- evaluate fixed strategies vs the learned portfolio ----
+    let strategies: Vec<SelectorChoice> = vec![
+        SelectorChoice::AlwaysMip,
+        SelectorChoice::AlwaysCg,
+        SelectorChoice::AlwaysPop,
+        SelectorChoice::AlwaysGreedy,
+        SelectorChoice::Portfolio(selector),
+    ];
+    let mut rows: Vec<PortfolioRow> = Vec::new();
+    for (name, problem) in evaluation_clusters() {
+        for strategy in &strategies {
+            let label = strategy.label().to_string();
+            let pipeline = RasaPipeline::new(RasaConfig {
+                selector: strategy.clone(),
+                ..Default::default()
+            });
+            let out = pipeline.schedule(&problem, Deadline::after(budget));
+            eprintln!(
+                "[{name}] {label:<10} nga={} in {:.0} ms",
+                pct(out.normalized_gained_affinity),
+                out.elapsed.as_secs_f64() * 1e3
+            );
+            rows.push(PortfolioRow {
+                cluster: name.clone(),
+                strategy: label,
+                normalized: out.normalized_gained_affinity,
+                elapsed_ms: out.elapsed.as_secs_f64() * 1e3,
+            });
+        }
+    }
+
+    // ---- aggregate ----
+    let mean_of = |label: &str| -> f64 {
+        let vals: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.strategy == label)
+            .map(|r| r.normalized)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    };
+    let portfolio_objective = mean_of("PORTFOLIO");
+    let (best_fixed_strategy, best_fixed_objective) = ["MIP", "CG", "POP", "GREEDY"]
+        .iter()
+        .map(|s| (s.to_string(), mean_of(s)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap_or(("MIP".to_string(), 0.0));
+    let portfolio_latencies: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.strategy == "PORTFOLIO")
+        .map(|r| r.elapsed_ms)
+        .collect();
+    let portfolio_p95_ms = LatencySummary::from_samples(&portfolio_latencies).p95_ms;
+
+    // ---- report ----
+    println!(
+        "\nPortfolio vs fixed strategies ({}s time-out, {} scale)\n",
+        budget.as_secs(),
+        scale().as_str()
+    );
+    let clusters: Vec<String> = {
+        let mut v: Vec<String> = rows.iter().map(|r| r.cluster.clone()).collect();
+        v.dedup();
+        v
+    };
+    let mut table = Vec::new();
+    for strategy in &strategies {
+        let label = strategy.label();
+        let mut row = vec![label.to_string()];
+        for cluster in &clusters {
+            let v = rows
+                .iter()
+                .find(|r| &r.cluster == cluster && r.strategy == label)
+                .map(|r| r.normalized)
+                .unwrap_or(0.0);
+            row.push(pct(v));
+        }
+        row.push(pct(mean_of(label)));
+        table.push(row);
+    }
+    let mut headers = vec!["strategy"];
+    headers.extend(clusters.iter().map(String::as_str));
+    headers.push("mean");
+    print_table(&headers, &table);
+
+    println!(
+        "\nportfolio mean {} vs best fixed {} ({}) — p95 {:.0} ms",
+        pct(portfolio_objective),
+        pct(best_fixed_objective),
+        best_fixed_strategy,
+        portfolio_p95_ms
+    );
+    println!(
+        "shape check (portfolio within 1 point of best fixed): {}",
+        if portfolio_objective >= best_fixed_objective - 0.01 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
+    );
+
+    for r in &rows {
+        if !r.normalized.is_finite() {
+            eprintln!(
+                "portfolio bench: non-finite objective for {} on {}",
+                r.strategy, r.cluster
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let artifact = PortfolioBenchArtifact {
+        schema_version: PORTFOLIO_BENCH_SCHEMA_VERSION,
+        scale: scale().as_str().to_string(),
+        timeout_secs: budget.as_secs_f64(),
+        rows,
+        portfolio_objective,
+        best_fixed_objective,
+        best_fixed_strategy,
+        portfolio_p95_ms,
+    };
+    save_json("portfolio", &artifact);
+
+    let out = std::env::var("RASA_PORTFOLIO_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_portfolio.json".into());
+    let json = match serde_json::to_string_pretty(&artifact) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("portfolio bench: artifact serialization failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("portfolio bench: writing {out} failed: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}

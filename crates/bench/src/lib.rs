@@ -123,6 +123,32 @@ pub fn evaluation_clusters() -> Vec<(String, Problem)> {
         .collect()
 }
 
+/// Training analogues of the evaluation clusters: the same S-cluster
+/// family at the same scale divisor but with shifted seeds, so the
+/// portfolio's labelling stream covers the distribution it will be
+/// evaluated on without reusing the committed evaluation instances. This
+/// is the bench-side stand-in for the online loop's production rounds —
+/// in deployment the stream comes from the very clusters being served.
+pub fn training_clusters() -> Vec<(String, Problem)> {
+    let divisor = match scale() {
+        Scale::Small => 4,
+        Scale::Medium => 2,
+        Scale::Large | Scale::Xl | Scale::Full => 1,
+    };
+    s_clusters()
+        .into_iter()
+        .map(|spec| ClusterSpec {
+            name: format!("{}-train", spec.name),
+            services: spec.services / divisor as usize,
+            target_containers: spec.target_containers / divisor,
+            machines: spec.machines / divisor as usize,
+            seed: spec.seed + 500,
+            ..spec
+        })
+        .map(|spec| (spec.name.clone(), generate(&spec)))
+        .collect()
+}
+
 /// Print a fixed-width table.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let widths: Vec<usize> = headers
@@ -224,6 +250,7 @@ mod tests {
 
 pub mod artifact;
 pub mod compare;
+pub mod portfolio_artifact;
 pub mod production;
 pub mod serve_artifact;
 

@@ -1,0 +1,223 @@
+//! The `BENCH_portfolio.json` artifact schema and regression gate:
+//! portfolio-selector objective vs every fixed single-strategy baseline
+//! (always-MIP, always-CG, always-POP, always-greedy) over the evaluation
+//! clusters, plus the portfolio's end-to-end latency percentiles. CI runs
+//! the gate against the committed baseline; the acceptance bar is that
+//! the learned portfolio stays within a point of the best fixed strategy
+//! while its p95 latency stays inside the committed bound.
+
+use crate::artifact::extract_schema_version;
+use crate::compare::CompareOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Version stamped into every portfolio artifact. Bump on any field
+/// change that would make old/new artifacts incomparable.
+pub const PORTFOLIO_BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// One (cluster, strategy) evaluation: a full pipeline run with the
+/// selector pinned to `strategy` (or running the learned portfolio).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PortfolioRow {
+    /// Evaluation cluster name (S1–S4 analogue at the bench scale).
+    pub cluster: String,
+    /// Strategy label: `MIP`, `CG`, `POP`, `GREEDY`, or `PORTFOLIO`.
+    pub strategy: String,
+    /// Normalized gained affinity achieved (0–1; higher is better).
+    pub normalized: f64,
+    /// End-to-end pipeline wall time, milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// The `BENCH_portfolio.json` artifact.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PortfolioBenchArtifact {
+    /// Schema version (see [`PORTFOLIO_BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Scale the bench ran at (`small`, `medium`, …).
+    pub scale: String,
+    /// Per-run solver budget, seconds.
+    pub timeout_secs: f64,
+    /// Every (cluster, strategy) evaluation.
+    pub rows: Vec<PortfolioRow>,
+    /// Mean normalized objective of the learned portfolio across clusters.
+    pub portfolio_objective: f64,
+    /// Mean normalized objective of the best single fixed strategy.
+    pub best_fixed_objective: f64,
+    /// Label of that best fixed strategy.
+    pub best_fixed_strategy: String,
+    /// 95th-percentile end-to-end latency of the portfolio runs, ms.
+    pub portfolio_p95_ms: f64,
+}
+
+/// Thresholds for the portfolio regression gate.
+#[derive(Clone, Debug)]
+pub struct PortfolioCompareConfig {
+    /// Allowed relative p95 latency growth, percent.
+    pub latency_pct: f64,
+    /// Absolute slack on top of the relative latency bound, milliseconds.
+    pub abs_slack_ms: f64,
+    /// Allowed absolute drop of the portfolio objective vs the baseline
+    /// artifact (normalized units).
+    pub objective_slack: f64,
+    /// How far below the best fixed strategy the portfolio may land on the
+    /// *candidate* artifact (normalized units). The acceptance bar.
+    pub fixed_gap: f64,
+}
+
+impl Default for PortfolioCompareConfig {
+    fn default() -> Self {
+        PortfolioCompareConfig {
+            latency_pct: 50.0,
+            abs_slack_ms: 10.0,
+            objective_slack: 0.05,
+            fixed_gap: 0.01,
+        }
+    }
+}
+
+/// Load and schema-check a portfolio artifact from `path`.
+pub fn load_portfolio_artifact(path: &str) -> Result<PortfolioBenchArtifact, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    match extract_schema_version(&text) {
+        None => Err(format!(
+            "{path}: no schema_version field — regenerate with \
+             `cargo run --release -p rasa-bench --bin portfolio`"
+        )),
+        Some(v) if v != PORTFOLIO_BENCH_SCHEMA_VERSION => Err(format!(
+            "{path}: schema_version {v} but this binary compares \
+             v{PORTFOLIO_BENCH_SCHEMA_VERSION} portfolio artifacts; regenerate the artifact"
+        )),
+        Some(_) => serde_json::from_str(&text).map_err(|e| format!("{path}: {e}")),
+    }
+}
+
+/// Diff `new` against the `old` baseline under `cfg`.
+///
+/// Three gates: the candidate's portfolio must stay within `fixed_gap` of
+/// its own best fixed strategy (the learned selector earns its keep), the
+/// portfolio objective must not drop more than `objective_slack` below
+/// the committed baseline, and portfolio p95 latency must stay inside the
+/// relative-plus-slack bound.
+pub fn compare_portfolio_artifacts(
+    old: &PortfolioBenchArtifact,
+    new: &PortfolioBenchArtifact,
+    cfg: &PortfolioCompareConfig,
+) -> CompareOutcome {
+    if old.scale != new.scale {
+        return CompareOutcome::Incomparable(format!(
+            "scale mismatch: baseline ran at {}, candidate at {}",
+            old.scale, new.scale
+        ));
+    }
+
+    let mut findings = Vec::new();
+
+    if new.portfolio_objective < new.best_fixed_objective - cfg.fixed_gap {
+        findings.push(format!(
+            "portfolio fell behind the best fixed strategy: {:.4} vs {} at {:.4} \
+             (allowed gap {:.3})",
+            new.portfolio_objective, new.best_fixed_strategy, new.best_fixed_objective,
+            cfg.fixed_gap
+        ));
+    }
+
+    if new.portfolio_objective < old.portfolio_objective - cfg.objective_slack {
+        findings.push(format!(
+            "portfolio objective regressed: {:.4} -> {:.4} (allowed drop {:.3})",
+            old.portfolio_objective, new.portfolio_objective, cfg.objective_slack
+        ));
+    }
+
+    let bound = old.portfolio_p95_ms * (1.0 + cfg.latency_pct / 100.0) + cfg.abs_slack_ms;
+    if new.portfolio_p95_ms > bound {
+        findings.push(format!(
+            "portfolio p95 latency regressed: {:.1} ms -> {:.1} ms (bound {:.1} ms)",
+            old.portfolio_p95_ms, new.portfolio_p95_ms, bound
+        ));
+    }
+
+    if findings.is_empty() {
+        CompareOutcome::Pass
+    } else {
+        CompareOutcome::Regressions(findings)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn base() -> PortfolioBenchArtifact {
+        PortfolioBenchArtifact {
+            schema_version: PORTFOLIO_BENCH_SCHEMA_VERSION,
+            scale: "small".into(),
+            timeout_secs: 10.0,
+            rows: Vec::new(),
+            portfolio_objective: 0.92,
+            best_fixed_objective: 0.925,
+            best_fixed_strategy: "MIP".into(),
+            portfolio_p95_ms: 800.0,
+        }
+    }
+
+    #[test]
+    fn self_compare_passes() {
+        let a = base();
+        assert!(matches!(
+            compare_portfolio_artifacts(&a, &a, &PortfolioCompareConfig::default()),
+            CompareOutcome::Pass
+        ));
+    }
+
+    #[test]
+    fn portfolio_falling_behind_best_fixed_is_a_regression() {
+        let old = base();
+        let mut new = base();
+        new.portfolio_objective = 0.80; // > 0.01 behind best fixed
+        match compare_portfolio_artifacts(&old, &new, &PortfolioCompareConfig::default()) {
+            CompareOutcome::Regressions(f) => {
+                assert!(f.iter().any(|m| m.contains("best fixed strategy")), "{f:?}");
+                assert!(f.iter().any(|m| m.contains("objective regressed")), "{f:?}");
+            }
+            other => panic!("expected regressions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_blowup_is_a_regression() {
+        let old = base();
+        let mut new = base();
+        new.portfolio_p95_ms = 5_000.0;
+        match compare_portfolio_artifacts(&old, &new, &PortfolioCompareConfig::default()) {
+            CompareOutcome::Regressions(f) => {
+                assert!(f.iter().any(|m| m.contains("p95 latency regressed")), "{f:?}")
+            }
+            other => panic!("expected regressions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn small_drift_within_slack_passes() {
+        let old = base();
+        let mut new = base();
+        new.portfolio_objective = 0.90; // within 0.05 of the baseline
+        new.best_fixed_objective = 0.905; // gap 0.005, inside fixed_gap
+        new.portfolio_p95_ms = 900.0; // within 1.5x + 10 ms
+        assert!(matches!(
+            compare_portfolio_artifacts(&old, &new, &PortfolioCompareConfig::default()),
+            CompareOutcome::Pass
+        ));
+    }
+
+    #[test]
+    fn scale_mismatch_is_incomparable() {
+        let old = base();
+        let mut new = base();
+        new.scale = "full".into();
+        assert!(matches!(
+            compare_portfolio_artifacts(&old, &new, &PortfolioCompareConfig::default()),
+            CompareOutcome::Incomparable(_)
+        ));
+    }
+}

@@ -51,18 +51,21 @@ pub use rasa_lp::Deadline;
 pub use selector_choice::SelectorChoice;
 pub use service::{
     AllocationSession, DeltaPlan, EdgeUpdate, PublishedPlacement, ReplicaUpdate, SessionError,
-    SessionRound, SnapshotDelta,
+    SessionRound, SnapshotDelta, MIN_RETRAIN_SAMPLES,
 };
 pub use solve_cache::{CacheRoundStats, CachedSubSolve, SolveCache};
 pub use solve_guard::{
     guarded_schedule, FaultInjection, GuardedOutcome, PanickingScheduler, SolveStatus,
 };
-pub use training::generate_training_set;
+pub use training::{generate_training_set, training_subproblems};
 
 // Re-export the pieces users compose with.
 pub use rasa_migrate::{plan_migration, MigrateConfig, MigrationPlan};
 pub use rasa_model as model;
 pub use rasa_model::{AdmissionReport, ProblemValidator, RasaError};
 pub use rasa_partition::{PartitionConfig, PartitionStrategy};
-pub use rasa_select::PoolAlgorithm;
+pub use rasa_select::{
+    portfolio_features, PoolAlgorithm, PortfolioSelector, RegretReport, SampleLog,
+    SelectionSample,
+};
 pub use rasa_solver::{ScheduleOutcome, Scheduler};

@@ -24,10 +24,10 @@ use rasa_obs::flight::{self, TraceEvent};
 use rasa_partition::{
     partition_with_strategy, PartitionConfig, PartitionOutcome, PartitionStrategy, Subproblem,
 };
-use rasa_select::PoolAlgorithm;
+use rasa_select::{portfolio_features, PoolAlgorithm, SampleLog, SelectionSample};
 use rasa_solver::{
-    complete_placement, CgOptions, CgWarmStart, ColumnGeneration, MipBased, MipBasedOptions,
-    ScheduleOutcome, Scheduler,
+    complete_placement, CgOptions, CgWarmStart, ColumnGeneration, GreedyScheduler, MipBased,
+    MipBasedOptions, PopOptions, PopStrategy, ScheduleOutcome, Scheduler,
 };
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
@@ -46,6 +46,14 @@ pub struct RasaConfig {
     pub mip: MipBasedOptions,
     /// Options for the column-generation pool member.
     pub cg: CgOptions,
+    /// Options for the POP shard-rung pool member (parts, split seed).
+    pub pop: PopOptions,
+    /// Online-learning sample stream: every fresh (non-cached) subproblem
+    /// solve appends a `(features, choice, quality, latency)` tuple here.
+    /// Bounded (drop-oldest); `Clone` shares the underlying buffer, so a
+    /// session's clones of this config all feed one stream the `retrain`
+    /// path can refit from.
+    pub sample_log: SampleLog,
     /// Solve subproblems on parallel threads (the paper solves each
     /// subproblem independently, which is embarrassingly parallel).
     pub parallel: bool,
@@ -77,12 +85,22 @@ impl Default for RasaConfig {
             complete: false,
             ..Default::default()
         };
+        let pop = PopOptions {
+            complete: false,
+            sub_mip: MipBasedOptions {
+                complete: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
         RasaConfig {
             strategy: PartitionStrategy::MultiStage,
             partition: PartitionConfig::default(),
             selector: SelectorChoice::default(),
             mip,
             cg,
+            pop,
+            sample_log: SampleLog::default(),
             parallel: true,
             complete: true,
             seed: 0,
@@ -255,11 +273,14 @@ impl RasaPipeline {
             .iter()
             .map(|sub| self.config.selector.select(&sub.problem))
             .collect();
-        for &alg in &choices {
+        for (i, &alg) in choices.iter().enumerate() {
             obs.inc(match alg {
                 PoolAlgorithm::Mip => "pipeline.alg.mip",
                 PoolAlgorithm::Cg => "pipeline.alg.cg",
+                PoolAlgorithm::Pop => "pipeline.alg.pop",
+                PoolAlgorithm::Greedy => "pipeline.alg.greedy",
             });
+            flight::emit(|| TraceEvent::rung_selected(i as u64, alg.label()));
         }
 
         // replay cache hits, queue the misses
@@ -407,6 +428,22 @@ impl RasaPipeline {
                 &sub.mapping.service_to_parent,
                 &sub.mapping.machine_to_parent,
             );
+            if !*was_hit {
+                // feed the online-learning loop: realized quality/latency
+                // of the selector's decision on this subproblem (replayed
+                // cache hits cost nothing and would bias latency labels)
+                obs.inc("select.samples");
+                let dropped = self.config.sample_log.record(SelectionSample {
+                    features: portfolio_features(&sub.problem),
+                    choice: choices[i],
+                    quality: guarded.outcome.normalized_gained_affinity,
+                    latency_secs: guarded.outcome.elapsed.as_secs_f64(),
+                    degraded: guarded.status.is_degraded(),
+                });
+                if dropped {
+                    obs.inc("select.samples_dropped");
+                }
+            }
             reports.push(SubproblemReport {
                 services: sub.problem.num_services(),
                 machines: sub.problem.num_machines(),
@@ -466,11 +503,14 @@ impl RasaPipeline {
     }
 
     /// Solve one pending subproblem behind the fault-isolation guard: the
-    /// selector's choice is the primary, the other pool member is the
-    /// fallback, greedy completion is the floor. Fault injection keys off
-    /// the subproblem's *original* partition index, not its queue position,
-    /// so chaos drills stay deterministic whether or not a cache filtered
-    /// the job list.
+    /// selector's choice is the primary, the exact pool members are the
+    /// fallback rungs, greedy completion is the floor. POP never appears
+    /// as a *rescue* rung — a failed exact solve should fall back to the
+    /// other exact solver, not to a lossy shard split — and the GREEDY arm
+    /// needs no rungs at all because the guard's floor *is* the greedy
+    /// completion pass. Fault injection keys off the subproblem's
+    /// *original* partition index, not its queue position, so chaos drills
+    /// stay deterministic whether or not a cache filtered the job list.
     fn solve_one(&self, job: &PendingJob<'_>, deadline: Deadline) -> GuardedOutcome {
         let deadline = if self.config.fault_injection.starves(job.index) {
             Deadline::after(Duration::ZERO)
@@ -484,24 +524,36 @@ impl RasaPipeline {
             options: self.config.cg.clone(),
             warm: job.warm.clone(),
         };
-        let (primary, fallback_alg): (&dyn Scheduler, PoolAlgorithm) = match job.alg {
-            PoolAlgorithm::Mip => (&mip, PoolAlgorithm::Cg),
-            PoolAlgorithm::Cg => (&cg, PoolAlgorithm::Mip),
+        let pop = PopStrategy {
+            options: self.config.pop.clone(),
         };
-        let fallback: &dyn Scheduler = match fallback_alg {
-            PoolAlgorithm::Mip => &mip,
-            PoolAlgorithm::Cg => &cg,
+        let greedy = GreedyScheduler;
+        let arm = |alg: PoolAlgorithm| -> &dyn Scheduler {
+            match alg {
+                PoolAlgorithm::Mip => &mip,
+                PoolAlgorithm::Cg => &cg,
+                PoolAlgorithm::Pop => &pop,
+                PoolAlgorithm::Greedy => &greedy,
+            }
         };
+        let fallback_algs: &[PoolAlgorithm] = match job.alg {
+            PoolAlgorithm::Mip => &[PoolAlgorithm::Cg],
+            PoolAlgorithm::Cg => &[PoolAlgorithm::Mip],
+            PoolAlgorithm::Pop => &[PoolAlgorithm::Mip, PoolAlgorithm::Cg],
+            PoolAlgorithm::Greedy => &[],
+        };
+        let fallbacks: Vec<(PoolAlgorithm, &dyn Scheduler)> =
+            fallback_algs.iter().map(|&a| (a, arm(a))).collect();
         let panicking = PanickingScheduler;
         let primary: &dyn Scheduler = if self.config.fault_injection.panics(job.index) {
             &panicking
         } else {
-            primary
+            arm(job.alg)
         };
         guarded_schedule(
             job.index,
             (job.alg, primary),
-            &[(fallback_alg, fallback)],
+            &fallbacks,
             &job.sub.problem,
             deadline,
         )

@@ -4,11 +4,13 @@
 use rasa_model::Problem;
 use rasa_select::{
     AlgorithmSelector, FixedSelector, GcnSelector, HeuristicSelector, MlpSelector, PoolAlgorithm,
+    PortfolioSelector,
 };
 
 /// Which algorithm-selection strategy the pipeline uses (Section IV-D /
-/// Fig 8). The paper deploys GCN-BASED; HEURISTIC is the zero-setup
-/// default here because it needs no training data.
+/// Fig 8, plus the portfolio extension). The paper deploys GCN-BASED;
+/// HEURISTIC is the zero-setup default here because it needs no training
+/// data.
 #[derive(Clone, Debug, Default)]
 pub enum SelectorChoice {
     /// The paper's empirical rule — no training required.
@@ -18,10 +20,18 @@ pub enum SelectorChoice {
     AlwaysCg,
     /// Always the MIP-based algorithm (ablation).
     AlwaysMip,
+    /// Always the POP shard rung (ablation for the portfolio bench).
+    AlwaysPop,
+    /// Always the greedy completion arm (ablation; the quality floor).
+    AlwaysGreedy,
     /// A trained GCN classifier (the paper's proposal).
     Gcn(GcnSelector),
     /// A trained MLP over pooled features (topology-blind ablation).
     Mlp(MlpSelector),
+    /// The learning multi-way portfolio selector (per-arm ridge models
+    /// refitted online from the [`SampleLog`](rasa_select::SampleLog)
+    /// stream).
+    Portfolio(PortfolioSelector),
 }
 
 impl SelectorChoice {
@@ -31,8 +41,11 @@ impl SelectorChoice {
             SelectorChoice::Heuristic => HeuristicSelector.select(problem),
             SelectorChoice::AlwaysCg => PoolAlgorithm::Cg,
             SelectorChoice::AlwaysMip => PoolAlgorithm::Mip,
+            SelectorChoice::AlwaysPop => PoolAlgorithm::Pop,
+            SelectorChoice::AlwaysGreedy => PoolAlgorithm::Greedy,
             SelectorChoice::Gcn(s) => s.select(problem),
             SelectorChoice::Mlp(s) => s.select(problem),
+            SelectorChoice::Portfolio(s) => s.select(problem),
         }
     }
 
@@ -42,8 +55,11 @@ impl SelectorChoice {
             SelectorChoice::Heuristic => "HEURISTIC",
             SelectorChoice::AlwaysCg => FixedSelector(PoolAlgorithm::Cg).name(),
             SelectorChoice::AlwaysMip => FixedSelector(PoolAlgorithm::Mip).name(),
+            SelectorChoice::AlwaysPop => FixedSelector(PoolAlgorithm::Pop).name(),
+            SelectorChoice::AlwaysGreedy => FixedSelector(PoolAlgorithm::Greedy).name(),
             SelectorChoice::Gcn(_) => "GCN-BASED",
             SelectorChoice::Mlp(_) => "MLP-BASED",
+            SelectorChoice::Portfolio(_) => "PORTFOLIO",
         }
     }
 }
@@ -60,7 +76,21 @@ mod tests {
         let p = b.build().unwrap();
         assert_eq!(SelectorChoice::AlwaysCg.select(&p), PoolAlgorithm::Cg);
         assert_eq!(SelectorChoice::AlwaysMip.select(&p), PoolAlgorithm::Mip);
+        assert_eq!(SelectorChoice::AlwaysPop.select(&p), PoolAlgorithm::Pop);
+        assert_eq!(SelectorChoice::AlwaysGreedy.select(&p), PoolAlgorithm::Greedy);
         assert_eq!(SelectorChoice::AlwaysCg.label(), "CG");
+        assert_eq!(SelectorChoice::AlwaysPop.label(), "POP");
+        assert_eq!(SelectorChoice::AlwaysGreedy.label(), "GREEDY");
         assert_eq!(SelectorChoice::default().label(), "HEURISTIC");
+    }
+
+    #[test]
+    fn untrained_portfolio_routes_to_mip() {
+        let mut b = ProblemBuilder::new();
+        b.add_service("a", 1, ResourceVec::ZERO);
+        let p = b.build().unwrap();
+        let choice = SelectorChoice::Portfolio(PortfolioSelector::default());
+        assert_eq!(choice.select(&p), PoolAlgorithm::Mip);
+        assert_eq!(choice.label(), "PORTFOLIO");
     }
 }

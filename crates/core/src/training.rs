@@ -10,14 +10,12 @@ use rasa_select::{label_subproblem, LabeledSubproblem};
 use std::time::Duration;
 
 /// Partition each training problem with the multi-stage pipeline (varying
-/// the subproblem budget to diversify scales), then label up to `limit`
-/// subproblems with a `label_budget` race each.
-pub fn generate_training_set(
-    problems: &[Problem],
-    limit: usize,
-    label_budget: Duration,
-    seed: u64,
-) -> Vec<LabeledSubproblem> {
+/// the subproblem budget to diversify scales) and collect up to `limit`
+/// labelable subproblems (edge-less subproblems are skipped — nothing to
+/// learn from). Shared by the binary labelling pipeline
+/// ([`generate_training_set`]) and the portfolio bootstrap
+/// (`rasa_select::label_portfolio` over these subproblems).
+pub fn training_subproblems(problems: &[Problem], limit: usize, seed: u64) -> Vec<Problem> {
     let mut out = Vec::new();
     let budgets = [12usize, 24, 48];
     'outer: for (pi, problem) in problems.iter().enumerate() {
@@ -33,7 +31,7 @@ pub fn generate_training_set(
                 if sub.problem.affinity_edges.is_empty() {
                     continue; // nothing to learn from
                 }
-                out.push(label_subproblem(&sub.problem, label_budget));
+                out.push(sub.problem);
                 if out.len() >= limit {
                     break 'outer;
                 }
@@ -43,10 +41,38 @@ pub fn generate_training_set(
     out
 }
 
+/// Partition each training problem with the multi-stage pipeline (varying
+/// the subproblem budget to diversify scales), then label up to `limit`
+/// subproblems with a `label_budget` race each.
+pub fn generate_training_set(
+    problems: &[Problem],
+    limit: usize,
+    label_budget: Duration,
+    seed: u64,
+) -> Vec<LabeledSubproblem> {
+    training_subproblems(problems, limit, seed)
+        .iter()
+        .map(|sub| label_subproblem(sub, label_budget))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rasa_trace::{generate, tiny_cluster};
+
+    #[test]
+    fn subproblem_collection_is_deterministic_and_edgeful() {
+        let problems: Vec<Problem> = (0..2).map(|i| generate(&tiny_cluster(i))).collect();
+        let a = training_subproblems(&problems, 6, 1);
+        let b = training_subproblems(&problems, 6, 1);
+        assert!(!a.is_empty());
+        assert!(a.len() <= 6);
+        assert_eq!(a.len(), b.len(), "same seed, same collection");
+        for sub in &a {
+            assert!(!sub.affinity_edges.is_empty());
+        }
+    }
 
     #[test]
     fn produces_labeled_examples() {

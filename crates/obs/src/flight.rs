@@ -92,6 +92,9 @@ pub enum EventKind {
     /// singular — a warm-start basis was discarded (cold start follows) or
     /// an in-progress solve bailed out.
     RefactorSingular,
+    /// The algorithm selector routed a subproblem to a pool arm (the
+    /// portfolio's per-subproblem strategy decision).
+    RungSelected,
 }
 
 impl EventKind {
@@ -109,6 +112,7 @@ impl EventKind {
             EventKind::AdmissionQuarantine => "admission_quarantine",
             EventKind::CertifyFailure => "certify_failure",
             EventKind::RefactorSingular => "refactor_singular",
+            EventKind::RungSelected => "rung_selected",
         }
     }
 }
@@ -288,6 +292,16 @@ impl TraceEvent {
                 ("recomputed_objective".into(), recomputed_objective),
             ],
             source.to_string(),
+        )
+    }
+
+    /// The selector routed subproblem `subproblem` to the pool arm named
+    /// `algorithm` (a pool-algorithm label like `"MIP"` or `"POP"`).
+    pub fn rung_selected(subproblem: u64, algorithm: &str) -> Self {
+        TraceEvent::new(
+            EventKind::RungSelected,
+            vec![("subproblem".into(), subproblem as f64)],
+            algorithm.to_string(),
         )
     }
 }

@@ -18,7 +18,7 @@ use std::collections::BTreeSet;
 use std::path::Path;
 
 /// Prefixes that make a string literal a metric/span name candidate.
-const PREFIXES: [&str; 15] = [
+const PREFIXES: [&str; 17] = [
     "admission",
     "certify",
     "simplex",
@@ -34,6 +34,8 @@ const PREFIXES: [&str; 15] = [
     "mip",
     "chaos",
     "serve",
+    "select",
+    "strategy",
 ];
 
 fn is_name_candidate(s: &str) -> bool {
@@ -216,6 +218,7 @@ fn every_event_kind_is_documented() {
         EventKind::AdmissionQuarantine,
         EventKind::CertifyFailure,
         EventKind::RefactorSingular,
+        EventKind::RungSelected,
     ] {
         assert!(
             events.contains(kind.as_str()),

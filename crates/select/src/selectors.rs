@@ -5,32 +5,53 @@ use rasa_model::Problem;
 use rasa_nn::{Gcn, Mlp};
 use serde::{Deserialize, Serialize};
 
-/// A member of the scheduling algorithm pool (Section IV-C).
+/// A member of the scheduling algorithm pool. The paper's pool is
+/// {CG, MIP} (Section IV-C); the portfolio extension adds the POP strategy
+/// rung (random shard split, `rasa_solver::pop`) and the greedy completion
+/// floor as first-class arms.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
 pub enum PoolAlgorithm {
     /// Column generation — class index 0.
     Cg,
     /// MIP-based — class index 1.
     Mip,
+    /// POP strategy rung (random k-way shard split) — class index 2.
+    Pop,
+    /// Greedy affinity-aware first-fit (the completion pass as an arm) —
+    /// class index 3.
+    Greedy,
 }
 
 impl PoolAlgorithm {
-    /// Class index used by the learned classifiers.
+    /// Every pool arm, in class-index order.
+    pub const ALL: [PoolAlgorithm; 4] = [
+        PoolAlgorithm::Cg,
+        PoolAlgorithm::Mip,
+        PoolAlgorithm::Pop,
+        PoolAlgorithm::Greedy,
+    ];
+
+    /// Class index used by the learned classifiers and the portfolio
+    /// selector's per-arm models.
     pub fn class_index(self) -> usize {
         match self {
             PoolAlgorithm::Cg => 0,
             PoolAlgorithm::Mip => 1,
+            PoolAlgorithm::Pop => 2,
+            PoolAlgorithm::Greedy => 3,
         }
     }
 
     /// Inverse of [`class_index`](Self::class_index).
     ///
     /// # Panics
-    /// Panics on an index other than 0 or 1.
+    /// Panics on an index outside `0..4`.
     pub fn from_class_index(idx: usize) -> Self {
         match idx {
             0 => PoolAlgorithm::Cg,
             1 => PoolAlgorithm::Mip,
+            2 => PoolAlgorithm::Pop,
+            3 => PoolAlgorithm::Greedy,
             _ => panic!("unknown class index {idx}"),
         }
     }
@@ -40,6 +61,8 @@ impl PoolAlgorithm {
         match self {
             PoolAlgorithm::Cg => "CG",
             PoolAlgorithm::Mip => "MIP",
+            PoolAlgorithm::Pop => "POP",
+            PoolAlgorithm::Greedy => "GREEDY",
         }
     }
 }
@@ -59,10 +82,7 @@ pub struct FixedSelector(pub PoolAlgorithm);
 
 impl AlgorithmSelector for FixedSelector {
     fn name(&self) -> &'static str {
-        match self.0 {
-            PoolAlgorithm::Cg => "CG",
-            PoolAlgorithm::Mip => "MIP",
-        }
+        self.0.label()
     }
 
     fn select(&self, _problem: &Problem) -> PoolAlgorithm {
@@ -150,10 +170,13 @@ mod tests {
 
     #[test]
     fn class_index_round_trip() {
-        for alg in [PoolAlgorithm::Cg, PoolAlgorithm::Mip] {
+        for alg in PoolAlgorithm::ALL {
             assert_eq!(PoolAlgorithm::from_class_index(alg.class_index()), alg);
         }
         assert_eq!(PoolAlgorithm::Cg.label(), "CG");
+        assert_eq!(PoolAlgorithm::Pop.label(), "POP");
+        assert_eq!(PoolAlgorithm::Greedy.label(), "GREEDY");
+        assert_eq!(FixedSelector(PoolAlgorithm::Pop).name(), "POP");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! rasa-serve [--addr 127.0.0.1:7070] [--workers 2] [--queue-capacity 4]
 //!            [--max-tenants 64] [--deadline-ms 2000] [--seed 42]
 //!            [--drain-grace-ms 5000] [--metrics-out PATH]
+//!            [--retrain-every N]
 //! ```
 //!
 //! The bound address is printed as `listening on <addr>` once the socket
@@ -48,7 +49,8 @@ fn install_signal_handlers() {}
 fn usage() -> &'static str {
     "usage: rasa-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]\n\
      \x20                 [--max-tenants N] [--deadline-ms N] [--seed N]\n\
-     \x20                 [--drain-grace-ms N] [--metrics-out PATH]"
+     \x20                 [--drain-grace-ms N] [--metrics-out PATH]\n\
+     \x20                 [--retrain-every N]"
 }
 
 fn parse_args(config: &mut ServeConfig) -> Result<(), String> {
@@ -94,6 +96,12 @@ fn parse_args(config: &mut ServeConfig) -> Result<(), String> {
             }
             "--metrics-out" => {
                 config.metrics_flush_path = Some(value("--metrics-out")?.into());
+            }
+            "--retrain-every" => {
+                let every: u64 = value("--retrain-every")?
+                    .parse()
+                    .map_err(|_| "--retrain-every: not a number".to_string())?;
+                config.retrain_every = (every > 0).then_some(every);
             }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),

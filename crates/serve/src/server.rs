@@ -76,6 +76,12 @@ pub struct ServeConfig {
     pub drain_grace: Duration,
     /// Where to flush a final Prometheus snapshot on drain (optional).
     pub metrics_flush_path: Option<PathBuf>,
+    /// Refit each tenant's algorithm selector from its accumulated online
+    /// sample stream every N published rounds
+    /// (`AllocationSession::retrain_selector`). `None` (the default)
+    /// disables mid-session retraining. Retraining only changes future
+    /// routing — every publish still passes the certification gate.
+    pub retrain_every: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +103,7 @@ impl Default for ServeConfig {
             rasa: RasaConfig::default(),
             drain_grace: Duration::from_secs(5),
             metrics_flush_path: None,
+            retrain_every: None,
         }
     }
 }
@@ -544,6 +551,18 @@ fn run_round(
                 // A degraded round is still published (it certified), but
                 // it counts as ladder exhaustion for the breaker.
                 breaker_report(slot, !round.degraded);
+                // Online-learning hook: every N published rounds, refit the
+                // selector from the session's accumulated sample stream.
+                // Happens after the publish, so a slow refit never sits
+                // between solve and publish.
+                if let Some(every) = shared.config.retrain_every {
+                    if every > 0
+                        && round.round % every == 0
+                        && session.retrain_selector().is_some()
+                    {
+                        obs.inc("serve.retrains");
+                    }
+                }
                 let (hits, misses) = round
                     .run
                     .cache

@@ -3,7 +3,10 @@
 //! did not (trivial services, and the occasional failed deployment —
 //! Sections III-A and IV-B5).
 
+use crate::scheduler::{ScheduleOutcome, Scheduler};
+use rasa_lp::Deadline;
 use rasa_model::{Placement, Problem, ResourceVec, ServiceId};
+use std::time::Instant;
 
 /// Place every still-missing container (up to each service's `d_s`) using
 /// first-fit over machines, preferring machines that already host affinity
@@ -114,6 +117,27 @@ pub fn complete_placement(problem: &Problem, placement: &mut Placement) -> u64 {
         }
     }
     placed_total
+}
+
+/// The completion pass as a standalone pool member: start from an empty
+/// placement and let affinity-aware first-fit place everything. The
+/// cheapest arm of the strategy portfolio — no LP, no search — and the
+/// same code the fallback ladder already uses as its floor, so selecting
+/// GREEDY is "skip straight to the floor, spend the budget elsewhere".
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GreedyScheduler;
+
+impl Scheduler for GreedyScheduler {
+    fn name(&self) -> &'static str {
+        "GREEDY"
+    }
+
+    fn schedule(&self, problem: &Problem, _deadline: Deadline) -> ScheduleOutcome {
+        let start = Instant::now();
+        let mut placement = Placement::empty_for(problem);
+        complete_placement(problem, &mut placement);
+        ScheduleOutcome::evaluate(problem, placement, start.elapsed(), true)
+    }
 }
 
 /// Free capacity per machine under `placement` (helper shared with tests

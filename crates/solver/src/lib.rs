@@ -23,7 +23,13 @@
 //!   integral rounding of the final master (Section IV-C2).
 //! * [`completion`] — the affinity-aware first-fit completion pass standing
 //!   in for the cluster's default scheduler, which the paper lets absorb the
-//!   few containers a subproblem fails to deploy (Section IV-B5).
+//!   few containers a subproblem fails to deploy (Section IV-B5). Also
+//!   exposed as the [`GreedyScheduler`] pool member (the portfolio's
+//!   cheapest arm).
+//! * [`pop`] — POP (SOSP'21) as a first-class strategy rung: random k-way
+//!   shard split, parallel per-shard MIP solves under wave-sliced
+//!   deadlines, union. The shard split is shared with the `rasa-baselines`
+//!   POP baseline so the two cannot drift.
 //! * [`scheduler`] — the [`Scheduler`] trait shared by these algorithms and
 //!   every baseline in `rasa-baselines`, plus [`ScheduleOutcome`].
 
@@ -32,11 +38,13 @@ pub mod column_generation;
 pub mod completion;
 pub mod formulation;
 pub mod mip_algorithm;
+pub mod pop;
 pub mod scheduler;
 
 pub use column_cache::{CgWarmStart, ColumnCache, PatternCounts};
 pub use column_generation::{CgOptions, CgStats, ColumnGeneration};
-pub use completion::complete_placement;
+pub use completion::{complete_placement, GreedyScheduler};
 pub use formulation::{per_machine_cap, FormulationKind, RasaFormulation};
 pub use mip_algorithm::{MipBased, MipBasedOptions};
+pub use pop::{split_affinity_loss, split_services, PopOptions, PopStrategy};
 pub use scheduler::{ScheduleOutcome, Scheduler};

@@ -1,5 +1,7 @@
 //! Saving and loading generated problems as JSON artifacts, so experiment
-//! inputs can be pinned and shared.
+//! inputs can be pinned and shared — plus generic JSONL streams
+//! ([`save_jsonl`] / [`load_jsonl`]) for record-per-line data like the
+//! online selection-sample stream.
 //!
 //! Loading goes through a typed [`PersistError`] that names the offending
 //! path and — for malformed JSON — the 1-based line/column where parsing
@@ -7,6 +9,7 @@
 //! message instead of a bare `InvalidData`.
 
 use rasa_model::Problem;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -103,6 +106,47 @@ pub fn load_problem(path: &Path) -> Result<Problem, PersistError> {
     })
 }
 
+/// Write `items` to `path` as JSONL — one compact JSON object per line.
+/// The format is append-friendly: streams from several runs can be
+/// concatenated and still load.
+pub fn save_jsonl<T: Serialize>(items: &[T], path: &Path) -> Result<(), PersistError> {
+    let mut out = String::new();
+    for item in items {
+        let line =
+            serde_json::to_string(item).map_err(|source| PersistError::Serialize { source })?;
+        out.push_str(&line);
+        out.push('\n');
+    }
+    std::fs::write(path, out).map_err(|source| PersistError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Load a JSONL stream saved by [`save_jsonl`] (or appended to since).
+/// Blank lines are skipped; a malformed line reports its 1-based position
+/// in the file via [`PersistError::Parse`].
+pub fn load_jsonl<T: Deserialize>(path: &Path) -> Result<Vec<T>, PersistError> {
+    let text = std::fs::read_to_string(path).map_err(|source| PersistError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let item = serde_json::from_str(line).map_err(|source| PersistError::Parse {
+            path: path.to_path_buf(),
+            line: Some(i + 1),
+            column: source.column(),
+            source,
+        })?;
+        out.push(item);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +212,49 @@ mod tests {
         std::fs::write(&path, "[1, 2, 3]").expect("writes");
         let err = load_problem(&path).expect_err("wrong shape must fail");
         assert!(matches!(err, PersistError::Parse { line: None, .. }));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_round_trips_and_skips_blank_lines() {
+        #[derive(serde::Serialize, serde::Deserialize, PartialEq, Debug)]
+        struct Rec {
+            id: u32,
+            score: f64,
+        }
+        let items = vec![
+            Rec { id: 1, score: 0.5 },
+            Rec { id: 2, score: 0.75 },
+        ];
+        let path = temp_path("stream.jsonl");
+        save_jsonl(&items, &path).expect("stream saves");
+        // appended runs concatenate
+        let mut text = std::fs::read_to_string(&path).expect("readable");
+        text.push('\n'); // blank separator
+        text.push_str("{\"id\":3,\"score\":1.0}\n");
+        std::fs::write(&path, text).expect("appends");
+        let back: Vec<Rec> = load_jsonl(&path).expect("stream loads");
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0], items[0]);
+        assert_eq!(back[2].id, 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_malformed_line_reports_its_position() {
+        let path = temp_path("bad_stream.jsonl");
+        std::fs::write(&path, "{\"id\":1,\"score\":0.5}\n{broken\n").expect("writes");
+        #[derive(serde::Deserialize, Debug)]
+        #[allow(dead_code)]
+        struct Rec {
+            id: u32,
+            score: f64,
+        }
+        let err = load_jsonl::<Rec>(&path).expect_err("broken line must fail");
+        match &err {
+            PersistError::Parse { line, .. } => assert_eq!(*line, Some(2)),
+            other => panic!("expected Parse, got {other:?}"),
+        }
         std::fs::remove_file(&path).ok();
     }
 }
