@@ -9,10 +9,14 @@
 //!    request latency with an empty cache;
 //! 2. **warm** — one small delta per warmed tenant; measures the
 //!    cache-replay path the daemon lives on in steady state;
-//! 3. **overload** — a synchronized burst of concurrent snapshots against
+//! 3. **tracing overhead** — the warm-delta path re-measured with the
+//!    flight recorder off vs sampling 1-in-N, interleaved; strict mode
+//!    gates the p50 ratio at 1.05 (skip with `RASA_BENCH_OVERHEAD=0`,
+//!    disable the gate with `RASA_BENCH_STRICT=0`);
+//! 4. **overload** — a synchronized burst of concurrent snapshots against
 //!    a single tenant with a shallow queue; measures the accept/429 split
 //!    (backpressure, not buffering);
-//! 4. **drain** — `handle.shutdown()` with work enqueued; measures the
+//! 5. **drain** — `handle.shutdown()` with work enqueued; measures the
 //!    graceful-drain wall time and abandoned-job count.
 //!
 //! Compare mode (`--compare OLD.json NEW.json [--threshold-pct P]
@@ -23,11 +27,13 @@
 //! Environment (bench mode): `RASA_SERVE_BENCH_OUT` — artifact path
 //! (default `BENCH_serve.json`).
 
+use rasa_bench::artifact::median;
 use rasa_bench::serve_artifact::{
     compare_serve_artifacts, load_serve_artifact, LatencySummary, OverloadSummary,
-    ServeBenchArtifact, ServeCompareConfig, SERVE_BENCH_SCHEMA_VERSION,
+    ServeBenchArtifact, ServeCompareConfig, TracingOverhead, SERVE_BENCH_SCHEMA_VERSION,
 };
 use rasa_bench::compare::CompareOutcome;
+use rasa_obs::flight::FlightConfig;
 use rasa_serve::{ServeConfig, Server};
 use rasa_trace::{generate, tiny_cluster};
 use std::io::{Read, Write};
@@ -180,6 +186,56 @@ fn main() {
         warm_samples.push(ms);
     }
 
+    // Phase 2b: request-scoped tracing overhead — the same warm-delta
+    // path with the flight recorder off vs sampling 1-in-N, interleaved
+    // per sweep so machine drift hits both sides equally. Context
+    // propagation itself is always on; this measures what stamping it
+    // into recordings costs when tracing is enabled.
+    let tracing_overhead = if std::env::var("RASA_BENCH_OVERHEAD").as_deref() == Ok("0") {
+        None
+    } else {
+        let rec = rasa_obs::flight::recorder();
+        let prev_enabled = rec.enabled();
+        let prev_config = rec.config();
+        let sample_every = 4u64;
+        let enabled_config = FlightConfig {
+            dump_dir: None, // cost of recording, not of disk IO
+            sample_every,
+            ..FlightConfig::default()
+        };
+        let delta = "{\"edge_updates\":[],\"replica_updates\":[]}";
+        let mut disabled_ms = Vec::new();
+        let mut enabled_ms = Vec::new();
+        for _ in 0..5 {
+            rec.set_enabled(false);
+            for i in 0..TENANTS {
+                let (status, ms) =
+                    timed_request(addr, "POST", &format!("/delta?tenant=b{i}"), delta);
+                if status == 200 {
+                    disabled_ms.push(ms);
+                }
+            }
+            rec.configure(enabled_config.clone());
+            for i in 0..TENANTS {
+                let (status, ms) =
+                    timed_request(addr, "POST", &format!("/delta?tenant=b{i}"), delta);
+                if status == 200 {
+                    enabled_ms.push(ms);
+                }
+            }
+        }
+        rec.configure(prev_config);
+        rec.set_enabled(prev_enabled);
+        let disabled_p50_ms = median(disabled_ms);
+        let enabled_p50_ms = median(enabled_ms);
+        Some(TracingOverhead {
+            disabled_p50_ms,
+            enabled_p50_ms,
+            sample_every,
+            ratio: enabled_p50_ms / disabled_p50_ms.max(1e-12),
+        })
+    };
+
     // Phase 3: synchronized overload burst against one tenant.
     let barrier = Arc::new(Barrier::new(OVERLOAD_BURST));
     let clients: Vec<_> = (0..OVERLOAD_BURST)
@@ -239,6 +295,7 @@ fn main() {
         },
         drain_ms: drain.drain_seconds * 1e3,
         drain_abandoned: drain.abandoned_jobs,
+        tracing_overhead,
     };
 
     println!(
@@ -260,10 +317,35 @@ fn main() {
         "drain: {:.1} ms, {} abandoned",
         artifact.drain_ms, artifact.drain_abandoned
     );
+    if let Some(ov) = &artifact.tracing_overhead {
+        println!(
+            "tracing overhead: disabled p50 {:.2} ms, 1-in-{} sampling p50 {:.2} ms (ratio {:.3})",
+            ov.disabled_p50_ms, ov.sample_every, ov.enabled_p50_ms, ov.ratio
+        );
+    }
 
     if artifact.overload.rejected_429 == 0 {
         eprintln!("serve bench: overload burst shed nothing — backpressure is not engaging");
         std::process::exit(1);
+    }
+
+    // Strict gate (default on; RASA_BENCH_STRICT=0 disables): request
+    // tracing must cost at most 5% p50 on the warm path, with a 1 ms
+    // absolute floor so micro-runs don't fail on timer noise.
+    let strict = std::env::var("RASA_BENCH_STRICT").as_deref() != Ok("0");
+    if strict {
+        if let Some(ov) = &artifact.tracing_overhead {
+            if ov.ratio > 1.05 && ov.enabled_p50_ms - ov.disabled_p50_ms > 1.0 {
+                eprintln!(
+                    "serve bench: tracing overhead {:.1}% exceeds 5% (disabled p50 {:.2} ms, \
+                     enabled p50 {:.2} ms)",
+                    (ov.ratio - 1.0) * 100.0,
+                    ov.disabled_p50_ms,
+                    ov.enabled_p50_ms
+                );
+                std::process::exit(2);
+            }
+        }
     }
 
     let out = std::env::var("RASA_SERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());

@@ -10,7 +10,10 @@ use serde::{Deserialize, Serialize};
 
 /// Version stamped into every serve artifact. Bump on any field change
 /// that would make old/new artifacts incomparable.
-pub const SERVE_BENCH_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added `tracing_overhead` (request-scoped tracing cost on the warm
+/// request path).
+pub const SERVE_BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// Exact latency percentiles over one request phase, in milliseconds.
 /// Computed from the raw per-request samples (not histogram buckets), so
@@ -65,6 +68,21 @@ pub struct OverloadSummary {
     pub rejection_rate: f64,
 }
 
+/// Request-scoped tracing cost: the same warm-delta request path with the
+/// flight recorder off and sampling 1-in-N, interleaved to cancel drift
+/// (the serve-side analog of the pipeline bench's `recorder_overhead`).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TracingOverhead {
+    /// Median warm-request latency with the recorder disabled, ms.
+    pub disabled_p50_ms: f64,
+    /// Median warm-request latency with the recorder sampling 1-in-N, ms.
+    pub enabled_p50_ms: f64,
+    /// Healthy-solve sampling period used while enabled.
+    pub sample_every: u64,
+    /// `enabled_p50_ms / disabled_p50_ms` — strict mode gates this at 1.05.
+    pub ratio: f64,
+}
+
 /// The `BENCH_serve.json` artifact.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ServeBenchArtifact {
@@ -87,6 +105,9 @@ pub struct ServeBenchArtifact {
     pub drain_ms: f64,
     /// Jobs abandoned at the drain grace cutoff (0 in a healthy bench).
     pub drain_abandoned: u64,
+    /// Request-scoped tracing cost; `null` when skipped
+    /// (`RASA_BENCH_OVERHEAD=0`).
+    pub tracing_overhead: Option<TracingOverhead>,
 }
 
 /// Thresholds for the serve regression gate.
@@ -202,6 +223,22 @@ pub fn compare_serve_artifacts(
         ));
     }
 
+    // Request-scoped tracing must stay near-free on the warm path: gate
+    // the candidate's measured ratio at 1.05× even when the baseline
+    // skipped the measurement, with a 1 ms absolute floor so micro-runs
+    // don't fail on timer noise.
+    if let Some(new_ov) = &new.tracing_overhead {
+        if new_ov.ratio > 1.05 && new_ov.enabled_p50_ms - new_ov.disabled_p50_ms > 1.0 {
+            findings.push(format!(
+                "tracing overhead {:.1}% exceeds 5% (disabled p50 {:.2} ms, \
+                 enabled p50 {:.2} ms)",
+                (new_ov.ratio - 1.0) * 100.0,
+                new_ov.disabled_p50_ms,
+                new_ov.enabled_p50_ms
+            ));
+        }
+    }
+
     if findings.is_empty() {
         CompareOutcome::Pass
     } else {
@@ -242,6 +279,12 @@ mod tests {
             },
             drain_ms: 30.0,
             drain_abandoned: 0,
+            tracing_overhead: Some(TracingOverhead {
+                disabled_p50_ms: 8.0,
+                enabled_p50_ms: 8.2,
+                sample_every: 4,
+                ratio: 8.2 / 8.0,
+            }),
         }
     }
 
@@ -269,6 +312,30 @@ mod tests {
             }
             other => panic!("expected regressions, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tracing_overhead_blowup_is_a_regression() {
+        let old = base();
+        let mut new = base();
+        new.tracing_overhead = Some(TracingOverhead {
+            disabled_p50_ms: 8.0,
+            enabled_p50_ms: 12.0,
+            sample_every: 4,
+            ratio: 1.5,
+        });
+        match compare_serve_artifacts(&old, &new, &ServeCompareConfig::default()) {
+            CompareOutcome::Regressions(findings) => {
+                assert!(findings.iter().any(|f| f.contains("tracing overhead")));
+            }
+            other => panic!("expected regressions, got {other:?}"),
+        }
+        // a skipped measurement is not a regression
+        new.tracing_overhead = None;
+        assert!(matches!(
+            compare_serve_artifacts(&old, &new, &ServeCompareConfig::default()),
+            CompareOutcome::Pass
+        ));
     }
 
     #[test]

@@ -626,6 +626,9 @@ impl RasaPipeline {
         let slots: Vec<slot::Slot<GuardedOutcome>> =
             (0..jobs.len()).map(|_| slot::Slot::new()).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
+        // request identity is thread-ambient; hand each pool worker a
+        // clone so their recordings join the same request as the caller's
+        let request_ctx = rasa_obs::flight::current_request_context();
         // `solve_one` catches panics internally, so a worker dying here is
         // already a second-order failure; ignore the scope error and let
         // the per-slot fallback below fill in whatever was lost.
@@ -633,18 +636,22 @@ impl RasaPipeline {
             for _ in 0..threads {
                 let next = &next;
                 let slots = &slots;
-                scope.spawn(move |_| loop {
-                    let pos = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if pos >= jobs.len() {
-                        break;
+                let request_ctx = request_ctx.clone();
+                scope.spawn(move |_| {
+                    let _ctx = request_ctx.map(rasa_obs::flight::with_request_context);
+                    loop {
+                        let pos = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if pos >= jobs.len() {
+                            break;
+                        }
+                        // slice the global budget by queue position, exactly
+                        // as the sequential path does — handing every worker
+                        // the full deadline let one slow subproblem starve
+                        // the rest of the queue
+                        let slice =
+                            Self::parallel_slice_deadline(deadline, pos, jobs.len(), threads);
+                        slots[pos].set(self.solve_one(&jobs[pos], slice));
                     }
-                    // slice the global budget by queue position, exactly as
-                    // the sequential path does — handing every worker the
-                    // full deadline let one slow subproblem starve the rest
-                    // of the queue
-                    let slice =
-                        Self::parallel_slice_deadline(deadline, pos, jobs.len(), threads);
-                    slots[pos].set(self.solve_one(&jobs[pos], slice));
                 });
             }
         });

@@ -175,6 +175,9 @@ pub struct SessionRound {
     /// The full pipeline run report (cache tallies, admission report,
     /// per-subproblem status).
     pub run: RasaRun,
+    /// Request id ambient when the round was solved (`None` outside any
+    /// request context — e.g. batch or bench callers).
+    pub request_id: Option<String>,
 }
 
 /// Minimum accumulated [`SelectionSample`](rasa_select::SelectionSample)s
@@ -403,6 +406,7 @@ impl AllocationSession {
             normalized: run.outcome.normalized_gained_affinity,
             degraded: run.is_degraded(),
             run,
+            request_id: rasa_obs::flight::current_request_context().map(|c| c.request_id),
         };
         self.published = Some(PublishedPlacement {
             placement: round.run.outcome.placement.clone(),

@@ -59,7 +59,79 @@ use std::time::Instant;
 
 /// Schema version written into every black-box dump (bump on any
 /// incompatible change to [`FlightRecording`]).
-pub const BLACKBOX_SCHEMA_VERSION: u32 = 1;
+///
+/// * v1 — original span-tree + event-log dump.
+/// * v2 — adds the request-scoped `request_id` / `tenant` fields (empty
+///   when the solve ran outside any request context; v1 dumps parse with
+///   both defaulting to empty).
+pub const BLACKBOX_SCHEMA_VERSION: u32 = 2;
+
+/// The request-scoped identity a solve runs under: the request id the
+/// daemon accepted (or minted) at HTTP ingress plus the tenant it belongs
+/// to. Installed as a thread-ambient value via [`with_request_context`]
+/// and captured by every recording started while it is set, so a 504 or a
+/// `stale: true` response can be joined to the exact black box, span tree,
+/// and log lines of the solve that produced it.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestContext {
+    /// Request id (caller-supplied `X-Rasa-Request-Id` or daemon-minted).
+    pub request_id: String,
+    /// Tenant the request belongs to.
+    pub tenant: String,
+}
+
+impl RequestContext {
+    /// A context for `request_id` / `tenant`.
+    pub fn new(request_id: impl Into<String>, tenant: impl Into<String>) -> Self {
+        RequestContext {
+            request_id: request_id.into(),
+            tenant: tenant.into(),
+        }
+    }
+}
+
+thread_local! {
+    static REQUEST_CONTEXT: RefCell<Option<RequestContext>> = const { RefCell::new(None) };
+}
+
+/// The request context currently ambient on this thread, if any.
+pub fn current_request_context() -> Option<RequestContext> {
+    REQUEST_CONTEXT.with(|cell| cell.borrow().clone())
+}
+
+/// Replace this thread's ambient request context outright (prefer the
+/// scoped [`with_request_context`]); returns the previous value. Worker
+/// threads that outlive requests must clear it (`None`) when done.
+pub fn set_request_context(ctx: Option<RequestContext>) -> Option<RequestContext> {
+    REQUEST_CONTEXT.with(|cell| std::mem::replace(&mut *cell.borrow_mut(), ctx))
+}
+
+/// Install `ctx` as this thread's ambient request context for the
+/// lifetime of the returned guard; the previous context (if any) is
+/// restored on drop, so scopes nest. Recordings started while the guard
+/// lives are stamped with the context — including recordings on *other*
+/// threads only if the caller clones the context across the spawn and
+/// installs its own guard there (the parallel solve pool does exactly
+/// that).
+pub fn with_request_context(ctx: RequestContext) -> ContextGuard {
+    ContextGuard {
+        prior: set_request_context(Some(ctx)),
+    }
+}
+
+/// RAII guard from [`with_request_context`]; restores the previously
+/// ambient request context when dropped.
+#[must_use = "the request context is uninstalled when the guard drops — bind it with `let _ctx = …`"]
+#[derive(Debug)]
+pub struct ContextGuard {
+    prior: Option<RequestContext>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        set_request_context(self.prior.take());
+    }
+}
 
 /// The kind of a structured [`TraceEvent`]. Fieldless so the taxonomy is
 /// closed and serializable; per-kind payloads live in
@@ -364,7 +436,10 @@ impl SpanNode {
 }
 
 /// A finished solve recording: the black-box dump payload.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (below) so the v2 context fields
+/// (`request_id`, `tenant`) default to empty when parsing a v1 dump.
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct FlightRecording {
     /// Dump format version ([`BLACKBOX_SCHEMA_VERSION`]).
     pub schema_version: u32,
@@ -377,6 +452,12 @@ pub struct FlightRecording {
     /// `true` when this recording was dumped by healthy-solve sampling
     /// rather than degradation.
     pub sampled: bool,
+    /// Request id ambient when the recording began (empty outside any
+    /// request context; see [`RequestContext`]).
+    pub request_id: String,
+    /// Tenant ambient when the recording began (empty outside any
+    /// request context).
+    pub tenant: String,
     /// Total recording wall time, seconds.
     pub elapsed_secs: f64,
     /// The span tree, rooted at the [`begin_solve`] span.
@@ -387,6 +468,36 @@ pub struct FlightRecording {
     pub dropped_events: u64,
     /// Spans not recorded because the span cap was reached.
     pub dropped_spans: u64,
+}
+
+impl serde::Deserialize for FlightRecording {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let map = v.as_map("FlightRecording")?;
+        let required = |field: &str| serde::map_field(map, field, "FlightRecording");
+        // v1 dumps predate the request-context fields: default to empty.
+        let optional_string = |field: &str| -> Result<String, serde::DeError> {
+            match map
+                .iter()
+                .find(|(k, _)| matches!(k, serde::Value::Str(s) if s == field))
+            {
+                Some((_, val)) => serde::Deserialize::deserialize(val),
+                None => Ok(String::new()),
+            }
+        };
+        Ok(FlightRecording {
+            schema_version: serde::Deserialize::deserialize(required("schema_version")?)?,
+            verdict: serde::Deserialize::deserialize(required("verdict")?)?,
+            degraded: serde::Deserialize::deserialize(required("degraded")?)?,
+            sampled: serde::Deserialize::deserialize(required("sampled")?)?,
+            request_id: optional_string("request_id")?,
+            tenant: optional_string("tenant")?,
+            elapsed_secs: serde::Deserialize::deserialize(required("elapsed_secs")?)?,
+            root: serde::Deserialize::deserialize(required("root")?)?,
+            events: serde::Deserialize::deserialize(required("events")?)?,
+            dropped_events: serde::Deserialize::deserialize(required("dropped_events")?)?,
+            dropped_spans: serde::Deserialize::deserialize(required("dropped_spans")?)?,
+        })
+    }
 }
 
 impl FlightRecording {
@@ -588,19 +699,29 @@ impl FlightRecorder {
     }
 }
 
-/// Write one black-box file; returns the path.
+/// Write one black-box file; returns the path. The filename carries the
+/// verdict plus — when a [`RequestContext`] was ambient — the request id
+/// and tenant, so a failing request can be joined to its dump by `ls`
+/// alone: `blackbox_<seq>_<verdict>[_<request_id>_<tenant>].json`.
 fn write_blackbox(
     dir: &Path,
     seq: u64,
     rec: &FlightRecording,
 ) -> Result<PathBuf, std::io::Error> {
     std::fs::create_dir_all(dir)?;
-    let label: String = rec
-        .verdict
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect();
-    let path = dir.join(format!("blackbox_{seq:04}_{label}.json"));
+    let clean = |s: &str| -> String {
+        s.chars()
+            .take(48)
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect()
+    };
+    let label = clean(&rec.verdict);
+    let suffix = if rec.request_id.is_empty() {
+        String::new()
+    } else {
+        format!("_{}_{}", clean(&rec.request_id), clean(&rec.tenant))
+    };
+    let path = dir.join(format!("blackbox_{seq:04}_{label}{suffix}.json"));
     let json = rec
         .to_json()
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
@@ -643,6 +764,8 @@ struct ActiveTrace {
     dropped_spans: u64,
     degraded: bool,
     verdict: Option<String>,
+    /// Ambient [`RequestContext`] captured when the trace began.
+    context: Option<RequestContext>,
 }
 
 impl ActiveTrace {
@@ -658,6 +781,7 @@ impl ActiveTrace {
             dropped_spans: 0,
             degraded: false,
             verdict: None,
+            context: current_request_context(),
         }
     }
 
@@ -763,11 +887,14 @@ impl ActiveTrace {
             }
         }
         restore(&mut root);
+        let ctx = self.context.take().unwrap_or_default();
         FlightRecording {
             schema_version: BLACKBOX_SCHEMA_VERSION,
             verdict: self.verdict.take().unwrap_or_else(|| "unlabeled".into()),
             degraded: self.degraded,
             sampled: false,
+            request_id: ctx.request_id,
+            tenant: ctx.tenant,
             elapsed_secs: elapsed,
             root,
             events: self.events.into_iter().collect(),
@@ -888,6 +1015,11 @@ pub fn begin_solve(name: &str, attrs: &[(&str, String)]) -> FlightScope {
             },
             None => {
                 let mut trace = ActiveTrace::new(&recorder().config());
+                let mut attrs = attrs;
+                if let Some(ctx) = &trace.context {
+                    attrs.push(("request_id".to_string(), ctx.request_id.clone()));
+                    attrs.push(("tenant".to_string(), ctx.tenant.clone()));
+                }
                 trace.open_span(name, attrs);
                 *slot = Some(trace);
                 FlightScope {
@@ -1131,6 +1263,79 @@ mod tests {
             assert_eq!(rec.root.name, "solve.dump");
             let _ = std::fs::remove_dir_all(&dir);
         });
+    }
+
+    #[test]
+    fn request_context_is_stamped_into_recording_attrs_and_filename() {
+        with_recorder_lock(|| {
+            let dir = std::env::temp_dir().join(format!(
+                "rasa_flight_ctx_{}_{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            recorder().configure(FlightConfig {
+                dump_dir: Some(dir.clone()),
+                ..Default::default()
+            });
+            {
+                let _ctx = with_request_context(RequestContext::new("req-42", "acme"));
+                {
+                    let _inner = with_request_context(RequestContext::new("req-43", "beta"));
+                    assert_eq!(
+                        current_request_context().map(|c| c.request_id),
+                        Some("req-43".to_string()),
+                        "guards nest"
+                    );
+                }
+                let mut scope = begin_solve("solve.ctx", &[]);
+                scope.set_verdict("deadline_expired", true);
+            }
+            assert!(
+                current_request_context().is_none(),
+                "guard restores the prior (empty) context"
+            );
+            let rec = recorder().recent().pop().unwrap();
+            assert_eq!(rec.request_id, "req-42");
+            assert_eq!(rec.tenant, "acme");
+            assert_eq!(rec.root.attr("request_id"), Some("req-42"));
+            assert_eq!(rec.root.attr("tenant"), Some("acme"));
+            let files: Vec<String> = std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect();
+            assert_eq!(files.len(), 1);
+            assert!(
+                files[0].contains("req_42") && files[0].contains("acme"),
+                "filename {} carries request id and tenant",
+                files[0]
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        });
+    }
+
+    #[test]
+    fn v1_dumps_without_context_fields_still_parse() {
+        let v1 = r#"{
+            "schema_version": 1,
+            "verdict": "ok",
+            "degraded": false,
+            "sampled": false,
+            "elapsed_secs": 0.5,
+            "root": {
+                "name": "solve.legacy",
+                "attrs": [],
+                "start_secs": 0.0,
+                "end_secs": 0.5,
+                "children": []
+            },
+            "events": [],
+            "dropped_events": 0,
+            "dropped_spans": 0
+        }"#;
+        let rec = FlightRecording::from_json(v1).unwrap();
+        assert_eq!(rec.request_id, "");
+        assert_eq!(rec.tenant, "");
     }
 
     #[test]

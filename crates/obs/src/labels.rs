@@ -1,0 +1,81 @@
+//! Bounded-cardinality metric labels.
+//!
+//! A labeled series is stored in the same registry maps as its unlabeled
+//! family, under the name `base{tenant=label}`. Encoding the label in the
+//! name keeps `snapshot()`, `drain_counters()`, and `reset()` working
+//! unchanged; the Prometheus writer regroups series by family and renders
+//! the label properly. Cardinality is bounded by a registry-global LRU
+//! table over label values: when a new label would exceed the cap, the
+//! least-recently-used label is evicted and every series it owns is
+//! *folded* into the [`OTHER_LABEL`] overflow bucket (counter values are
+//! transferred atomically, histogram buckets are merged index-exact), so
+//! totals are conserved across evictions.
+
+/// The overflow label that absorbs evicted labels' series. Never evicted
+/// and never tracked by the LRU table.
+pub const OTHER_LABEL: &str = "other";
+
+/// Default LRU cap on distinct label values (overridable via
+/// [`crate::MetricsRegistry::set_label_cap`]; `rasa-serve` sets it from
+/// `max_tenants`).
+pub const DEFAULT_LABEL_CAP: usize = 64;
+
+/// The registry key for the labeled series `base{tenant=label}`.
+pub fn labeled_name(base: &str, label: &str) -> String {
+    format!("{base}{{tenant={label}}}")
+}
+
+/// Split a registry key into `(base, label)` if it is a labeled series
+/// name produced by [`labeled_name`]; `None` for plain names.
+pub fn split_labeled(name: &str) -> Option<(&str, &str)> {
+    let open = name.find("{tenant=")?;
+    let rest = &name[open + "{tenant=".len()..];
+    let close = rest.find('}')?;
+    // a labeled name ends at the closing brace
+    if open + "{tenant=".len() + close + 1 != name.len() {
+        return None;
+    }
+    Some((&name[..open], &rest[..close]))
+}
+
+/// Clamp a raw label value to the charset `[a-z0-9_-]` (other characters
+/// become `_`, uppercase is lowered) and at most 64 bytes, so a hostile
+/// tenant id can never smuggle braces, quotes, or unbounded bytes into a
+/// registry key or a Prometheus label value.
+pub fn sanitize_label(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len().min(64));
+    for c in raw.chars().take(64) {
+        let c = c.to_ascii_lowercase();
+        if c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labeled_name_round_trips_through_split() {
+        let name = labeled_name("serve.requests", "acme");
+        assert_eq!(name, "serve.requests{tenant=acme}");
+        assert_eq!(split_labeled(&name), Some(("serve.requests", "acme")));
+        assert_eq!(split_labeled("serve.requests"), None);
+        assert_eq!(split_labeled("serve.requests{tenant=x}y"), None);
+    }
+
+    #[test]
+    fn sanitize_clamps_charset_and_length() {
+        assert_eq!(sanitize_label("Acme-Corp_7"), "acme-corp_7");
+        assert_eq!(sanitize_label("a{b\"c}d"), "a_b_c_d");
+        assert_eq!(sanitize_label(""), "_");
+        assert_eq!(sanitize_label(&"x".repeat(200)).len(), 64);
+    }
+}

@@ -50,15 +50,18 @@
 //! ```
 
 pub mod flight;
+pub mod labels;
 mod metrics;
 pub mod prometheus;
 mod registry;
 mod snapshot;
 
 pub use flight::{
-    recorder, EventKind, FlightConfig, FlightRecorder, FlightRecording, FlightScope, FlightSpan,
-    SpanNode, TraceEvent, BLACKBOX_SCHEMA_VERSION,
+    current_request_context, recorder, set_request_context, with_request_context, ContextGuard,
+    EventKind, FlightConfig, FlightRecorder, FlightRecording, FlightScope, FlightSpan,
+    RequestContext, SpanNode, TraceEvent, BLACKBOX_SCHEMA_VERSION,
 };
+pub use labels::{labeled_name, sanitize_label, split_labeled, DEFAULT_LABEL_CAP, OTHER_LABEL};
 pub use metrics::{Counter, Histogram, BUCKETS};
 pub use prometheus::{write_prometheus, MetricsGlossary, PrometheusError};
 pub use registry::{global, MetricsRegistry, Span};

@@ -159,6 +159,31 @@ impl Histogram {
         }
     }
 
+    /// Merge every observation of `other` into `self`, bucket-index
+    /// exact: per-bucket counts and the count/sum add, min/max widen.
+    /// Because both histograms share the fixed log₂ layout the merge
+    /// loses no precision beyond what recording already lost — this is
+    /// how an evicted label's series folds into the `other` bucket.
+    pub fn merge_from(&self, other: &Histogram) {
+        let n = other.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return;
+        }
+        self.count.fetch_add(n, Ordering::Relaxed);
+        for (dst, src) in self.buckets.iter().zip(&other.buckets) {
+            let c = src.load(Ordering::Relaxed);
+            if c > 0 {
+                dst.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        let sum = other.sum();
+        fetch_update_f64(&self.sum_bits, |cur| cur + sum);
+        let min = f64::from_bits(other.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(other.max_bits.load(Ordering::Relaxed));
+        fetch_update_f64(&self.min_bits, |cur| cur.min(min));
+        fetch_update_f64(&self.max_bits, |cur| cur.max(max));
+    }
+
     /// Reset to empty.
     pub fn reset(&self) {
         self.count.store(0, Ordering::Relaxed);
@@ -220,6 +245,31 @@ mod tests {
                 assert!(bucket_upper_bound(i - 1) < v, "v={v} not in earlier bucket");
             }
         }
+    }
+
+    #[test]
+    fn merge_from_is_bucket_exact_and_conserves_totals() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let reference = Histogram::new();
+        for v in [0.5, 2.0, 1e-4] {
+            a.record(v);
+            reference.record(v);
+        }
+        for v in [8.0, 0.25] {
+            b.record(v);
+            reference.record(v);
+        }
+        a.merge_from(&b);
+        let (merged, expect) = (a.snapshot(), reference.snapshot());
+        assert_eq!(merged.count, expect.count);
+        assert!((merged.sum - expect.sum).abs() < 1e-12);
+        assert_eq!(merged.min, expect.min);
+        assert_eq!(merged.max, expect.max);
+        assert_eq!(merged.buckets, expect.buckets, "bucket-index exact");
+        // merging an empty histogram changes nothing
+        a.merge_from(&Histogram::new());
+        assert_eq!(a.snapshot().count, expect.count);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! assert!(text.contains("rasa_simplex_pivots 42"));
 //! ```
 
+use crate::labels::split_labeled;
 use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -226,74 +227,131 @@ fn escape_help(help: &str) -> String {
     help.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
+/// Escape a label value for `{tenant="…"}` (registry labels are already
+/// sanitized; this layer escapes defensively anyway).
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Group snapshot series into families: a labeled name
+/// (`base{tenant=label}`) joins the family of its base, plain names form
+/// their own family. Within a family the unlabeled series (if any) comes
+/// first, then labels ascending — the order the name-sorted snapshot
+/// already delivers them in.
+fn family_groups<T>(series: &[(String, T)]) -> BTreeMap<&str, Vec<(Option<&str>, &T)>> {
+    let mut families: BTreeMap<&str, Vec<(Option<&str>, &T)>> = BTreeMap::new();
+    for (name, value) in series {
+        match split_labeled(name) {
+            Some((base, label)) => families.entry(base).or_default().push((Some(label), value)),
+            None => families.entry(name.as_str()).or_default().push((None, value)),
+        }
+    }
+    families
+}
+
+/// Glossary lookup for one family base name, mapping disagreement to the
+/// right error.
+fn check_kind(
+    glossary: &MetricsGlossary,
+    base: &str,
+    expected: MetricKind,
+) -> Result<(), PrometheusError> {
+    let actual = expected.as_str();
+    match glossary.kind_of(base) {
+        Some(kind) if kind == expected => Ok(()),
+        Some(other) => Err(PrometheusError::KindMismatch {
+            name: base.to_string(),
+            documented: other.as_str(),
+            actual,
+        }),
+        None => Err(PrometheusError::UnknownMetric {
+            name: base.to_string(),
+            actual_kind: actual,
+        }),
+    }
+}
+
 /// Render `snapshot` in the Prometheus text exposition format, taking
 /// `# HELP` / `# TYPE` metadata from `glossary`. Errors when a metric is
 /// undocumented or documented as the wrong kind — the glossary is the
-/// contract, not a suggestion.
+/// contract, not a suggestion. Labeled series (`base{tenant=label}` keys
+/// from the registry's labeled API) are validated against their *base*
+/// name's glossary row and rendered as one family: `# HELP` / `# TYPE`
+/// once, then one sample per label with a `tenant="…"` label pair.
 pub fn write_prometheus(
     snapshot: &MetricsSnapshot,
     glossary: &MetricsGlossary,
 ) -> Result<String, PrometheusError> {
     let mut out = String::new();
-    for (name, value) in &snapshot.counters {
-        match glossary.kind_of(name) {
-            Some(MetricKind::Counter) => {}
-            Some(MetricKind::Histogram) => {
-                return Err(PrometheusError::KindMismatch {
-                    name: name.clone(),
-                    documented: "histogram",
-                    actual: "counter",
-                })
-            }
-            None => {
-                return Err(PrometheusError::UnknownMetric {
-                    name: name.clone(),
-                    actual_kind: "counter",
-                })
-            }
-        }
-        let pname = prometheus_name(name);
-        let help = glossary.help_of(name).unwrap_or_default();
+    for (base, series) in family_groups(&snapshot.counters) {
+        check_kind(glossary, base, MetricKind::Counter)?;
+        let pname = prometheus_name(base);
+        let help = glossary.help_of(base).unwrap_or_default();
         let _ = writeln!(out, "# HELP {pname} {}", escape_help(help));
         let _ = writeln!(out, "# TYPE {pname} counter");
-        let _ = writeln!(out, "{pname} {value}");
-    }
-    for (name, hist) in &snapshot.histograms {
-        match glossary.kind_of(name) {
-            Some(MetricKind::Histogram) => {}
-            Some(MetricKind::Counter) => {
-                return Err(PrometheusError::KindMismatch {
-                    name: name.clone(),
-                    documented: "counter",
-                    actual: "histogram",
-                })
-            }
-            None => {
-                return Err(PrometheusError::UnknownMetric {
-                    name: name.clone(),
-                    actual_kind: "histogram",
-                })
+        for (label, value) in series {
+            match label {
+                None => {
+                    let _ = writeln!(out, "{pname} {value}");
+                }
+                Some(label) => {
+                    let _ =
+                        writeln!(out, "{pname}{{tenant=\"{}\"}} {value}", escape_label(label));
+                }
             }
         }
-        let pname = prometheus_name(name);
-        let help = glossary.help_of(name).unwrap_or_default();
+    }
+    for (base, series) in family_groups(&snapshot.histograms) {
+        check_kind(glossary, base, MetricKind::Histogram)?;
+        let pname = prometheus_name(base);
+        let help = glossary.help_of(base).unwrap_or_default();
         let _ = writeln!(out, "# HELP {pname} {}", escape_help(help));
         let _ = writeln!(out, "# TYPE {pname} histogram");
-        write_histogram_series(&mut out, &pname, hist);
+        for (label, hist) in series {
+            write_histogram_series(&mut out, &pname, label, hist);
+        }
     }
     Ok(out)
 }
 
-/// Cumulative `_bucket` / `_sum` / `_count` series for one histogram.
-fn write_histogram_series(out: &mut String, pname: &str, hist: &HistogramSnapshot) {
+/// Cumulative `_bucket` / `_sum` / `_count` series for one histogram
+/// (one `tenant` label pair merged into every brace set when labeled).
+fn write_histogram_series(
+    out: &mut String,
+    pname: &str,
+    label: Option<&str>,
+    hist: &HistogramSnapshot,
+) {
+    let tenant = label.map(|l| format!("tenant=\"{}\"", escape_label(l)));
+    let suffix = match &tenant {
+        Some(t) => format!("{{{t}}}"),
+        None => String::new(),
+    };
     let mut cumulative = 0u64;
     for &(upper, count) in &hist.buckets {
         cumulative += count;
-        let _ = writeln!(out, "{pname}_bucket{{le=\"{upper}\"}} {cumulative}");
+        match &tenant {
+            Some(t) => {
+                let _ = writeln!(out, "{pname}_bucket{{{t},le=\"{upper}\"}} {cumulative}");
+            }
+            None => {
+                let _ = writeln!(out, "{pname}_bucket{{le=\"{upper}\"}} {cumulative}");
+            }
+        }
     }
-    let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", hist.count);
-    let _ = writeln!(out, "{pname}_sum {}", hist.sum);
-    let _ = writeln!(out, "{pname}_count {}", hist.count);
+    match &tenant {
+        Some(t) => {
+            let _ = writeln!(out, "{pname}_bucket{{{t},le=\"+Inf\"}} {}", hist.count);
+        }
+        None => {
+            let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", hist.count);
+        }
+    }
+    let _ = writeln!(out, "{pname}_sum{suffix} {}", hist.sum);
+    let _ = writeln!(out, "{pname}_count{suffix} {}", hist.count);
 }
 
 #[cfg(test)]
@@ -342,6 +400,38 @@ mod tests {
             assert!(v >= last, "cumulative: {line}");
             last = v;
         }
+    }
+
+    #[test]
+    fn labeled_series_render_as_one_family_with_tenant_labels() {
+        let reg = MetricsRegistry::new();
+        reg.add("serve.requests", 10); // global total
+        reg.add_labeled("serve.requests", "acme", 7);
+        reg.add_labeled("serve.requests", "beta", 3);
+        reg.record_labeled("serve.request_seconds", "acme", 0.5);
+        let text = write_prometheus(&reg.snapshot(), MetricsGlossary::builtin()).unwrap();
+        // HELP/TYPE appear once per family, before all its samples
+        assert_eq!(text.matches("# TYPE rasa_serve_requests counter").count(), 1);
+        assert!(text.contains("\nrasa_serve_requests 10\n"));
+        assert!(text.contains("rasa_serve_requests{tenant=\"acme\"} 7"));
+        assert!(text.contains("rasa_serve_requests{tenant=\"beta\"} 3"));
+        assert_eq!(
+            text.matches("# TYPE rasa_serve_request_seconds histogram")
+                .count(),
+            1
+        );
+        assert!(text.contains("rasa_serve_request_seconds_bucket{tenant=\"acme\",le=\"+Inf\"} 1"));
+        assert!(text.contains("rasa_serve_request_seconds_count{tenant=\"acme\"} 1"));
+        // an undocumented labeled family still errors on its base name
+        reg.add_labeled("made.up_counter", "acme", 1);
+        let err = write_prometheus(&reg.snapshot(), MetricsGlossary::builtin()).unwrap_err();
+        assert_eq!(
+            err,
+            PrometheusError::UnknownMetric {
+                name: "made.up_counter".into(),
+                actual_kind: "counter",
+            }
+        );
     }
 
     #[test]

@@ -1,12 +1,42 @@
 //! The named-metric registry, the process-wide [`global()`] instance the
 //! solver crates flush into, and the scoped [`Span`] timer.
 
+use crate::labels::{labeled_name, sanitize_label, DEFAULT_LABEL_CAP, OTHER_LABEL};
 use crate::metrics::{Counter, Histogram};
 use crate::snapshot::MetricsSnapshot;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+/// LRU table over the distinct label values the labeled-metric API has
+/// seen. Recency is a monotone sequence number per touch; eviction picks
+/// the smallest.
+#[derive(Debug)]
+struct LabelTable {
+    cap: usize,
+    seq: u64,
+    last_used: BTreeMap<String, u64>,
+}
+
+impl Default for LabelTable {
+    fn default() -> Self {
+        LabelTable {
+            cap: DEFAULT_LABEL_CAP,
+            seq: 0,
+            last_used: BTreeMap::new(),
+        }
+    }
+}
+
+impl LabelTable {
+    fn lru(&self) -> Option<String> {
+        self.last_used
+            .iter()
+            .min_by_key(|(_, &seq)| seq)
+            .map(|(label, _)| label.clone())
+    }
+}
 
 /// A thread-safe registry of named counters and histograms.
 ///
@@ -25,6 +55,7 @@ pub struct MetricsRegistry {
     enabled: AtomicBool,
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    labels: Mutex<LabelTable>,
 }
 
 impl MetricsRegistry {
@@ -100,6 +131,152 @@ impl MetricsRegistry {
     /// Record a duration (in seconds) into the histogram `name`.
     pub fn record_duration(&self, name: &str, d: std::time::Duration) {
         self.record(name, d.as_secs_f64());
+    }
+
+    /// Cap the number of distinct label values the labeled-metric API
+    /// tracks (minimum 1). Lowering the cap below the current residency
+    /// folds least-recently-used labels into the `other` bucket until the
+    /// table fits.
+    pub fn set_label_cap(&self, cap: usize) {
+        let evicted: Vec<String> = {
+            let mut table = self.labels.lock().unwrap_or_else(|e| e.into_inner());
+            table.cap = cap.max(1);
+            let mut evicted = Vec::new();
+            while table.last_used.len() > table.cap {
+                match table.lru() {
+                    Some(label) => {
+                        table.last_used.remove(&label);
+                        evicted.push(label);
+                    }
+                    None => break,
+                }
+            }
+            evicted
+        };
+        for label in &evicted {
+            self.fold_label_into_other(label);
+        }
+    }
+
+    /// Number of label values currently resident in the LRU table (the
+    /// `other` overflow bucket is not tracked).
+    pub fn label_count(&self) -> usize {
+        self.labels
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .last_used
+            .len()
+    }
+
+    /// Resolve a raw label value: sanitize it, mark it most-recently-used,
+    /// and — when admitting it would exceed the cap — evict the LRU label,
+    /// folding every series that label owns into the `other` bucket.
+    fn resolve_label(&self, raw: &str) -> String {
+        let label = sanitize_label(raw);
+        if label == OTHER_LABEL {
+            return label;
+        }
+        let evicted: Option<String> = {
+            let mut table = self.labels.lock().unwrap_or_else(|e| e.into_inner());
+            table.seq += 1;
+            let seq = table.seq;
+            if let Some(entry) = table.last_used.get_mut(&label) {
+                *entry = seq;
+                None
+            } else {
+                let evicted = if table.last_used.len() >= table.cap {
+                    let lru = table.lru();
+                    if let Some(ref doomed) = lru {
+                        table.last_used.remove(doomed);
+                    }
+                    lru
+                } else {
+                    None
+                };
+                table.last_used.insert(label.clone(), seq);
+                evicted
+            }
+        };
+        if let Some(evicted) = evicted {
+            self.fold_label_into_other(&evicted);
+        }
+        label
+    }
+
+    /// Fold every series owned by `label` into its `other`-labeled
+    /// counterpart and drop the originals, conserving totals: counter
+    /// values transfer via an atomic `take`+`add`, histograms merge
+    /// bucket-index exact. Each fold bumps `obs.label_evictions`.
+    fn fold_label_into_other(&self, label: &str) {
+        let suffix = format!("{{tenant={label}}}");
+        {
+            let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+            let doomed: Vec<String> = map
+                .keys()
+                .filter(|k| k.ends_with(suffix.as_str()))
+                .cloned()
+                .collect();
+            for key in doomed {
+                if let Some(counter) = map.remove(&key) {
+                    let base = &key[..key.len() - suffix.len()];
+                    let into = Arc::clone(
+                        map.entry(labeled_name(base, OTHER_LABEL))
+                            .or_insert_with(|| Arc::new(Counter::new())),
+                    );
+                    into.add(counter.take());
+                }
+            }
+        }
+        {
+            let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+            let doomed: Vec<String> = map
+                .keys()
+                .filter(|k| k.ends_with(suffix.as_str()))
+                .cloned()
+                .collect();
+            for key in doomed {
+                if let Some(hist) = map.remove(&key) {
+                    let base = &key[..key.len() - suffix.len()];
+                    let into = Arc::clone(
+                        map.entry(labeled_name(base, OTHER_LABEL))
+                            .or_insert_with(|| Arc::new(Histogram::new())),
+                    );
+                    into.merge_from(&hist);
+                }
+            }
+        }
+        self.inc("obs.label_evictions");
+    }
+
+    /// Add `n` to the `tenant=label` series of counter family `base`
+    /// (stored under the key `base{tenant=label}`). Only the labeled
+    /// series is touched — callers wanting a global total record the
+    /// unlabeled `base` separately. No-op when disabled.
+    pub fn add_labeled(&self, base: &str, label: &str, n: u64) {
+        if self.enabled() {
+            let label = self.resolve_label(label);
+            self.counter(&labeled_name(base, &label)).add(n);
+        }
+    }
+
+    /// Add one to the `tenant=label` series of counter family `base`.
+    pub fn inc_labeled(&self, base: &str, label: &str) {
+        self.add_labeled(base, label, 1);
+    }
+
+    /// Record `v` into the `tenant=label` series of histogram family
+    /// `base`. No-op when disabled.
+    pub fn record_labeled(&self, base: &str, label: &str, v: f64) {
+        if self.enabled() {
+            let label = self.resolve_label(label);
+            self.histogram(&labeled_name(base, &label)).record(v);
+        }
+    }
+
+    /// Record a duration (seconds) into the `tenant=label` series of
+    /// histogram family `base`.
+    pub fn record_duration_labeled(&self, base: &str, label: &str, d: std::time::Duration) {
+        self.record_labeled(base, label, d.as_secs_f64());
     }
 
     /// A scoped timer that records its elapsed seconds into the histogram
@@ -242,6 +419,81 @@ mod tests {
         let h = snap.histogram("timed").expect("span recorded");
         assert_eq!(h.count, 1);
         assert!(h.max >= 0.002, "max {}", h.max);
+    }
+
+    #[test]
+    fn labeled_series_are_lru_capped_and_fold_into_other() {
+        let reg = MetricsRegistry::new();
+        reg.set_label_cap(2);
+        // 5 distinct labels against a cap of 2: 3 folds into `other`
+        for (i, label) in ["a", "b", "c", "d", "e"].iter().enumerate() {
+            reg.add_labeled("serve.requests", label, i as u64 + 1);
+            reg.record_labeled("serve.request_seconds", label, 0.25);
+        }
+        assert!(reg.label_count() <= 2, "resident: {}", reg.label_count());
+        let snap = reg.snapshot();
+        // totals conserved: 1+2+3+4+5 spread over survivors + other
+        let total: u64 = snap
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("serve.requests{"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(total, 15);
+        assert!(
+            snap.counter("serve.requests{tenant=other}") >= 1 + 2 + 3,
+            "first three labels folded: {:?}",
+            snap.counters
+        );
+        let hist_total: u64 = snap
+            .histograms
+            .iter()
+            .filter(|(name, _)| name.starts_with("serve.request_seconds{"))
+            .map(|(_, h)| h.count)
+            .sum();
+        assert_eq!(hist_total, 5, "histogram observations conserved");
+        assert_eq!(snap.counter("obs.label_evictions"), 3);
+
+        // drain sees the same conserved family total as the snapshot did
+        let drained: u64 = reg
+            .drain_counters()
+            .into_iter()
+            .filter(|(name, _)| name.starts_with("serve.requests{"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(drained, 15);
+    }
+
+    #[test]
+    fn touching_a_label_refreshes_its_recency() {
+        let reg = MetricsRegistry::new();
+        reg.set_label_cap(2);
+        reg.inc_labeled("serve.requests", "a");
+        reg.inc_labeled("serve.requests", "b");
+        reg.inc_labeled("serve.requests", "a"); // refresh a → b is now LRU
+        reg.inc_labeled("serve.requests", "c"); // evicts b, not a
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve.requests{tenant=a}"), 2);
+        assert_eq!(snap.counter("serve.requests{tenant=b}"), 0);
+        assert_eq!(snap.counter("serve.requests{tenant=other}"), 1);
+    }
+
+    #[test]
+    fn hostile_labels_are_sanitized_and_other_is_never_tracked() {
+        let reg = MetricsRegistry::new();
+        reg.set_label_cap(4);
+        reg.inc_labeled("serve.requests", "Evil{le=\"1\"}\n");
+        reg.inc_labeled("serve.requests", "other");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve.requests{tenant=evil_le__1___}"), 1);
+        assert_eq!(snap.counter("serve.requests{tenant=other}"), 1);
+        assert_eq!(reg.label_count(), 1, "`other` bypasses the LRU table");
+        // lowering the cap folds residents down to fit
+        reg.inc_labeled("serve.requests", "x");
+        reg.inc_labeled("serve.requests", "y");
+        reg.set_label_cap(1);
+        assert_eq!(reg.label_count(), 1);
+        assert!(reg.snapshot().counter("serve.requests{tenant=other}") >= 3);
     }
 
     #[test]

@@ -105,6 +105,25 @@ impl MetricsSnapshot {
             .map(|(n, v)| (n.as_str(), *v))
     }
 
+    /// The labeled series of counter family `base`, as `(label, value)`
+    /// pairs label-ascending (the unlabeled base series is not included).
+    pub fn counter_family<'a>(&'a self, base: &str) -> Vec<(&'a str, u64)> {
+        self.counters
+            .iter()
+            .filter_map(|(name, value)| {
+                crate::labels::split_labeled(name)
+                    .filter(|(b, _)| *b == base)
+                    .map(|(_, label)| (label, *value))
+            })
+            .collect()
+    }
+
+    /// Sum of every labeled series of counter family `base` (folds into
+    /// the `other` bucket conserve this total across label evictions).
+    pub fn counter_family_total(&self, base: &str) -> u64 {
+        self.counter_family(base).iter().map(|(_, v)| v).sum()
+    }
+
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> Result<String, serde_json::Error> {
         serde_json::to_string_pretty(self)

@@ -18,7 +18,7 @@ use std::collections::BTreeSet;
 use std::path::Path;
 
 /// Prefixes that make a string literal a metric/span name candidate.
-const PREFIXES: [&str; 17] = [
+const PREFIXES: [&str; 19] = [
     "admission",
     "certify",
     "simplex",
@@ -36,6 +36,8 @@ const PREFIXES: [&str; 17] = [
     "serve",
     "select",
     "strategy",
+    "slo",
+    "obs",
 ];
 
 fn is_name_candidate(s: &str) -> bool {

@@ -12,7 +12,9 @@
 //! initiates graceful drain; the process exits 0 after the drain report
 //! is printed. The flight recorder reads its `RASA_FLIGHT_*` environment
 //! configuration at startup, so black-box dumps work the same way as in
-//! the batch CLI.
+//! the batch CLI; the structured event log likewise reads `RASA_LOG_*`
+//! (`RASA_LOG_LEVEL`, `RASA_LOG_CAP`, `RASA_LOG_STDERR`) and is served
+//! back by `GET /debug/log?tail=N`.
 
 #![warn(clippy::unwrap_used)]
 
@@ -120,18 +122,22 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     rasa_obs::flight::recorder().configure_from_env();
+    rasa_serve::log::event_log().configure_from_env();
     install_signal_handlers();
 
     let server = match Server::bind(config) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("rasa-serve: bind failed: {e}");
+            rasa_serve::log::error("main", format!("bind failed: {e}"));
             return ExitCode::from(1);
         }
     };
     match server.local_addr() {
-        Ok(addr) => println!("listening on {addr}"),
-        Err(e) => eprintln!("rasa-serve: local_addr: {e}"),
+        Ok(addr) => {
+            println!("listening on {addr}");
+            rasa_serve::log::info("main", format!("listening on {addr}"));
+        }
+        Err(e) => rasa_serve::log::error("main", format!("local_addr: {e}")),
     }
 
     let handle = server.handle();

@@ -79,6 +79,9 @@ pub struct Request {
     pub path: String,
     /// Query parameters (`?tenant=acme&deadline_ms=500`).
     pub query: BTreeMap<String, String>,
+    /// Request headers, names lowercased and values trimmed (later
+    /// occurrences of a repeated header win).
+    pub headers: BTreeMap<String, String>,
     /// Raw body (UTF-8; JSON endpoints parse it further).
     pub body: String,
 }
@@ -87,6 +90,13 @@ impl Request {
     /// A query parameter by name.
     pub fn param(&self, name: &str) -> Option<&str> {
         self.query.get(name).map(String::as_str)
+    }
+
+    /// A header by case-insensitive name (e.g. `X-Rasa-Request-Id`).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
     }
 }
 
@@ -132,6 +142,7 @@ pub fn read_request(stream: &mut TcpStream, limits: &HttpLimits) -> Result<Reque
     }
 
     let mut content_length = 0usize;
+    let mut headers = BTreeMap::new();
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -142,6 +153,10 @@ pub fn read_request(stream: &mut TcpStream, limits: &HttpLimits) -> Result<Reque
                 .parse()
                 .map_err(|_| HttpError::Malformed("bad content-length"))?;
         }
+        headers.insert(
+            name.trim().to_ascii_lowercase(),
+            value.trim().to_string(),
+        );
     }
     if content_length > limits.max_body_bytes {
         return Err(HttpError::BodyTooLarge {
@@ -172,6 +187,7 @@ pub fn read_request(stream: &mut TcpStream, limits: &HttpLimits) -> Result<Reque
         method,
         path,
         query,
+        headers,
         body,
     })
 }
@@ -309,6 +325,16 @@ mod tests {
         assert_eq!(req.param("tenant"), Some("acme"));
         assert_eq!(req.param("deadline_ms"), Some("250"));
         assert_eq!(req.body, "{\"a\": 1}x");
+        assert_eq!(req.header("Host"), Some("x"));
+    }
+
+    #[test]
+    fn headers_are_lowercased_and_values_trimmed() {
+        let raw = b"GET /placement HTTP/1.1\r\nX-Rasa-Request-Id:  Req-7 \r\nHost: x\r\n\r\n";
+        let req = round_trip(raw, HttpLimits::default()).unwrap();
+        assert_eq!(req.header("x-rasa-request-id"), Some("Req-7"));
+        assert_eq!(req.header("X-RASA-REQUEST-ID"), Some("Req-7"));
+        assert_eq!(req.header("absent"), None);
     }
 
     #[test]

@@ -26,6 +26,12 @@
 //!   panic is counted, penalized, and degraded around, never fatal.
 //! * **Graceful drain** — stop accepting, finish or black-box in-flight
 //!   rounds, flush the flight recorder and metrics ([`server`]).
+//! * **Request-scoped tracing** — every request adopts (or is minted) an
+//!   `X-Rasa-Request-Id` that propagates through the solve to every span,
+//!   black-box dump, and structured-log entry ([`log`]).
+//! * **Per-tenant SLOs** — latency/availability objectives scored with
+//!   5m/1h burn rates, surfaced by `GET /tenants` and `slo.*` metrics
+//!   ([`slo`]).
 //!
 //! See `docs/ARCHITECTURE.md` ("Service layer") for the request lifecycle
 //! and `docs/METRICS.md` for the `serve.*` metric glossary.
@@ -33,11 +39,15 @@
 pub mod backoff;
 pub mod breaker;
 pub mod http;
+pub mod log;
 pub mod queue;
 pub mod server;
+pub mod slo;
 
 pub use backoff::BackoffSchedule;
 pub use breaker::{BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker};
 pub use http::{HttpError, HttpLimits, Request, Response};
+pub use log::{event_log, EventLog, LogEntry, LogLevel};
 pub use queue::{BoundedQueue, QueueFull};
 pub use server::{DrainReport, ServeConfig, Server, ServerHandle};
+pub use slo::{SloBurn, SloConfig, SloTracker};

@@ -1,0 +1,348 @@
+//! The daemon's structured event log: leveled JSON entries in a bounded
+//! in-memory ring, replacing ad-hoc `eprintln!` lines so operational
+//! events are queryable (`GET /debug/log?tail=N`) and joinable to
+//! requests — every entry captures the ambient
+//! [`RequestContext`](rasa_obs::RequestContext) when one is installed.
+//!
+//! Configuration comes from the environment at daemon startup
+//! ([`EventLog::configure_from_env`]):
+//!
+//! * `RASA_LOG_LEVEL` — minimum level kept (`debug`/`info`/`warn`/`error`;
+//!   default `info`);
+//! * `RASA_LOG_CAP` — ring capacity in entries (default 512; oldest
+//!   entries are dropped and counted, never silently lost);
+//! * `RASA_LOG_STDERR` — `0` silences the stderr echo of `warn`/`error`
+//!   entries (default on, so a crashing daemon still leaves a trail).
+
+use rasa_obs::flight::current_request_context;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Entry severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Development chatter (off by default).
+    Debug = 0,
+    /// Routine lifecycle events (startup, drain phases, publishes).
+    Info = 1,
+    /// Degraded-but-handled conditions (breaker trips, stale serves).
+    Warn = 2,
+    /// Failures (flush errors, panics, bind failures).
+    Error = 3,
+}
+
+impl LogLevel {
+    /// Stable lowercase name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LogLevel::Debug => "debug",
+            LogLevel::Info => "info",
+            LogLevel::Warn => "warn",
+            LogLevel::Error => "error",
+        }
+    }
+
+    /// Parse a level name (case-insensitive); `None` for unknown names.
+    pub fn parse(s: &str) -> Option<LogLevel> {
+        match s.to_ascii_lowercase().as_str() {
+            "debug" => Some(LogLevel::Debug),
+            "info" => Some(LogLevel::Info),
+            "warn" | "warning" => Some(LogLevel::Warn),
+            "error" => Some(LogLevel::Error),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> LogLevel {
+        match v {
+            0 => LogLevel::Debug,
+            1 => LogLevel::Info,
+            2 => LogLevel::Warn,
+            _ => LogLevel::Error,
+        }
+    }
+}
+
+/// One structured log entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Monotone per-process sequence number.
+    pub seq: u64,
+    /// Wall-clock milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Severity.
+    pub level: LogLevel,
+    /// Subsystem that emitted the entry (`"serve"`, `"drain"`, …).
+    pub target: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Request id ambient when the entry was emitted (empty outside any
+    /// request context).
+    pub request_id: String,
+    /// Tenant ambient when the entry was emitted (empty likewise).
+    pub tenant: String,
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl LogEntry {
+    /// Render as one JSON object (the `/debug/log` wire format).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"unix_ms\":{},\"level\":\"{}\",\"target\":\"{}\",\
+             \"message\":\"{}\",\"request_id\":\"{}\",\"tenant\":\"{}\"}}",
+            self.seq,
+            self.unix_ms,
+            self.level.as_str(),
+            json_escape(&self.target),
+            json_escape(&self.message),
+            json_escape(&self.request_id),
+            json_escape(&self.tenant),
+        )
+    }
+}
+
+/// The bounded, leveled, process-wide event log behind [`event_log()`].
+#[derive(Debug)]
+pub struct EventLog {
+    min_level: AtomicU8,
+    echo_stderr: AtomicBool,
+    cap: AtomicUsize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    ring: Mutex<VecDeque<LogEntry>>,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog {
+            min_level: AtomicU8::new(LogLevel::Info as u8),
+            echo_stderr: AtomicBool::new(true),
+            cap: AtomicUsize::new(512),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+}
+
+impl EventLog {
+    /// Set the minimum level kept.
+    pub fn set_min_level(&self, level: LogLevel) {
+        self.min_level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// The minimum level kept.
+    pub fn min_level(&self) -> LogLevel {
+        LogLevel::from_u8(self.min_level.load(Ordering::Relaxed))
+    }
+
+    /// Set the ring capacity (existing overflow is dropped and counted).
+    pub fn set_capacity(&self, cap: usize) {
+        let cap = cap.max(1);
+        self.cap.store(cap, Ordering::Relaxed);
+        let mut ring = self.lock_ring();
+        while ring.len() > cap {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Enable or disable the stderr echo of `warn`/`error` entries.
+    pub fn set_echo_stderr(&self, echo: bool) {
+        self.echo_stderr.store(echo, Ordering::Relaxed);
+    }
+
+    /// Apply `RASA_LOG_LEVEL`, `RASA_LOG_CAP`, and `RASA_LOG_STDERR` from
+    /// the environment (see module docs); unset variables keep defaults.
+    pub fn configure_from_env(&self) {
+        if let Some(level) = std::env::var("RASA_LOG_LEVEL")
+            .ok()
+            .and_then(|v| LogLevel::parse(&v))
+        {
+            self.set_min_level(level);
+        }
+        if let Some(cap) = std::env::var("RASA_LOG_CAP")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            self.set_capacity(cap);
+        }
+        if let Ok(v) = std::env::var("RASA_LOG_STDERR") {
+            self.set_echo_stderr(v != "0");
+        }
+    }
+
+    fn lock_ring(&self) -> std::sync::MutexGuard<'_, VecDeque<LogEntry>> {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Append one entry (no-op below the minimum level). The ambient
+    /// request context, if any, is stamped into the entry.
+    pub fn emit(&self, level: LogLevel, target: &str, message: impl Into<String>) {
+        if (level as u8) < self.min_level.load(Ordering::Relaxed) {
+            return;
+        }
+        let message = message.into();
+        let ctx = current_request_context().unwrap_or_default();
+        if level >= LogLevel::Warn && self.echo_stderr.load(Ordering::Relaxed) {
+            eprintln!("rasa-serve [{}] {target}: {message}", level.as_str());
+        }
+        let entry = LogEntry {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            level,
+            target: target.to_string(),
+            message,
+            request_id: ctx.request_id,
+            tenant: ctx.tenant,
+        };
+        let cap = self.cap.load(Ordering::Relaxed).max(1);
+        let mut ring = self.lock_ring();
+        while ring.len() >= cap {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(entry);
+    }
+
+    /// The newest `n` entries, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<LogEntry> {
+        let ring = self.lock_ring();
+        ring.iter().skip(ring.len().saturating_sub(n)).cloned().collect()
+    }
+
+    /// Entries dropped by the bounded ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Render the newest `n` entries as the `/debug/log` JSON document.
+    pub fn tail_json(&self, n: usize) -> String {
+        let entries: Vec<String> = self.tail(n).iter().map(LogEntry::to_json).collect();
+        format!(
+            "{{\"dropped\":{},\"entries\":[{}]}}",
+            self.dropped(),
+            entries.join(",")
+        )
+    }
+}
+
+/// The process-wide event log.
+pub fn event_log() -> &'static EventLog {
+    static LOG: OnceLock<EventLog> = OnceLock::new();
+    LOG.get_or_init(EventLog::default)
+}
+
+/// Emit an `info` entry to the process-wide log.
+pub fn info(target: &str, message: impl Into<String>) {
+    event_log().emit(LogLevel::Info, target, message);
+}
+
+/// Emit a `warn` entry to the process-wide log.
+pub fn warn(target: &str, message: impl Into<String>) {
+    event_log().emit(LogLevel::Warn, target, message);
+}
+
+/// Emit an `error` entry to the process-wide log.
+pub fn error(target: &str, message: impl Into<String>) {
+    event_log().emit(LogLevel::Error, target, message);
+}
+
+/// Emit a `debug` entry to the process-wide log.
+pub fn debug(target: &str, message: impl Into<String>) {
+    event_log().emit(LogLevel::Debug, target, message);
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let log = EventLog::default();
+        log.set_capacity(3);
+        log.set_echo_stderr(false);
+        for i in 0..7 {
+            log.emit(LogLevel::Info, "test", format!("m{i}"));
+        }
+        let tail = log.tail(10);
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[0].message, "m4");
+        assert_eq!(tail[2].message, "m6");
+        assert_eq!(log.dropped(), 4);
+        assert!(tail.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn min_level_filters_and_parse_round_trips() {
+        let log = EventLog::default();
+        log.set_echo_stderr(false);
+        log.set_min_level(LogLevel::Warn);
+        log.emit(LogLevel::Info, "test", "dropped");
+        log.emit(LogLevel::Error, "test", "kept");
+        let tail = log.tail(10);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].level, LogLevel::Error);
+        for level in [
+            LogLevel::Debug,
+            LogLevel::Info,
+            LogLevel::Warn,
+            LogLevel::Error,
+        ] {
+            assert_eq!(LogLevel::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(LogLevel::parse("bogus"), None);
+    }
+
+    #[test]
+    fn entries_capture_the_ambient_request_context() {
+        let log = EventLog::default();
+        log.set_echo_stderr(false);
+        {
+            let _ctx = rasa_obs::with_request_context(rasa_obs::RequestContext::new(
+                "req-7", "acme",
+            ));
+            log.emit(LogLevel::Info, "serve", "round published");
+        }
+        log.emit(LogLevel::Info, "serve", "outside");
+        let tail = log.tail(10);
+        assert_eq!(tail[0].request_id, "req-7");
+        assert_eq!(tail[0].tenant, "acme");
+        assert_eq!(tail[1].request_id, "");
+        let json = tail[0].to_json();
+        assert!(json.contains("\"request_id\":\"req-7\""));
+        assert!(json.contains("\"level\":\"info\""));
+    }
+
+    #[test]
+    fn json_escaping_survives_hostile_messages() {
+        let log = EventLog::default();
+        log.set_echo_stderr(false);
+        log.emit(LogLevel::Info, "t", "quote \" slash \\ newline \n end");
+        let json = log.tail_json(1);
+        assert!(json.contains("quote \\\" slash \\\\ newline \\n end"));
+        assert!(json.starts_with("{\"dropped\":0,\"entries\":["));
+    }
+}

@@ -23,11 +23,14 @@
 use crate::backoff::BackoffSchedule;
 use crate::breaker::{BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker};
 use crate::http::{read_request, HttpError, HttpLimits, Request, Response};
+use crate::log;
 use crate::queue::{BoundedQueue, QueueFull};
+use crate::slo::{SloConfig, SloTracker};
 use rasa_core::{AllocationSession, RasaConfig, SessionError, SnapshotDelta};
 use rasa_core::Deadline;
 use rasa_model::{Placement, Problem};
 use rasa_obs::flight;
+use rasa_obs::RequestContext;
 use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -82,6 +85,9 @@ pub struct ServeConfig {
     /// disables mid-session retraining. Retraining only changes future
     /// routing — every publish still passes the certification gate.
     pub retrain_every: Option<u64>,
+    /// Per-tenant SLO objectives scored by the burn-rate tracker
+    /// (`GET /tenants`, `slo.*` metrics).
+    pub slo: SloConfig,
 }
 
 impl Default for ServeConfig {
@@ -104,6 +110,7 @@ impl Default for ServeConfig {
             drain_grace: Duration::from_secs(5),
             metrics_flush_path: None,
             retrain_every: None,
+            slo: SloConfig::default(),
         }
     }
 }
@@ -131,6 +138,9 @@ struct Job {
     deadline: Duration,
     probe: bool,
     reply: SyncSender<Response>,
+    /// Request identity captured at ingress; the worker re-installs it so
+    /// the solve's flight recording and log lines carry the same id.
+    ctx: RequestContext,
 }
 
 /// Snapshot of the last published placement, readable without touching the
@@ -142,6 +152,8 @@ struct PublishedView {
     objective: f64,
     normalized: f64,
     placement: Placement,
+    /// Request id of the round that produced this placement.
+    request_id: String,
 }
 
 struct Control {
@@ -158,6 +170,19 @@ struct TenantSlot {
     /// Latest accepted snapshot generation (mirrors the session's, but
     /// readable without the engine lock).
     latest_generation: AtomicU64,
+    /// SLO burn-rate accounting over this tenant's allocation requests.
+    slo: Mutex<SloTracker>,
+    /// Request id of the last allocation request that reached this tenant.
+    last_request_id: Mutex<String>,
+    /// Verdict of the last solve round (`"ok"`, `"degraded"`,
+    /// `"breaker_open"`, …; `"none"` before the first round).
+    last_verdict: Mutex<String>,
+}
+
+/// Record the verdict of a tenant's most recent round (shown in
+/// `GET /tenants`).
+fn note_verdict(slot: &TenantSlot, verdict: &str) {
+    *lock_or_recover(&slot.last_verdict) = verdict.to_string();
 }
 
 struct Shared {
@@ -250,6 +275,9 @@ impl Server {
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
+        // one labeled series per tenant, at most: tie metric-label
+        // cardinality to the tenant cap (overflow folds into `other`)
+        rasa_obs::global().set_label_cap(config.max_tenants);
         let shared = Arc::new(Shared {
             config,
             tenants: Mutex::new(BTreeMap::new()),
@@ -323,6 +351,7 @@ impl Server {
 fn drain(shared: &Arc<Shared>, workers: Vec<thread::JoinHandle<()>>) -> DrainReport {
     let obs = rasa_obs::global();
     let started = Instant::now();
+    log::info("drain", "graceful drain started");
 
     // Phase 1: let workers finish queued + in-flight rounds.
     while started.elapsed() < shared.config.drain_grace {
@@ -348,12 +377,16 @@ fn drain(shared: &Arc<Shared>, workers: Vec<thread::JoinHandle<()>>) -> DrainRep
             if job.probe {
                 lock_or_recover(&slot.control).breaker.abandon_probe();
             }
+            // re-install the job's request identity so its black box and
+            // log line are joinable to the 503 the client received
+            let _ctx = flight::with_request_context(job.ctx.clone());
             let mut scope = flight::begin_solve(
                 "serve.drain_abandon",
                 &[("tenant", slot.name.clone())],
             );
             scope.set_verdict("drained", true);
             drop(scope);
+            log::warn("drain", format!("abandoned queued job for {}", slot.name));
             obs.inc("serve.drained_jobs");
             shared.abandoned_jobs.fetch_add(1, Ordering::SeqCst);
             let _ = job.reply.try_send(
@@ -379,12 +412,16 @@ fn drain(shared: &Arc<Shared>, workers: Vec<thread::JoinHandle<()>>) -> DrainRep
         match rasa_obs::write_prometheus(&snapshot, rasa_obs::MetricsGlossary::builtin()) {
             Ok(text) => {
                 if let Err(e) = std::fs::write(path, text) {
-                    eprintln!("rasa-serve: metrics flush to {} failed: {e}", path.display());
+                    log::error(
+                        "drain",
+                        format!("metrics flush to {} failed: {e}", path.display()),
+                    );
                 }
             }
-            Err(e) => eprintln!("rasa-serve: metrics flush failed: {e}"),
+            Err(e) => log::error("drain", format!("metrics flush failed: {e}")),
         }
     }
+    log::info("drain", format!("drain finished in {drain_seconds:.3}s"));
 
     DrainReport {
         drain_seconds,
@@ -436,7 +473,11 @@ fn process_one(shared: &Arc<Shared>, slot: &Arc<TenantSlot>) {
         deadline,
         probe,
         reply,
+        ctx,
     } = job;
+    // the worker thread adopts the request's identity for the round, so
+    // flight recordings and log lines carry the ingress request id
+    let _ctx_guard = flight::with_request_context(ctx);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         run_round(shared, slot, kind, deadline)
     }));
@@ -448,6 +489,7 @@ fn process_one(shared: &Arc<Shared>, slot: &Arc<TenantSlot>) {
             // breaker, serve stale if possible.
             obs.inc("serve.solve_panics");
             breaker_report(slot, false);
+            note_verdict(slot, "solve_panicked");
             stale_or_unavailable(slot, "solve_panicked")
         }
     };
@@ -535,11 +577,17 @@ fn run_round(
         );
         match session.resolve(Deadline::after(deadline)) {
             Ok(round) => {
-                scope.set_verdict(if round.degraded { "degraded" } else { "ok" }, round.degraded);
+                let verdict = if round.degraded { "degraded" } else { "ok" };
+                scope.set_verdict(verdict, round.degraded);
                 drop(scope);
+                note_verdict(slot, verdict);
                 obs.inc("serve.rounds_published");
                 if round.degraded {
                     obs.inc("serve.rounds_degraded");
+                    log::warn(
+                        "serve",
+                        format!("degraded round {} published for {}", round.round, slot.name),
+                    );
                 }
                 *lock_or_recover(&slot.published) = Some(PublishedView {
                     round: round.round,
@@ -547,6 +595,9 @@ fn run_round(
                     objective: round.objective,
                     normalized: round.normalized,
                     placement: round.run.outcome.placement.clone(),
+                    request_id: flight::current_request_context()
+                        .map(|c| c.request_id)
+                        .unwrap_or_default(),
                 });
                 // A degraded round is still published (it certified), but
                 // it counts as ladder exhaustion for the breaker.
@@ -602,11 +653,13 @@ fn run_round(
                 }
                 breaker_report(slot, false);
                 let _ = failure;
+                note_verdict(slot, "uncertified_after_retries");
                 return stale_or_unavailable(slot, "uncertified_after_retries");
             }
             Err(e) => {
                 scope.set_verdict("rejected", true);
                 drop(scope);
+                note_verdict(slot, "rejected");
                 return Response::json(
                     422,
                     format!("{{\"error\":\"rejected\",\"detail\":\"{e}\"}}"),
@@ -621,6 +674,10 @@ fn run_round(
 fn stale_or_unavailable(slot: &TenantSlot, reason: &str) -> Response {
     let obs = rasa_obs::global();
     let published = lock_or_recover(&slot.published).clone();
+    log::warn(
+        "serve",
+        format!("serving degraded answer for {}: {reason}", slot.name),
+    );
     match published {
         Some(view) => {
             obs.inc("serve.stale_served");
@@ -688,22 +745,83 @@ fn handle_request(shared: &Arc<Shared>, stream: &mut TcpStream) {
         }
     };
     obs.inc("serve.requests");
-    let response = route(shared, &request);
+    // Adopt the caller's X-Rasa-Request-Id (or mint one) as this thread's
+    // ambient identity: every span, black box, and log line below joins
+    // on it, and the response echoes it back.
+    let request_id = request_identity(&request);
+    let tenant_label = request
+        .param("tenant")
+        .filter(|t| valid_tenant(t))
+        .unwrap_or("")
+        .to_string();
+    let _ctx = flight::with_request_context(RequestContext::new(
+        request_id.clone(),
+        tenant_label,
+    ));
+    let response = route(shared, &request)
+        .with_header("X-Rasa-Request-Id", request_id);
+    let status = response.status;
     let _ = response.write_to(stream);
-    obs.record_duration("serve.request_seconds", started.elapsed());
+    let elapsed = started.elapsed();
+    obs.record_duration("serve.request_seconds", elapsed);
+    finish_slo(shared, &request, status, elapsed);
+}
+
+/// The request id this request runs under: the caller's
+/// `X-Rasa-Request-Id` when it is 1–48 chars of `[A-Za-z0-9_-]`, else a
+/// daemon-minted `r<hex>` id.
+fn request_identity(request: &Request) -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    match request.header("x-rasa-request-id") {
+        Some(id)
+            if !id.is_empty()
+                && id.len() <= 48
+                && id
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') =>
+        {
+            id.to_string()
+        }
+        _ => format!("r{:06x}", SEQ.fetch_add(1, Ordering::Relaxed)),
+    }
+}
+
+/// Score one finished allocation request against the tenant's SLO
+/// objectives and tally the labeled `slo.*` / latency series.
+fn finish_slo(shared: &Arc<Shared>, request: &Request, status: u16, elapsed: Duration) {
+    if request.method != "POST" || !matches!(request.path.as_str(), "/snapshot" | "/delta") {
+        return;
+    }
+    let Some(tenant) = request.param("tenant") else {
+        return;
+    };
+    if !valid_tenant(tenant) {
+        return;
+    }
+    let Some(slot) = shared.tenant(tenant) else {
+        return;
+    };
+    let obs = rasa_obs::global();
+    obs.record_duration_labeled("serve.request_seconds", tenant, elapsed);
+    obs.inc_labeled("slo.events", tenant);
+    let available = status == 200;
+    let latency_ok = available && elapsed <= shared.config.slo.latency_target;
+    if !available {
+        obs.inc_labeled("slo.unavailable", tenant);
+    }
+    if !latency_ok {
+        obs.inc_labeled("slo.latency_misses", tenant);
+    }
+    lock_or_recover(&slot.slo).record(status, elapsed);
 }
 
 fn route(shared: &Arc<Shared>, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Response::json(
-            200,
-            format!(
-                "{{\"status\":\"ok\",\"draining\":{}}}",
-                shared.draining.load(Ordering::SeqCst)
-            ),
-        ),
+        ("GET", "/healthz") => healthz_response(shared),
         ("GET", "/metrics") => metrics_response(),
         ("GET", "/placement") => placement_response(shared, request),
+        ("GET", "/tenants") => tenants_response(shared),
+        ("GET", "/debug/log") => debug_log_response(request),
         ("POST", "/snapshot") => ingest(shared, request, true),
         ("POST", "/delta") => ingest(shared, request, false),
         ("DELETE", "/tenant") => remove_tenant(shared, request),
@@ -713,10 +831,102 @@ fn route(shared: &Arc<Shared>, request: &Request) -> Response {
         }
         (
             _,
-            "/healthz" | "/metrics" | "/placement" | "/snapshot" | "/delta" | "/tenant" | "/drain",
+            "/healthz" | "/metrics" | "/placement" | "/tenants" | "/debug/log" | "/snapshot"
+            | "/delta" | "/tenant" | "/drain",
         ) => Response::json(405, "{\"error\":\"method not allowed\"}".to_string()),
         _ => Response::json(404, "{\"error\":\"not found\"}".to_string()),
     }
+}
+
+/// Liveness with honesty: `200 ok` only while nothing is degraded. Drain
+/// in progress or any open per-tenant breaker reports `503 degraded` with
+/// the reasons, so orchestrators stop routing to a daemon that is already
+/// shedding load.
+fn healthz_response(shared: &Arc<Shared>) -> Response {
+    let draining = shared.draining.load(Ordering::SeqCst);
+    let mut reasons: Vec<String> = Vec::new();
+    if draining {
+        reasons.push("\"draining\"".to_string());
+    }
+    let now = Instant::now();
+    let tenants: Vec<Arc<TenantSlot>> =
+        lock_or_recover(&shared.tenants).values().cloned().collect();
+    for slot in &tenants {
+        if matches!(
+            lock_or_recover(&slot.control).breaker.state(now),
+            BreakerState::Open
+        ) {
+            reasons.push(format!("\"breaker_open:{}\"", slot.name));
+        }
+    }
+    if reasons.is_empty() {
+        Response::json(200, "{\"status\":\"ok\",\"draining\":false}".to_string())
+    } else {
+        Response::json(
+            503,
+            format!(
+                "{{\"status\":\"degraded\",\"draining\":{draining},\"reasons\":[{}]}}",
+                reasons.join(",")
+            ),
+        )
+    }
+}
+
+/// `GET /tenants`: one row per tenant — breaker state, queue depth, last
+/// round verdict, last request id, and the 5m/1h SLO burn rates.
+fn tenants_response(shared: &Arc<Shared>) -> Response {
+    let tenants: Vec<Arc<TenantSlot>> =
+        lock_or_recover(&shared.tenants).values().cloned().collect();
+    let now = Instant::now();
+    let mut rows = Vec::with_capacity(tenants.len());
+    for slot in &tenants {
+        let breaker = match lock_or_recover(&slot.control).breaker.state(now) {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        };
+        let view = lock_or_recover(&slot.published).clone();
+        let (published_round, stale) = match &view {
+            Some(v) => (
+                v.round.to_string(),
+                v.generation < slot.latest_generation.load(Ordering::SeqCst),
+            ),
+            None => ("null".to_string(), false),
+        };
+        let last_request_id = lock_or_recover(&slot.last_request_id).clone();
+        let last_verdict = lock_or_recover(&slot.last_verdict).clone();
+        let (short, long) = {
+            let slo = lock_or_recover(&slot.slo);
+            (slo.burn_short(), slo.burn_long())
+        };
+        rows.push(format!(
+            "{{\"tenant\":\"{}\",\"breaker\":\"{breaker}\",\"queue_depth\":{},\
+             \"last_request_id\":\"{last_request_id}\",\"last_verdict\":\"{last_verdict}\",\
+             \"published_round\":{published_round},\"stale\":{stale},\
+             \"slo\":{{\"events_5m\":{},\"latency_burn_5m\":{:.4},\"availability_burn_5m\":{:.4},\
+             \"events_1h\":{},\"latency_burn_1h\":{:.4},\"availability_burn_1h\":{:.4}}}}}",
+            slot.name,
+            slot.queue.len(),
+            short.events,
+            short.latency,
+            short.availability,
+            long.events,
+            long.latency,
+            long.availability,
+        ));
+    }
+    Response::json(200, format!("{{\"tenants\":[{}]}}", rows.join(",")))
+}
+
+/// `GET /debug/log?tail=N`: the newest structured-log entries as JSON
+/// (`N` defaults to 64, capped at 1024).
+fn debug_log_response(request: &Request) -> Response {
+    let n = request
+        .param("tail")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(64)
+        .clamp(1, 1024);
+    Response::json(200, log::event_log().tail_json(n))
 }
 
 fn metrics_response() -> Response {
@@ -773,9 +983,9 @@ fn placement_response(shared: &Arc<Shared>, request: &Request) -> Response {
         200,
         format!(
             "{{\"tenant\":\"{tenant}\",\"round\":{},\"generation\":{},\"stale\":{stale},\
-             \"breaker\":\"{breaker}\",\"objective\":{:.6},\"normalized\":{:.6},\
-             \"placement\":{placement_json}}}",
-            view.round, view.generation, view.objective, view.normalized,
+             \"breaker\":\"{breaker}\",\"request_id\":\"{}\",\"objective\":{:.6},\
+             \"normalized\":{:.6},\"placement\":{placement_json}}}",
+            view.round, view.generation, view.request_id, view.objective, view.normalized,
         ),
     )
 }
@@ -832,6 +1042,7 @@ fn ingest(shared: &Arc<Shared>, request: &Request, is_snapshot: bool) -> Respons
         Ok(t) => t,
         Err(resp) => return resp,
     };
+    obs.inc_labeled("serve.requests", tenant);
     let kind = if is_snapshot {
         match serde_json::from_str::<Problem>(&request.body) {
             Ok(problem) => JobKind::Snapshot(Box::new(problem)),
@@ -886,12 +1097,17 @@ fn ingest(shared: &Arc<Shared>, request: &Request, is_snapshot: bool) -> Respons
                     }),
                     published: Mutex::new(None),
                     latest_generation: AtomicU64::new(0),
+                    slo: Mutex::new(SloTracker::new(shared.config.slo)),
+                    last_request_id: Mutex::new(String::new()),
+                    last_verdict: Mutex::new("none".to_string()),
                 });
                 tenants.insert(tenant.to_string(), Arc::clone(&slot));
                 slot
             }
         }
     };
+    let ctx = flight::current_request_context().unwrap_or_default();
+    *lock_or_recover(&slot.last_request_id) = ctx.request_id.clone();
 
     // Circuit breaker gate. While open, the mutation is NOT applied — the
     // client gets the last certified placement (stale) plus a Retry-After,
@@ -901,6 +1117,7 @@ fn ingest(shared: &Arc<Shared>, request: &Request, is_snapshot: bool) -> Respons
         BreakerDecision::Solve => false,
         BreakerDecision::Probe => true,
         BreakerDecision::ServeStale => {
+            note_verdict(&slot, "breaker_open");
             return stale_or_unavailable(&slot, "breaker_open")
                 .with_header("Retry-After", "5".to_string());
         }
@@ -912,6 +1129,7 @@ fn ingest(shared: &Arc<Shared>, request: &Request, is_snapshot: bool) -> Respons
         deadline,
         probe,
         reply: tx,
+        ctx,
     };
     match slot.queue.try_push(job) {
         Ok(depth) => obs.record("serve.queue_depth", depth as f64),
@@ -937,6 +1155,10 @@ fn ingest(shared: &Arc<Shared>, request: &Request, is_snapshot: bool) -> Respons
         Ok(response) => response,
         Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
             obs.inc("serve.request_timeouts");
+            log::warn(
+                "serve",
+                format!("request timed out awaiting round for {tenant}"),
+            );
             Response::json(
                 504,
                 "{\"error\":\"round still running; poll /placement\"}".to_string(),

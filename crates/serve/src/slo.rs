@@ -1,0 +1,270 @@
+//! Per-tenant SLO accounting with multi-window burn rates.
+//!
+//! Each tenant tracks two objectives over its allocation requests
+//! (`POST /snapshot` / `POST /delta`):
+//!
+//! * **availability** — the request got a final `200` (fresh or stale);
+//! * **latency** — the request was available *and* finished within the
+//!   configured latency target.
+//!
+//! Outcomes land in per-minute buckets (a bounded deque — one hour of
+//! history), and burn rates are computed on read over a 5-minute and a
+//! 60-minute sliding window, SRE-style:
+//!
+//! ```text
+//! burn = observed_error_rate / error_budget        (budget = 1 − target)
+//! ```
+//!
+//! `burn < 1` means the tenant is within budget at the current rate; a
+//! 5-minute burn well above 1 with a calm 1-hour burn flags a fresh,
+//! fast-moving incident. Both windows surface in `GET /tenants` and the
+//! labeled `slo.*` counters feed Prometheus.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// SLO objectives shared by every tenant (part of
+/// [`ServeConfig`](crate::ServeConfig)).
+#[derive(Clone, Copy, Debug)]
+pub struct SloConfig {
+    /// A request slower than this misses the latency objective even when
+    /// it succeeds.
+    pub latency_target: Duration,
+    /// Fraction of requests that must be available (e.g. `0.999`).
+    pub availability_target: f64,
+    /// Fraction of requests that must meet the latency target
+    /// (e.g. `0.99`).
+    pub latency_objective: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            latency_target: Duration::from_secs(1),
+            availability_target: 0.999,
+            latency_objective: 0.99,
+        }
+    }
+}
+
+/// One minute of outcomes.
+#[derive(Clone, Copy, Debug)]
+struct MinuteBucket {
+    minute: u64,
+    total: u64,
+    latency_misses: u64,
+    unavailable: u64,
+}
+
+/// Burn rates over one window (see module docs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SloBurn {
+    /// Requests observed in the window.
+    pub events: u64,
+    /// Latency-objective burn rate (`0` when the window is empty).
+    pub latency: f64,
+    /// Availability-objective burn rate (`0` when the window is empty).
+    pub availability: f64,
+}
+
+/// `observed_error_rate / error_budget`, with the budget floored so a
+/// `target` of exactly 1.0 cannot divide by zero.
+fn burn_rate(bad: u64, total: u64, target: f64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let error_rate = bad as f64 / total as f64;
+    error_rate / (1.0 - target).max(1e-9)
+}
+
+/// Per-tenant SLO state: minute buckets plus lifetime tallies.
+#[derive(Debug)]
+pub struct SloTracker {
+    config: SloConfig,
+    origin: Instant,
+    buckets: VecDeque<MinuteBucket>,
+    total: u64,
+    latency_misses: u64,
+    unavailable: u64,
+}
+
+impl SloTracker {
+    /// An empty tracker under `config`.
+    pub fn new(config: SloConfig) -> Self {
+        SloTracker {
+            config,
+            origin: Instant::now(),
+            buckets: VecDeque::new(),
+            total: 0,
+            latency_misses: 0,
+            unavailable: 0,
+        }
+    }
+
+    /// The objectives this tracker scores against.
+    pub fn config(&self) -> SloConfig {
+        self.config
+    }
+
+    fn minute_now(&self) -> u64 {
+        self.origin.elapsed().as_secs() / 60
+    }
+
+    /// Record one request outcome: its final status (`200` counts as
+    /// available, anything else as unavailable) and wall duration.
+    pub fn record(&mut self, status: u16, duration: Duration) {
+        let available = status == 200;
+        let latency_ok = available && duration <= self.config.latency_target;
+        self.record_outcome(available, latency_ok);
+    }
+
+    fn record_outcome(&mut self, available: bool, latency_ok: bool) {
+        let minute = self.minute_now();
+        let need_new = !matches!(self.buckets.back(), Some(b) if b.minute == minute);
+        if need_new {
+            self.buckets.push_back(MinuteBucket {
+                minute,
+                total: 0,
+                latency_misses: 0,
+                unavailable: 0,
+            });
+            // one hour of history is all any window reads
+            while self.buckets.len() > 61 {
+                self.buckets.pop_front();
+            }
+        }
+        if let Some(bucket) = self.buckets.back_mut() {
+            bucket.total += 1;
+            if !latency_ok {
+                bucket.latency_misses += 1;
+            }
+            if !available {
+                bucket.unavailable += 1;
+            }
+        }
+        self.total += 1;
+        if !latency_ok {
+            self.latency_misses += 1;
+        }
+        if !available {
+            self.unavailable += 1;
+        }
+    }
+
+    /// Burn rates over the trailing `minutes`-minute window (including the
+    /// current minute).
+    pub fn burn(&self, minutes: u64) -> SloBurn {
+        let now = self.minute_now();
+        let from = now.saturating_sub(minutes.max(1) - 1);
+        let (mut total, mut lm, mut ua) = (0u64, 0u64, 0u64);
+        for b in &self.buckets {
+            if b.minute >= from {
+                total += b.total;
+                lm += b.latency_misses;
+                ua += b.unavailable;
+            }
+        }
+        SloBurn {
+            events: total,
+            latency: burn_rate(lm, total, self.config.latency_objective),
+            availability: burn_rate(ua, total, self.config.availability_target),
+        }
+    }
+
+    /// The fast window: 5-minute burn.
+    pub fn burn_short(&self) -> SloBurn {
+        self.burn(5)
+    }
+
+    /// The slow window: 60-minute burn.
+    pub fn burn_long(&self) -> SloBurn {
+        self.burn(60)
+    }
+
+    /// Lifetime `(total, latency_misses, unavailable)` tallies.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (self.total, self.latency_misses, self.unavailable)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> SloTracker {
+        SloTracker::new(SloConfig {
+            latency_target: Duration::from_millis(100),
+            availability_target: 0.9,
+            latency_objective: 0.9,
+        })
+    }
+
+    #[test]
+    fn clean_traffic_burns_nothing() {
+        let mut t = tracker();
+        for _ in 0..50 {
+            t.record(200, Duration::from_millis(10));
+        }
+        let burn = t.burn_short();
+        assert_eq!(burn.events, 50);
+        assert_eq!(burn.latency, 0.0);
+        assert_eq!(burn.availability, 0.0);
+        assert_eq!(t.totals(), (50, 0, 0));
+    }
+
+    #[test]
+    fn failures_burn_proportionally_to_the_budget() {
+        let mut t = tracker();
+        // 10% unavailable against a 10% error budget → burn ≈ 1.0
+        for i in 0..100 {
+            let status = if i % 10 == 0 { 504 } else { 200 };
+            t.record(status, Duration::from_millis(10));
+        }
+        let burn = t.burn_short();
+        assert!((burn.availability - 1.0).abs() < 1e-9, "{burn:?}");
+        // unavailable requests also miss latency (never latency-good)
+        assert!((burn.latency - 1.0).abs() < 1e-9, "{burn:?}");
+    }
+
+    #[test]
+    fn slow_successes_miss_latency_but_not_availability() {
+        let mut t = tracker();
+        for _ in 0..10 {
+            t.record(200, Duration::from_secs(2));
+        }
+        let burn = t.burn_short();
+        assert_eq!(burn.availability, 0.0);
+        assert!(burn.latency > 1.0, "every request misses: {burn:?}");
+        assert_eq!(t.totals(), (10, 10, 0));
+    }
+
+    #[test]
+    fn empty_windows_and_full_budget_do_not_divide_by_zero() {
+        let t = SloTracker::new(SloConfig {
+            availability_target: 1.0,
+            ..SloConfig::default()
+        });
+        let burn = t.burn_short();
+        assert_eq!(burn.events, 0);
+        assert_eq!(burn.availability, 0.0);
+        let mut t = SloTracker::new(SloConfig {
+            availability_target: 1.0,
+            ..SloConfig::default()
+        });
+        t.record(504, Duration::from_millis(1));
+        assert!(t.burn_short().availability.is_finite());
+    }
+
+    #[test]
+    fn bucket_history_is_bounded() {
+        let mut t = tracker();
+        // force many synthetic minutes by manipulating origin is not
+        // possible from here; instead verify the deque never exceeds its
+        // cap under same-minute load
+        for _ in 0..1000 {
+            t.record(200, Duration::from_millis(1));
+        }
+        assert!(t.buckets.len() <= 61);
+    }
+}

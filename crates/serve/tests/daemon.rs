@@ -328,6 +328,62 @@ fn retrain_mid_session_keeps_every_publish_certified() {
 }
 
 #[test]
+fn healthz_degrades_on_open_breaker_and_drain() {
+    let (addr, handle, join) = boot(ServeConfig {
+        breaker: BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(3600), // stays open for the test
+        },
+        ..quick_config()
+    });
+    // healthy daemon: 200 ok
+    let healthy = http(addr, "GET", "/healthz", "");
+    assert_eq!(healthy.status, 200);
+    assert!(healthy.body.contains("\"status\":\"ok\""));
+
+    // trip the breaker: one certified placement, then three starved rounds
+    let body = serde_json::to_string(&generate(&spec(40, 11))).unwrap();
+    assert_eq!(
+        http(addr, "POST", "/snapshot?tenant=starved", &body).status,
+        200
+    );
+    for i in 0..3 {
+        let delta = format!(
+            "{{\"edge_updates\":[{{\"a\":0,\"b\":{},\"weight\":1.0}}],\"replica_updates\":[]}}",
+            i + 1
+        );
+        let reply = http(addr, "POST", "/delta?tenant=starved&deadline_ms=1", &delta);
+        assert_eq!(reply.status, 200, "body: {}", reply.body);
+    }
+
+    // breaker open → /healthz degrades and names the tenant
+    let degraded = http(addr, "GET", "/healthz", "");
+    assert_eq!(degraded.status, 503, "body: {}", degraded.body);
+    assert!(
+        degraded.body.contains("\"breaker_open:starved\""),
+        "body: {}",
+        degraded.body
+    );
+
+    // pre-open a connection so its handler thread is already waiting when
+    // drain begins (the accept loop stops at drain), then ask it for
+    // /healthz mid-drain: "draining" must appear as a reason
+    let mut early = TcpStream::connect(addr).expect("pre-drain connect");
+    thread::sleep(Duration::from_millis(50)); // let the accept loop take it
+    handle.shutdown();
+    assert!(handle.is_draining());
+    early
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n")
+        .expect("write on pre-drain connection");
+    let mut raw = String::new();
+    early.read_to_string(&mut raw).expect("read healthz mid-drain");
+    assert!(raw.starts_with("HTTP/1.1 503"), "got: {raw}");
+    assert!(raw.contains("\"draining\""), "got: {raw}");
+
+    join.join().unwrap();
+}
+
+#[test]
 fn graceful_drain_completes_in_flight_rounds() {
     let (addr, handle, join) = boot(ServeConfig {
         workers: 1,

@@ -93,6 +93,27 @@ fn main() -> ExitCode {
                 return ExitCode::from(1);
             }
             println!("soak: report written to {path}");
+            // Sidecar artifacts CI uploads on failure: the tenant roster
+            // and the structured-log tail captured just before drain.
+            let dir = std::path::Path::new(path)
+                .parent()
+                .map(|p| p.to_path_buf())
+                .unwrap_or_default();
+            for (name, body) in [
+                ("tenants.json", &report.tenants_json),
+                ("log_tail.json", &report.log_tail_json),
+            ] {
+                if body.is_empty() {
+                    continue;
+                }
+                let sidecar = dir.join(name);
+                let sidecar = sidecar.to_string_lossy();
+                if let Err(e) = write_creating_dirs(&sidecar, body) {
+                    eprintln!("soak: writing {sidecar} failed: {e}");
+                } else {
+                    println!("soak: {name} written to {sidecar}");
+                }
+            }
         }
         None => println!("{json}"),
     }

@@ -17,6 +17,11 @@
 //!   resident memory growth stays under a budget;
 //! * **bounded breaker flapping** — breaker trips stay under a threshold
 //!   proportional to the deliberately-starved traffic;
+//! * **degraded health reporting** — `/healthz` answers 503 naming the
+//!   tenant while a breaker is open;
+//! * **bounded label cardinality** — churning 10× the label cap of
+//!   distinct tenants leaves at most `label_cap` resident labels, evicts
+//!   into the `other` bucket, and conserves family totals;
 //! * **clean drain** — the server drains and reports when the campaign
 //!   ends.
 //!
@@ -174,6 +179,17 @@ pub struct SoakReport {
     pub serve_counters: Vec<(String, u64)>,
     /// Resident-set growth in KiB (`None` off Linux).
     pub rss_growth_kib: Option<i64>,
+    /// Distinct metric labels resident after the hostile label-churn
+    /// phase (must stay at or under the registry's label cap).
+    pub label_count_after_churn: u64,
+    /// Growth of `obs.label_evictions` over the campaign (churning 10×
+    /// the cap of distinct tenants must evict).
+    pub label_evictions: u64,
+    /// `GET /tenants` body captured just before drain (uploaded by CI on
+    /// failure).
+    pub tenants_json: String,
+    /// `GET /debug/log?tail=128` body captured just before drain.
+    pub log_tail_json: String,
     /// Drain outcome.
     pub drain: DrainSummary,
     /// Invariant violations; empty means the campaign passed.
@@ -476,6 +492,64 @@ pub fn run_soak(config: &SoakConfig) -> SoakReport {
             .push("breaker epilogue never produced a stale-served response".to_string());
     }
 
+    // /healthz must report degraded (503, naming the tenant) while a
+    // breaker is open. Re-starve the dedicated tenant until the window is
+    // observed; these extra requests stay out of the action tally so the
+    // seeded schedule remains replay-identical.
+    let mut healthz_degraded = false;
+    for _ in 0..8 {
+        if let Some(reply) = exchange(addr, "GET", "/healthz", "") {
+            if reply.status == 503 && reply.body.contains("breaker_open") {
+                healthz_degraded = true;
+                break;
+            }
+        }
+        let body = delta_json(&mut rng, 40);
+        tally_response(
+            &mut report,
+            exchange(addr, "POST", "/delta?tenant=starved&deadline_ms=1", &body),
+        );
+    }
+    if !healthz_degraded {
+        report
+            .violations
+            .push("/healthz never reported degraded while a breaker was open".to_string());
+    }
+
+    // Hostile label churn: 10× the registry's label cap of distinct
+    // tenants, each landing one labeled `serve.requests` increment (the
+    // empty body fails parsing after the label is counted, so no tenant
+    // slot or solve round is created). Cardinality must stay bounded by
+    // LRU eviction into `other`, and eviction must conserve family totals.
+    let obs = rasa_obs::global();
+    let label_cap = config.serve.max_tenants;
+    let churn_requests = label_cap as u64 * 10;
+    let family_before = rasa_obs::global()
+        .snapshot()
+        .counter_family_total("serve.requests");
+    for i in 0..churn_requests {
+        tally_response(
+            &mut report,
+            exchange(addr, "POST", &format!("/delta?tenant=churn{i}"), ""),
+        );
+    }
+    let family_after = rasa_obs::global()
+        .snapshot()
+        .counter_family_total("serve.requests");
+    report.label_count_after_churn = obs.label_count() as u64;
+    if report.label_count_after_churn > label_cap as u64 {
+        report.violations.push(format!(
+            "label cardinality unbounded: {} resident labels > cap {label_cap}",
+            report.label_count_after_churn
+        ));
+    }
+    if family_after - family_before != churn_requests {
+        report.violations.push(format!(
+            "label eviction lost counts: family grew {} over {churn_requests} churn requests",
+            family_after - family_before
+        ));
+    }
+
     // Exercise the live scrape path before draining.
     match exchange(addr, "GET", "/metrics", "") {
         Some(reply) if reply.status == 200 && reply.body.contains("rasa_serve_requests") => {}
@@ -485,6 +559,34 @@ pub fn run_soak(config: &SoakConfig) -> SoakReport {
         None => report
             .violations
             .push("/metrics scrape got no response".to_string()),
+    }
+
+    // Capture the observability surfaces the CI job uploads on failure.
+    if let Some(reply) = exchange(addr, "GET", "/tenants", "") {
+        if reply.status == 200 {
+            report.tenants_json = reply.body;
+        } else {
+            report
+                .violations
+                .push(format!("/tenants answered {}", reply.status));
+        }
+    } else {
+        report
+            .violations
+            .push("/tenants got no response".to_string());
+    }
+    if let Some(reply) = exchange(addr, "GET", "/debug/log?tail=128", "") {
+        if reply.status == 200 {
+            report.log_tail_json = reply.body;
+        } else {
+            report
+                .violations
+                .push(format!("/debug/log answered {}", reply.status));
+        }
+    } else {
+        report
+            .violations
+            .push("/debug/log got no response".to_string());
     }
 
     handle.shutdown();
@@ -505,8 +607,17 @@ pub fn run_soak(config: &SoakConfig) -> SoakReport {
     let after = rasa_obs::global().snapshot();
     report.serve_counters = after
         .counters_with_prefix("serve.")
-        .map(|(name, value)| (name.to_string(), value - before.counter(name)))
+        // saturating: a labeled series evicted and re-created mid-campaign
+        // can legitimately end below its starting value
+        .map(|(name, value)| (name.to_string(), value.saturating_sub(before.counter(name))))
         .collect();
+    report.label_evictions =
+        after.counter("obs.label_evictions") - before.counter("obs.label_evictions");
+    if report.label_evictions == 0 {
+        report.violations.push(format!(
+            "churning {churn_requests} tenants past a {label_cap}-label cap must evict"
+        ));
+    }
     report.rss_growth_kib = match (rss_before, rss_kib()) {
         (Some(b), Some(a)) => Some(a - b),
         _ => None,

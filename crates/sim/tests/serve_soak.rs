@@ -53,6 +53,38 @@ fn churn_campaign_holds_the_robustness_contract() {
         report.serve_counters
     );
 
+    // hostile label churn stayed bounded: at most `max_tenants` resident
+    // labels, evictions fired, and the conservation check (drain-vs-fold
+    // accounting over the `serve.requests` family) raised no violation —
+    // run_soak pushes one if any churn increment went missing
+    assert!(
+        report.label_count_after_churn <= config.serve.max_tenants as u64,
+        "label cardinality must stay at or under the cap: {} > {}",
+        report.label_count_after_churn,
+        config.serve.max_tenants
+    );
+    assert!(
+        report.label_evictions > 0,
+        "churning 10x the cap of tenants must evict into `other`"
+    );
+
+    // the pre-drain observability capture succeeded
+    assert!(
+        report.tenants_json.contains("\"tenant\":\"starved\""),
+        "tenant roster: {}",
+        report.tenants_json
+    );
+    assert!(
+        report.tenants_json.contains("\"slo\":"),
+        "roster rows carry SLO burn: {}",
+        report.tenants_json
+    );
+    assert!(
+        report.log_tail_json.contains("\"entries\":"),
+        "structured log tail: {}",
+        report.log_tail_json
+    );
+
     // drain completed and was measured
     assert!(report.drain.drain_seconds >= 0.0);
     assert!(report.wall_seconds > 0.0);
