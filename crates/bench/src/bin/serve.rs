@@ -17,7 +17,11 @@
 //!    a single tenant with a shallow queue; measures the accept/429 split
 //!    (backpressure, not buffering);
 //! 5. **drain** — `handle.shutdown()` with work enqueued; measures the
-//!    graceful-drain wall time and abandoned-job count.
+//!    graceful-drain wall time and abandoned-job count;
+//! 6. **recovery** — a second daemon with write-ahead journaling on:
+//!    journal a fleet of tenants, drain, re-bind on the same WAL root, and
+//!    measure the journal-replay restart (every tenant back through both
+//!    trust gates) plus how many certified placements survived.
 //!
 //! Compare mode (`--compare OLD.json NEW.json [--threshold-pct P]
 //! [--abs-slack-ms S]`) diffs two artifacts and exits 0 (no regression),
@@ -30,11 +34,12 @@
 use rasa_bench::artifact::median;
 use rasa_bench::serve_artifact::{
     compare_serve_artifacts, load_serve_artifact, LatencySummary, OverloadSummary,
-    ServeBenchArtifact, ServeCompareConfig, TracingOverhead, SERVE_BENCH_SCHEMA_VERSION,
+    RecoverySummary, ServeBenchArtifact, ServeCompareConfig, TracingOverhead,
+    SERVE_BENCH_SCHEMA_VERSION,
 };
 use rasa_bench::compare::CompareOutcome;
 use rasa_obs::flight::FlightConfig;
-use rasa_serve::{ServeConfig, Server};
+use rasa_serve::{ServeConfig, Server, WalConfig};
 use rasa_trace::{generate, tiny_cluster};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -44,6 +49,8 @@ use std::time::{Duration, Instant};
 const SEED: u64 = 42;
 const TENANTS: usize = 12;
 const OVERLOAD_BURST: usize = 24;
+/// Tenants journaled and replayed in the recovery phase.
+const RECOVERY_TENANTS: usize = 6;
 /// Services per benchmark problem — large enough that a solve dominates
 /// HTTP overhead, small enough to certify well inside the default
 /// deadline (a deadline-clipped round would bench the deadline, not the
@@ -278,6 +285,80 @@ fn main() {
         std::process::exit(1);
     });
 
+    // Phase 5: journal-replay restart. A separate WAL-enabled daemon:
+    // journal a small fleet, drain, then re-bind on the same root —
+    // `bind` replays every journal through both trust gates before the
+    // socket opens, which is exactly the window we time.
+    let wal_root = std::env::temp_dir().join(format!("rasa_serve_bench_wal_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_root);
+    let recovery_config = || ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        max_tenants: RECOVERY_TENANTS + 1,
+        seed: SEED,
+        drain_grace: Duration::from_secs(30),
+        wal: Some(WalConfig::new(wal_root.clone())),
+        ..ServeConfig::default()
+    };
+    let recovery = {
+        let server = Server::bind(recovery_config()).unwrap_or_else(|e| {
+            eprintln!("serve bench: recovery-phase bind failed: {e}");
+            std::process::exit(1);
+        });
+        let addr = server.local_addr().unwrap_or_else(|e| {
+            eprintln!("serve bench: recovery-phase local_addr failed: {e}");
+            std::process::exit(1);
+        });
+        let handle = server.handle();
+        let daemon = std::thread::spawn(move || server.run());
+        let delta = "{\"edge_updates\":[{\"a\":0,\"b\":1,\"weight\":21.5}],\"replica_updates\":[]}";
+        for i in 0..RECOVERY_TENANTS {
+            let body = problem_body(10, SEED.wrapping_add(3000 + i as u64));
+            let (status, _) = timed_request(addr, "POST", &format!("/snapshot?tenant=r{i}"), &body);
+            if status != 200 {
+                eprintln!("serve bench: recovery-phase snapshot for r{i} got {status}");
+                std::process::exit(1);
+            }
+            let (status, _) = timed_request(addr, "POST", &format!("/delta?tenant=r{i}"), delta);
+            if status != 200 {
+                eprintln!("serve bench: recovery-phase delta for r{i} got {status}");
+                std::process::exit(1);
+            }
+        }
+        handle.shutdown();
+        if daemon.join().is_err() {
+            eprintln!("serve bench: recovery-phase daemon panicked");
+            std::process::exit(1);
+        }
+
+        let replayed_counter = rasa_obs::global().counter("recovery.records_replayed");
+        let replayed_before = replayed_counter.get();
+        let started = Instant::now();
+        let server = Server::bind(recovery_config()).unwrap_or_else(|e| {
+            eprintln!("serve bench: recovering bind failed: {e}");
+            std::process::exit(1);
+        });
+        let recover_ms = started.elapsed().as_secs_f64() * 1e3;
+        let addr = server.local_addr().unwrap_or_else(|e| {
+            eprintln!("serve bench: recovered local_addr failed: {e}");
+            std::process::exit(1);
+        });
+        let handle = server.handle();
+        let daemon = std::thread::spawn(move || server.run());
+        let recovered_placements = (0..RECOVERY_TENANTS)
+            .filter(|i| timed_request(addr, "GET", &format!("/placement?tenant=r{i}"), "").0 == 200)
+            .count() as u64;
+        handle.shutdown();
+        let _ = daemon.join();
+        let _ = std::fs::remove_dir_all(&wal_root);
+        RecoverySummary {
+            tenants: RECOVERY_TENANTS as u64,
+            records_replayed: replayed_counter.get() - replayed_before,
+            recover_ms,
+            recovered_placements,
+        }
+    };
+
     let cold = LatencySummary::from_samples(&cold_samples);
     let warm = LatencySummary::from_samples(&warm_samples);
     let artifact = ServeBenchArtifact {
@@ -296,6 +377,7 @@ fn main() {
         drain_ms: drain.drain_seconds * 1e3,
         drain_abandoned: drain.abandoned_jobs,
         tracing_overhead,
+        recovery,
     };
 
     println!(
@@ -322,6 +404,21 @@ fn main() {
             "tracing overhead: disabled p50 {:.2} ms, 1-in-{} sampling p50 {:.2} ms (ratio {:.3})",
             ov.disabled_p50_ms, ov.sample_every, ov.enabled_p50_ms, ov.ratio
         );
+    }
+    println!(
+        "recovery: {} tenants, {} records replayed, {:.1} ms, {} placements recovered",
+        artifact.recovery.tenants,
+        artifact.recovery.records_replayed,
+        artifact.recovery.recover_ms,
+        artifact.recovery.recovered_placements
+    );
+
+    if artifact.recovery.recovered_placements < artifact.recovery.tenants {
+        eprintln!(
+            "serve bench: recovery lost placements ({} of {} tenants)",
+            artifact.recovery.recovered_placements, artifact.recovery.tenants
+        );
+        std::process::exit(1);
     }
 
     if artifact.overload.rejected_429 == 0 {

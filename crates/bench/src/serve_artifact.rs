@@ -12,8 +12,9 @@ use serde::{Deserialize, Serialize};
 /// that would make old/new artifacts incomparable.
 ///
 /// v2 added `tracing_overhead` (request-scoped tracing cost on the warm
-/// request path).
-pub const SERVE_BENCH_SCHEMA_VERSION: u32 = 2;
+/// request path). v3 added `recovery` (journal-replay restart timing and
+/// completeness with write-ahead journaling on).
+pub const SERVE_BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// Exact latency percentiles over one request phase, in milliseconds.
 /// Computed from the raw per-request samples (not histogram buckets), so
@@ -83,6 +84,22 @@ pub struct TracingOverhead {
     pub ratio: f64,
 }
 
+/// Crash-recovery cost: the bench journals state for a fleet of tenants,
+/// drains, and re-binds on the same WAL root — the restart path replays
+/// every journal through both trust gates before the daemon serves.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RecoverySummary {
+    /// Journaled tenants the restart recovered.
+    pub tenants: u64,
+    /// Journal records replayed across all tenants.
+    pub records_replayed: u64,
+    /// Wall-clock of the recovering `bind`, milliseconds.
+    pub recover_ms: f64,
+    /// Tenants whose certified placement survived the restart (a healthy
+    /// bench recovers one per tenant).
+    pub recovered_placements: u64,
+}
+
 /// The `BENCH_serve.json` artifact.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ServeBenchArtifact {
@@ -108,6 +125,8 @@ pub struct ServeBenchArtifact {
     /// Request-scoped tracing cost; `null` when skipped
     /// (`RASA_BENCH_OVERHEAD=0`).
     pub tracing_overhead: Option<TracingOverhead>,
+    /// Journal-replay restart cost and completeness.
+    pub recovery: RecoverySummary,
 }
 
 /// Thresholds for the serve regression gate.
@@ -121,6 +140,8 @@ pub struct ServeCompareConfig {
     pub rejection_slack: f64,
     /// Allowed relative drain-time growth, percent.
     pub drain_pct: f64,
+    /// Allowed relative recovery-time growth, percent.
+    pub recovery_pct: f64,
 }
 
 impl Default for ServeCompareConfig {
@@ -130,6 +151,7 @@ impl Default for ServeCompareConfig {
             abs_slack_ms: 10.0,
             rejection_slack: 0.35,
             drain_pct: 100.0,
+            recovery_pct: 100.0,
         }
     }
 }
@@ -223,6 +245,32 @@ pub fn compare_serve_artifacts(
         ));
     }
 
+    // Recovery must stay bounded and complete: a restart that replays the
+    // same fleet's journals markedly slower — or comes up missing
+    // placements — is a durability regression, not noise.
+    if old.recovery.tenants != new.recovery.tenants {
+        findings.push(format!(
+            "recovery fleet mismatch: baseline journaled {} tenants, candidate {}",
+            old.recovery.tenants, new.recovery.tenants
+        ));
+    } else {
+        let recover_bound =
+            old.recovery.recover_ms * (1.0 + cfg.recovery_pct / 100.0) + cfg.abs_slack_ms;
+        if new.recovery.recover_ms > recover_bound {
+            findings.push(format!(
+                "recovery regressed: {:.1} ms -> {:.1} ms (bound {:.1} ms)",
+                old.recovery.recover_ms, new.recovery.recover_ms, recover_bound
+            ));
+        }
+        if new.recovery.recovered_placements < new.recovery.tenants {
+            findings.push(format!(
+                "recovery lost placements: {} of {} tenants came back with their \
+                 certified placement",
+                new.recovery.recovered_placements, new.recovery.tenants
+            ));
+        }
+    }
+
     // Request-scoped tracing must stay near-free on the warm path: gate
     // the candidate's measured ratio at 1.05× even when the baseline
     // skipped the measurement, with a 1 ms absolute floor so micro-runs
@@ -285,6 +333,12 @@ mod tests {
                 sample_every: 4,
                 ratio: 8.2 / 8.0,
             }),
+            recovery: RecoverySummary {
+                tenants: 6,
+                records_replayed: 24,
+                recover_ms: 40.0,
+                recovered_placements: 6,
+            },
         }
     }
 
@@ -336,6 +390,32 @@ mod tests {
             compare_serve_artifacts(&old, &new, &ServeCompareConfig::default()),
             CompareOutcome::Pass
         ));
+    }
+
+    #[test]
+    fn recovery_slowdown_and_lost_placements_are_regressions() {
+        let old = base();
+        let mut new = base();
+        new.recovery.recover_ms = 400.0; // > 40 x2 + 10 slack
+        new.recovery.recovered_placements = 3;
+        match compare_serve_artifacts(&old, &new, &ServeCompareConfig::default()) {
+            CompareOutcome::Regressions(findings) => {
+                assert!(findings.iter().any(|f| f.contains("recovery regressed")));
+                assert!(findings.iter().any(|f| f.contains("recovery lost placements")));
+            }
+            other => panic!("expected regressions, got {other:?}"),
+        }
+        // a differently-sized fleet is flagged, not silently compared
+        new.recovery = RecoverySummary {
+            tenants: 99,
+            ..old.recovery.clone()
+        };
+        match compare_serve_artifacts(&old, &new, &ServeCompareConfig::default()) {
+            CompareOutcome::Regressions(findings) => {
+                assert!(findings.iter().any(|f| f.contains("recovery fleet mismatch")));
+            }
+            other => panic!("expected regressions, got {other:?}"),
+        }
     }
 
     #[test]

@@ -50,7 +50,8 @@ pub use pipeline::{RasaConfig, RasaPipeline, RasaRun, SubproblemReport};
 pub use rasa_lp::Deadline;
 pub use selector_choice::SelectorChoice;
 pub use service::{
-    AllocationSession, DeltaPlan, EdgeUpdate, PublishedPlacement, ReplicaUpdate, SessionError,
+    apply_delta_to_problem, AllocationSession, DeltaPlan, EdgeUpdate, PublishedPlacement,
+    ReplicaUpdate, Restored, RestoredPlacement, RestoredState, RestoreError, SessionError,
     SessionRound, SnapshotDelta, MIN_RETRAIN_SAMPLES,
 };
 pub use solve_cache::{CacheRoundStats, CachedSubSolve, SolveCache};

@@ -140,6 +140,61 @@ pub struct DeltaPlan {
     pub invalidated: usize,
 }
 
+/// Apply `delta` to `base` without touching any session state: the pure
+/// mutation step shared by [`AllocationSession::apply_delta`] and journal
+/// replay (`rasa-serve`'s write-ahead log re-applies journaled deltas
+/// through exactly this function on recovery). Structural errors reject
+/// the whole delta atomically; the admission gate is the caller's job.
+pub fn apply_delta_to_problem(
+    base: &Problem,
+    delta: &SnapshotDelta,
+) -> Result<Problem, SessionError> {
+    let num_services = base.num_services() as u32;
+    for up in &delta.edge_updates {
+        if up.a == up.b {
+            return Err(SessionError::SelfEdge { service: up.a });
+        }
+        if !up.weight.is_finite() {
+            return Err(SessionError::NonFiniteWeight { a: up.a, b: up.b });
+        }
+        for id in [up.a, up.b] {
+            if id >= num_services {
+                return Err(SessionError::UnknownService { service: id });
+            }
+        }
+    }
+    for up in &delta.replica_updates {
+        if up.service >= num_services {
+            return Err(SessionError::UnknownService { service: up.service });
+        }
+    }
+
+    let mut next = base.clone();
+    for up in &delta.edge_updates {
+        let (a, b) = (ServiceId(up.a), ServiceId(up.b));
+        let existing = next
+            .affinity_edges
+            .iter()
+            .position(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a));
+        match (existing, up.weight > 0.0) {
+            (Some(i), true) => next.affinity_edges[i].weight = up.weight,
+            (Some(i), false) => {
+                next.affinity_edges.swap_remove(i);
+            }
+            (None, true) => next.affinity_edges.push(AffinityEdge {
+                a,
+                b,
+                weight: up.weight,
+            }),
+            (None, false) => {}
+        }
+    }
+    for up in &delta.replica_updates {
+        next.services[up.service as usize].replicas = up.replicas;
+    }
+    Ok(next)
+}
+
 /// The last placement this session published, with provenance. Only
 /// certified placements ever land here.
 #[derive(Clone, Debug)]
@@ -185,6 +240,87 @@ pub struct SessionRound {
 /// a ridge fit is noise and the session keeps its current selector.
 pub const MIN_RETRAIN_SAMPLES: usize = 16;
 
+/// Session state reloaded from a durability journal, about to be pushed
+/// back through both trust gates by [`AllocationSession::restore`].
+/// Everything here is *untrusted* until restore succeeds — the journal
+/// bytes survived a crash and possibly corruption.
+#[derive(Clone, Debug)]
+pub struct RestoredState {
+    /// The admitted problem as of the last journaled snapshot/delta.
+    pub problem: Problem,
+    /// The last certified placement the journal recorded, if any.
+    pub published: Option<RestoredPlacement>,
+    /// Publish rounds completed before the crash.
+    pub rounds: u64,
+    /// Snapshot generation as of the last journaled mutation.
+    pub generation: u64,
+}
+
+/// A journaled placement with the provenance needed to re-certify it.
+#[derive(Clone, Debug)]
+pub struct RestoredPlacement {
+    /// The placement as journaled.
+    pub placement: Placement,
+    /// The objective the journal claims Gate 2 recomputed at publish time
+    /// (re-checked against a fresh recomputation on restore).
+    pub claimed_objective: f64,
+    /// Normalized gained affinity as journaled.
+    pub normalized: f64,
+    /// Publish round number as journaled.
+    pub round: u64,
+    /// Snapshot generation this placement was solved against.
+    pub generation: u64,
+}
+
+/// Why [`AllocationSession::restore`] refused journaled state. Every
+/// variant means the journal cannot be trusted for this tenant — callers
+/// quarantine instead of serving the state.
+#[derive(Debug)]
+pub enum RestoreError {
+    /// The journaled problem did not pass the admission gate cleanly.
+    /// Journaled problems were admitted (and repaired) before being
+    /// written, so any dirt found on re-admission is corruption.
+    AdmissionDirty {
+        /// Human-readable summary of what admission flagged.
+        detail: String,
+    },
+    /// The journaled placement failed independent re-certification
+    /// against the problem generation it claims to have been solved for.
+    Uncertified(CertificationFailure),
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::AdmissionDirty { detail } => {
+                write!(f, "journaled problem failed re-admission: {detail}")
+            }
+            RestoreError::Uncertified(failure) => {
+                write!(f, "journaled placement failed re-certification: {failure}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// The result of a successful [`AllocationSession::restore`].
+pub struct Restored {
+    /// The rebuilt session (cold cache — warm subsolves are not
+    /// journaled; the first post-restart round re-solves and re-warms).
+    pub session: AllocationSession,
+    /// The independently recomputed objective of the re-certified
+    /// placement (`None` when the journal carried no placement or a stale
+    /// one was dropped).
+    pub recertified_objective: Option<f64>,
+    /// `true` when a journaled placement that *predates* the journal's
+    /// final problem generation failed re-certification against that
+    /// newer problem and was dropped. Not corruption — the placement was
+    /// already stale when the process died; the session restores without
+    /// a published placement and the next round re-solves.
+    pub stale_placement_dropped: bool,
+}
+
 /// One tenant's delta-driven re-solve state: admitted problem, warm-solve
 /// cache, and last certified placement. See the module docs for the
 /// trust-gate contract.
@@ -209,6 +345,73 @@ impl AllocationSession {
             rounds: 0,
             generation: 0,
         }
+    }
+
+    /// Rebuild a session from journaled state, re-running both trust
+    /// gates: the problem re-passes Gate 1 admission (any dirt is
+    /// corruption — journaled problems were admitted before being
+    /// written) and the placement re-passes Gate 2
+    /// [`certify_placement`] with its claimed objective cross-checked
+    /// against a fresh recomputation. A placement older than the
+    /// journal's final generation that no longer certifies is dropped as
+    /// stale rather than treated as corruption (see
+    /// [`Restored::stale_placement_dropped`]); a same-generation
+    /// certification failure is corruption and refuses the whole restore.
+    pub fn restore(config: RasaConfig, state: RestoredState) -> Result<Restored, RestoreError> {
+        let (_, report) = ProblemValidator::new().admit(&state.problem);
+        if !report.is_clean() {
+            return Err(RestoreError::AdmissionDirty {
+                detail: format!(
+                    "{} issues, {} quarantined services, {} quarantined machines",
+                    report.issues.len(),
+                    report.quarantined_services.len(),
+                    report.quarantined_machines.len(),
+                ),
+            });
+        }
+
+        let mut session = AllocationSession::new(config);
+        session.rounds = state.rounds;
+        session.generation = state.generation;
+        let mut recertified_objective = None;
+        let mut stale_placement_dropped = false;
+        if let Some(restored) = state.published {
+            match certify_placement(
+                &state.problem,
+                &restored.placement,
+                restored.claimed_objective,
+                false,
+                "service.restore",
+            ) {
+                Ok(objective) => {
+                    recertified_objective = Some(objective);
+                    session.published = Some(PublishedPlacement {
+                        placement: restored.placement,
+                        objective,
+                        normalized: restored.normalized,
+                        round: restored.round,
+                        generation: restored.generation,
+                    });
+                }
+                Err(failure) if restored.generation < state.generation => {
+                    // The placement predates the final journaled problem;
+                    // deltas applied after the last publish may have
+                    // legitimately invalidated it (replica scaling, edge
+                    // churn). Losing a stale placement over a crash is
+                    // the documented cost — losing *certified currency*
+                    // never is.
+                    let _ = failure;
+                    stale_placement_dropped = true;
+                }
+                Err(failure) => return Err(RestoreError::Uncertified(failure)),
+            }
+        }
+        session.problem = Some(state.problem);
+        Ok(Restored {
+            session,
+            recertified_objective,
+            stale_placement_dropped,
+        })
     }
 
     /// The pipeline configuration this session solves with.
@@ -268,50 +471,7 @@ impl AllocationSession {
     /// accepted delta re-runs the admission gate on the mutated problem.
     pub fn apply_delta(&mut self, delta: &SnapshotDelta) -> Result<AdmissionReport, SessionError> {
         let base = self.problem.as_ref().ok_or(SessionError::NoSnapshot)?;
-        let num_services = base.num_services() as u32;
-        for up in &delta.edge_updates {
-            if up.a == up.b {
-                return Err(SessionError::SelfEdge { service: up.a });
-            }
-            if !up.weight.is_finite() {
-                return Err(SessionError::NonFiniteWeight { a: up.a, b: up.b });
-            }
-            for id in [up.a, up.b] {
-                if id >= num_services {
-                    return Err(SessionError::UnknownService { service: id });
-                }
-            }
-        }
-        for up in &delta.replica_updates {
-            if up.service >= num_services {
-                return Err(SessionError::UnknownService { service: up.service });
-            }
-        }
-
-        let mut next = base.clone();
-        for up in &delta.edge_updates {
-            let (a, b) = (ServiceId(up.a), ServiceId(up.b));
-            let existing = next
-                .affinity_edges
-                .iter()
-                .position(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a));
-            match (existing, up.weight > 0.0) {
-                (Some(i), true) => next.affinity_edges[i].weight = up.weight,
-                (Some(i), false) => {
-                    next.affinity_edges.swap_remove(i);
-                }
-                (None, true) => next.affinity_edges.push(AffinityEdge {
-                    a,
-                    b,
-                    weight: up.weight,
-                }),
-                (None, false) => {}
-            }
-        }
-        for up in &delta.replica_updates {
-            next.services[up.service as usize].replicas = up.replicas;
-        }
-
+        let next = apply_delta_to_problem(base, delta)?;
         let (repaired, report) = ProblemValidator::new().admit(&next);
         self.problem = Some(repaired.unwrap_or(next));
         self.generation += 1;

@@ -167,6 +167,16 @@ pub enum EventKind {
     /// The algorithm selector routed a subproblem to a pool arm (the
     /// portfolio's per-subproblem strategy decision).
     RungSelected,
+    /// Journal replay hit a torn tail — a partial record at the end of a
+    /// write-ahead-log segment — and truncated the segment at the last
+    /// valid record.
+    WalTornTail,
+    /// Journal replay skipped one record that failed its CRC or decode
+    /// (the rest of the segment was still replayed).
+    WalRecordSkipped,
+    /// Crash recovery refused a tenant's journaled state at a trust gate
+    /// (re-admission or re-certification) and quarantined the tenant.
+    RecoveryQuarantine,
 }
 
 impl EventKind {
@@ -185,6 +195,9 @@ impl EventKind {
             EventKind::CertifyFailure => "certify_failure",
             EventKind::RefactorSingular => "refactor_singular",
             EventKind::RungSelected => "rung_selected",
+            EventKind::WalTornTail => "wal_torn_tail",
+            EventKind::WalRecordSkipped => "wal_record_skipped",
+            EventKind::RecoveryQuarantine => "recovery_quarantine",
         }
     }
 }
@@ -374,6 +387,43 @@ impl TraceEvent {
             EventKind::RungSelected,
             vec![("subproblem".into(), subproblem as f64)],
             algorithm.to_string(),
+        )
+    }
+
+    /// WAL segment `segment` ended in a torn (partial) record; replay
+    /// kept `valid_bytes` of it and discarded `lost_bytes`.
+    pub fn wal_torn_tail(segment: u64, valid_bytes: u64, lost_bytes: u64) -> Self {
+        TraceEvent::new(
+            EventKind::WalTornTail,
+            vec![
+                ("segment".into(), segment as f64),
+                ("valid_bytes".into(), valid_bytes as f64),
+                ("lost_bytes".into(), lost_bytes as f64),
+            ],
+            String::new(),
+        )
+    }
+
+    /// WAL replay skipped the record at byte `offset` of segment
+    /// `segment`; `reason` is `"crc"` or `"decode"`.
+    pub fn wal_record_skipped(segment: u64, offset: u64, reason: &str) -> Self {
+        TraceEvent::new(
+            EventKind::WalRecordSkipped,
+            vec![
+                ("segment".into(), segment as f64),
+                ("offset".into(), offset as f64),
+            ],
+            reason.to_string(),
+        )
+    }
+
+    /// Crash recovery quarantined tenant `tenant`: its journaled state
+    /// failed re-admission or re-certification (`reason`).
+    pub fn recovery_quarantine(tenant: &str, reason: &str) -> Self {
+        TraceEvent::new(
+            EventKind::RecoveryQuarantine,
+            Vec::new(),
+            format!("{tenant}: {reason}"),
         )
     }
 }

@@ -18,7 +18,7 @@ use std::collections::BTreeSet;
 use std::path::Path;
 
 /// Prefixes that make a string literal a metric/span name candidate.
-const PREFIXES: [&str; 19] = [
+const PREFIXES: [&str; 21] = [
     "admission",
     "certify",
     "simplex",
@@ -38,6 +38,8 @@ const PREFIXES: [&str; 19] = [
     "strategy",
     "slo",
     "obs",
+    "wal",
+    "recovery",
 ];
 
 fn is_name_candidate(s: &str) -> bool {
@@ -221,6 +223,9 @@ fn every_event_kind_is_documented() {
         EventKind::CertifyFailure,
         EventKind::RefactorSingular,
         EventKind::RungSelected,
+        EventKind::WalTornTail,
+        EventKind::WalRecordSkipped,
+        EventKind::RecoveryQuarantine,
     ] {
         assert!(
             events.contains(kind.as_str()),

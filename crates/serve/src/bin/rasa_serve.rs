@@ -4,8 +4,15 @@
 //! rasa-serve [--addr 127.0.0.1:7070] [--workers 2] [--queue-capacity 4]
 //!            [--max-tenants 64] [--deadline-ms 2000] [--seed 42]
 //!            [--drain-grace-ms 5000] [--metrics-out PATH]
-//!            [--retrain-every N]
+//!            [--retrain-every N] [--wal-dir PATH] [--wal-sync POLICY]
+//!            [--sample-stream PATH]
 //! ```
+//!
+//! `--wal-dir` turns on per-tenant write-ahead journaling: acked state is
+//! durable before the 200, and on restart the daemon replays the journals
+//! through both trust gates (`--wal-sync` is `always` (default), `never`,
+//! or `every:N`). `--sample-stream` persists the online selector sample
+//! stream across restarts.
 //!
 //! The bound address is printed as `listening on <addr>` once the socket
 //! is open (scripts parse this when binding port 0). SIGTERM or SIGINT
@@ -18,7 +25,7 @@
 
 #![warn(clippy::unwrap_used)]
 
-use rasa_serve::{ServeConfig, Server};
+use rasa_serve::{ServeConfig, Server, SyncPolicy, WalConfig};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -52,7 +59,15 @@ fn usage() -> &'static str {
     "usage: rasa-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]\n\
      \x20                 [--max-tenants N] [--deadline-ms N] [--seed N]\n\
      \x20                 [--drain-grace-ms N] [--metrics-out PATH]\n\
-     \x20                 [--retrain-every N]"
+     \x20                 [--retrain-every N] [--wal-dir PATH]\n\
+     \x20                 [--wal-sync always|never|every:N] [--wal-compact-every N]\n\
+     \x20                 [--wal-segment-bytes N] [--sample-stream PATH]"
+}
+
+/// The WAL config a `--wal-*` flag mutates, defaulting it into existence
+/// on first use (flag order doesn't matter; the root must end up set).
+fn wal_tuning(config: &mut ServeConfig) -> &mut WalConfig {
+    config.wal.get_or_insert_with(|| WalConfig::new(""))
 }
 
 fn parse_args(config: &mut ServeConfig) -> Result<(), String> {
@@ -105,9 +120,41 @@ fn parse_args(config: &mut ServeConfig) -> Result<(), String> {
                     .map_err(|_| "--retrain-every: not a number".to_string())?;
                 config.retrain_every = (every > 0).then_some(every);
             }
+            "--wal-dir" => {
+                let root: std::path::PathBuf = value("--wal-dir")?.into();
+                // tuning flags parsed before --wal-dir are kept
+                wal_tuning(config).root = root;
+            }
+            "--wal-sync" => {
+                let sync = SyncPolicy::parse(&value("--wal-sync")?)
+                    .map_err(|e| format!("--wal-sync: {e}"))?;
+                wal_tuning(config).sync = sync;
+            }
+            "--wal-compact-every" => {
+                let every: u64 = value("--wal-compact-every")?
+                    .parse()
+                    .map_err(|_| "--wal-compact-every: not a number".to_string())?;
+                wal_tuning(config).compact_every = every.max(1);
+            }
+            "--wal-segment-bytes" => {
+                let bytes: u64 = value("--wal-segment-bytes")?
+                    .parse()
+                    .map_err(|_| "--wal-segment-bytes: not a number".to_string())?;
+                wal_tuning(config).segment_max_bytes = bytes;
+            }
+            "--sample-stream" => {
+                config.sample_stream_path = Some(value("--sample-stream")?.into());
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
+    }
+    if config
+        .wal
+        .as_ref()
+        .is_some_and(|w| w.root.as_os_str().is_empty())
+    {
+        return Err("--wal-sync/--wal-compact-every/--wal-segment-bytes require --wal-dir".to_string());
     }
     Ok(())
 }

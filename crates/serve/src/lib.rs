@@ -43,6 +43,7 @@ pub mod log;
 pub mod queue;
 pub mod server;
 pub mod slo;
+pub mod wal;
 
 pub use backoff::BackoffSchedule;
 pub use breaker::{BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker};
@@ -51,3 +52,7 @@ pub use log::{event_log, EventLog, LogEntry, LogLevel};
 pub use queue::{BoundedQueue, QueueFull};
 pub use server::{DrainReport, ServeConfig, Server, ServerHandle};
 pub use slo::{SloBurn, SloConfig, SloTracker};
+pub use wal::{
+    recover_all, recover_tenant, JournaledPlacement, RecoveredTenant, RecoveryOutcome,
+    ReplayStats, SyncPolicy, TenantJournal, WalConfig, WalError, WalRecord, WalRecordKind,
+};

@@ -26,7 +26,11 @@ use crate::http::{read_request, HttpError, HttpLimits, Request, Response};
 use crate::log;
 use crate::queue::{BoundedQueue, QueueFull};
 use crate::slo::{SloConfig, SloTracker};
-use rasa_core::{AllocationSession, RasaConfig, SessionError, SnapshotDelta};
+use crate::wal::{
+    self, CheckpointState, JournaledPlacement, RecoveryOutcome, TenantJournal, WalConfig,
+    WalRecord,
+};
+use rasa_core::{AllocationSession, RasaConfig, SelectionSample, SessionError, SnapshotDelta};
 use rasa_core::Deadline;
 use rasa_model::{Placement, Problem};
 use rasa_obs::flight;
@@ -88,6 +92,16 @@ pub struct ServeConfig {
     /// Per-tenant SLO objectives scored by the burn-rate tracker
     /// (`GET /tenants`, `slo.*` metrics).
     pub slo: SloConfig,
+    /// Per-tenant write-ahead journaling ([`crate::wal`]). When set, every
+    /// acked snapshot, delta, and certified placement is journaled before
+    /// the client sees the 200, and [`Server::bind`] replays the journals
+    /// through both trust gates to rebuild tenant state after a crash.
+    /// `None` (the default) disables durability.
+    pub wal: Option<WalConfig>,
+    /// JSONL file persisting the online selector sample stream: loaded
+    /// into [`RasaConfig::sample_log`] on bind (so retraining after a
+    /// restart sees pre-crash samples), saved back on drain.
+    pub sample_stream_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -111,6 +125,8 @@ impl Default for ServeConfig {
             metrics_flush_path: None,
             retrain_every: None,
             slo: SloConfig::default(),
+            wal: None,
+            sample_stream_path: None,
         }
     }
 }
@@ -177,12 +193,132 @@ struct TenantSlot {
     /// Verdict of the last solve round (`"ok"`, `"degraded"`,
     /// `"breaker_open"`, …; `"none"` before the first round).
     last_verdict: Mutex<String>,
+    /// This tenant's open write-ahead journal (`None` when journaling is
+    /// disabled, or after a journal write error disabled it).
+    journal: Mutex<Option<TenantJournal>>,
+    /// Set when recovery found this tenant's journal damaged beyond safe
+    /// use: the reason. While set, allocation and placement requests
+    /// answer 503 — quarantined state is never served. Cleared only by
+    /// `DELETE /tenant` (which also removes the journal directory).
+    quarantined: Mutex<Option<String>>,
 }
 
 /// Record the verdict of a tenant's most recent round (shown in
 /// `GET /tenants`).
 fn note_verdict(slot: &TenantSlot, verdict: &str) {
     *lock_or_recover(&slot.last_verdict) = verdict.to_string();
+}
+
+/// Build a tenant slot around `engine` — used both by ingest (fresh
+/// session) and by crash recovery (restored session, whose published
+/// placement and generation seed the read-side views).
+fn new_slot(
+    config: &ServeConfig,
+    tenant: &str,
+    engine: AllocationSession,
+    journal: Option<TenantJournal>,
+    quarantined: Option<String>,
+) -> Arc<TenantSlot> {
+    let seed = config.seed ^ fnv1a(tenant);
+    let published = engine.published().map(|p| PublishedView {
+        round: p.round,
+        generation: p.generation,
+        objective: p.objective,
+        normalized: p.normalized,
+        placement: p.placement.clone(),
+        request_id: String::new(),
+    });
+    let latest_generation = engine.generation();
+    Arc::new(TenantSlot {
+        name: tenant.to_string(),
+        queue: BoundedQueue::new(config.queue_capacity),
+        engine: Mutex::new(engine),
+        control: Mutex::new(Control {
+            breaker: CircuitBreaker::new(config.breaker),
+            backoff: BackoffSchedule::new(config.backoff_base, config.backoff_cap, seed),
+        }),
+        published: Mutex::new(published),
+        latest_generation: AtomicU64::new(latest_generation),
+        slo: Mutex::new(SloTracker::new(config.slo)),
+        last_request_id: Mutex::new(String::new()),
+        last_verdict: Mutex::new("none".to_string()),
+        journal: Mutex::new(journal),
+        quarantined: Mutex::new(quarantined),
+    })
+}
+
+/// Open a tenant's journal, counting and logging (never propagating) a
+/// failure: a tenant whose journal cannot open serves without durability
+/// rather than not at all.
+fn open_journal(config: &Option<WalConfig>, tenant: &str) -> Option<TenantJournal> {
+    let walcfg = config.as_ref()?;
+    match TenantJournal::open(walcfg, tenant) {
+        Ok(journal) => Some(journal),
+        Err(e) => {
+            rasa_obs::global().inc("wal.open_errors");
+            log::error(
+                "wal",
+                format!("journal for {tenant} failed to open; serving without durability: {e}"),
+            );
+            None
+        }
+    }
+}
+
+/// Append to the tenant's journal when one is open. A write error is
+/// counted and disables journaling for the tenant (the daemon keeps
+/// serving; durability is lost, loudly) — it never fails the round.
+fn journal_append(slot: &TenantSlot, record: &WalRecord) {
+    let mut journal = lock_or_recover(&slot.journal);
+    if let Some(j) = journal.as_mut() {
+        if let Err(e) = j.append(record) {
+            rasa_obs::global().inc("wal.append_errors");
+            log::error(
+                "wal",
+                format!(
+                    "journal append for {} failed; disabling journaling: {e}",
+                    slot.name
+                ),
+            );
+            *journal = None;
+        }
+    }
+}
+
+/// Fold the session's state into a checkpoint when the journal is due for
+/// one. Same error policy as [`journal_append`].
+fn maybe_checkpoint(slot: &TenantSlot, session: &AllocationSession) {
+    let mut journal = lock_or_recover(&slot.journal);
+    let Some(j) = journal.as_mut() else { return };
+    if !j.needs_checkpoint() {
+        return;
+    }
+    let Some(problem) = session.problem() else {
+        return;
+    };
+    let state = CheckpointState {
+        problem,
+        published: session.published().map(|p| JournaledPlacement {
+            round: p.round,
+            generation: p.generation,
+            claimed_objective: p.objective,
+            normalized: p.normalized,
+            placement: p.placement.clone(),
+        }),
+        rounds: session.rounds(),
+        generation: session.generation(),
+    };
+    if let Err(e) = j.checkpoint(&state) {
+        rasa_obs::global().inc("wal.append_errors");
+        log::error(
+            "wal",
+            format!(
+                "journal compaction for {} failed; disabling journaling: {e}",
+                slot.name
+            ),
+        );
+        *journal = None;
+    }
 }
 
 struct Shared {
@@ -278,9 +414,13 @@ impl Server {
         // one labeled series per tenant, at most: tie metric-label
         // cardinality to the tenant cap (overflow folds into `other`)
         rasa_obs::global().set_label_cap(config.max_tenants);
+        if let Some(path) = &config.sample_stream_path {
+            reload_sample_stream(&config.rasa, path);
+        }
+        let tenants = recover_tenants(&config);
         let shared = Arc::new(Shared {
             config,
-            tenants: Mutex::new(BTreeMap::new()),
+            tenants: Mutex::new(tenants),
             work: Mutex::new(VecDeque::new()),
             work_cv: Condvar::new(),
             draining: AtomicBool::new(false),
@@ -346,6 +486,163 @@ impl Server {
     }
 }
 
+/// Load the persisted selector sample stream into the (shared) sample
+/// log, so a retrain after restart sees pre-crash samples. A missing file
+/// is a fresh start; a damaged one is logged and skipped.
+fn reload_sample_stream(rasa: &RasaConfig, path: &std::path::Path) {
+    if !path.exists() {
+        return;
+    }
+    match rasa_trace::load_jsonl::<SelectionSample>(path) {
+        Ok(samples) => {
+            let n = samples.len();
+            rasa.sample_log.extend(samples);
+            rasa_obs::global().add("recovery.samples_reloaded", n as u64);
+            log::info(
+                "recovery",
+                format!("reloaded {n} selector samples from {}", path.display()),
+            );
+        }
+        Err(e) => log::warn(
+            "recovery",
+            format!("sample stream {} unreadable, starting empty: {e}", path.display()),
+        ),
+    }
+}
+
+/// The startup recovery pass: replay every tenant journal under the WAL
+/// root, push each rebuilt state back through **both trust gates**
+/// (`AllocationSession::restore` re-admits the problem and re-certifies
+/// the placement), and seed the tenant map. Journals too damaged to trust
+/// produce quarantined slots that answer 503 until an operator removes
+/// the tenant — recovery never panics the daemon and never publishes
+/// uncertified state.
+fn recover_tenants(config: &ServeConfig) -> BTreeMap<String, Arc<TenantSlot>> {
+    let mut tenants = BTreeMap::new();
+    let Some(walcfg) = &config.wal else {
+        return tenants;
+    };
+    let obs = rasa_obs::global();
+    let started = Instant::now();
+    let mut scope = flight::begin_solve("serve.recovery", &[]);
+    let mut quarantined_n = 0u64;
+    for rec in wal::recover_all(walcfg) {
+        if !valid_tenant(&rec.tenant) {
+            continue;
+        }
+        let tenant = rec.tenant;
+        let quarantine = |reason: String| {
+            obs.inc("recovery.tenants_quarantined");
+            flight::emit(|| flight::TraceEvent::recovery_quarantine(&tenant, &reason));
+            log::error(
+                "recovery",
+                format!("tenant {tenant} quarantined: {reason}"),
+            );
+            new_slot(
+                config,
+                &tenant,
+                AllocationSession::new(config.rasa.clone()),
+                // leave the damaged journal untouched for forensics
+                None,
+                Some(reason),
+            )
+        };
+        let slot = match rec.outcome {
+            RecoveryOutcome::Empty => continue,
+            RecoveryOutcome::Quarantined { reason } => {
+                quarantined_n += 1;
+                quarantine(reason)
+            }
+            RecoveryOutcome::Recovered(state) => {
+                let restore = catch_unwind(AssertUnwindSafe(|| {
+                    AllocationSession::restore(config.rasa.clone(), *state)
+                }));
+                match restore {
+                    Ok(Ok(restored)) => {
+                        obs.inc("recovery.tenants_recovered");
+                        if restored.stale_placement_dropped {
+                            obs.inc("recovery.placements_dropped");
+                            log::warn(
+                                "recovery",
+                                format!(
+                                    "tenant {tenant}: journaled placement predated the \
+                                     final snapshot and failed re-certification; dropped"
+                                ),
+                            );
+                        }
+                        log::info(
+                            "recovery",
+                            format!(
+                                "tenant {tenant} recovered through both gates \
+                                 (generation {}, round {})",
+                                restored.session.generation(),
+                                restored.session.rounds(),
+                            ),
+                        );
+                        // re-open the journal and immediately fold the
+                        // recovered state into a checkpoint, so the next
+                        // crash replays one compact file instead of the
+                        // whole tail again
+                        let journal = open_journal(&config.wal, &tenant).map(|mut j| {
+                            let state = CheckpointState {
+                                problem: restored
+                                    .session
+                                    .problem()
+                                    .expect("restored session has a problem"),
+                                published: restored.session.published().map(|p| {
+                                    JournaledPlacement {
+                                        round: p.round,
+                                        generation: p.generation,
+                                        claimed_objective: p.objective,
+                                        normalized: p.normalized,
+                                        placement: p.placement.clone(),
+                                    }
+                                }),
+                                rounds: restored.session.rounds(),
+                                generation: restored.session.generation(),
+                            };
+                            if let Err(e) = j.checkpoint(&state) {
+                                log::warn(
+                                    "recovery",
+                                    format!("post-recovery checkpoint for {tenant} failed: {e}"),
+                                );
+                            }
+                            j
+                        });
+                        new_slot(config, &tenant, restored.session, journal, None)
+                    }
+                    Ok(Err(e)) => {
+                        quarantined_n += 1;
+                        quarantine(format!("restored state failed the trust gates: {e}"))
+                    }
+                    Err(_) => {
+                        quarantined_n += 1;
+                        quarantine("restore panicked".to_string())
+                    }
+                }
+            }
+        };
+        tenants.insert(slot.name.clone(), slot);
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    obs.record("recovery.seconds", seconds);
+    scope.set_verdict(
+        if quarantined_n > 0 { "quarantined" } else { "ok" },
+        quarantined_n > 0,
+    );
+    drop(scope);
+    if !tenants.is_empty() {
+        log::info(
+            "recovery",
+            format!(
+                "recovered {} tenant(s) in {seconds:.3}s ({quarantined_n} quarantined)",
+                tenants.len()
+            ),
+        );
+    }
+    tenants
+}
+
 /// The drain coordinator: give in-flight work a grace window, then answer
 /// and black-box whatever is still queued, stop the workers, and flush.
 fn drain(shared: &Arc<Shared>, workers: Vec<thread::JoinHandle<()>>) -> DrainReport {
@@ -404,7 +701,22 @@ fn drain(shared: &Arc<Shared>, workers: Vec<thread::JoinHandle<()>>) -> DrainRep
         let _ = w.join();
     }
 
-    // Phase 4: flush observability.
+    // Phase 4: persist the selector sample stream and flush observability.
+    if let Some(path) = &shared.config.sample_stream_path {
+        let samples = shared.config.rasa.sample_log.snapshot();
+        if !samples.is_empty() {
+            match rasa_trace::save_jsonl(&samples, path) {
+                Ok(()) => log::info(
+                    "drain",
+                    format!("persisted {} selector samples to {}", samples.len(), path.display()),
+                ),
+                Err(e) => log::error(
+                    "drain",
+                    format!("sample stream flush to {} failed: {e}", path.display()),
+                ),
+            }
+        }
+    }
     let drain_seconds = started.elapsed().as_secs_f64();
     obs.record("serve.drain_seconds", drain_seconds);
     if let Some(path) = &shared.config.metrics_flush_path {
@@ -538,10 +850,14 @@ fn run_round(
     let obs = rasa_obs::global();
     let mut session = lock_or_recover(&slot.engine);
 
-    let admission = match kind {
+    let (admission, wal_record) = match kind {
         JobKind::Snapshot(problem) => {
             obs.inc("serve.snapshots");
-            session.apply_snapshot(&problem)
+            let report = session.apply_snapshot(&problem);
+            // journal the POST-admission repaired problem, so replay
+            // re-admits byte-identical state without re-repairing
+            let admitted = session.problem().cloned().unwrap_or(*problem);
+            (report, Some(WalRecord::snapshot(session.generation(), admitted)))
         }
         JobKind::Delta(delta) => {
             obs.inc("serve.deltas");
@@ -551,7 +867,7 @@ fn run_round(
                         obs.add("serve.delta_dirty", plan.dirty as u64);
                         obs.add("serve.delta_unchanged", plan.unchanged as u64);
                     }
-                    report
+                    (report, Some(WalRecord::delta(session.generation(), delta)))
                 }
                 Err(e) => {
                     obs.inc("serve.delta_rejected");
@@ -565,6 +881,11 @@ fn run_round(
     };
     slot.latest_generation
         .store(session.generation(), Ordering::SeqCst);
+    // journal the accepted mutation *before* solving: the 200 below
+    // implies the state change is already durable (under fsync-always)
+    if let Some(record) = wal_record {
+        journal_append(slot, &record);
+    }
 
     let mut attempt: u32 = 0;
     loop {
@@ -599,6 +920,20 @@ fn run_round(
                         .map(|c| c.request_id)
                         .unwrap_or_default(),
                 });
+                // the placement passed Gate 2 — journal it, then compact
+                // if the journal is due (checkpointing folds the session's
+                // whole state, so it must see the post-publish view)
+                journal_append(
+                    slot,
+                    &WalRecord::placement(JournaledPlacement {
+                        round: round.round,
+                        generation: session.generation(),
+                        claimed_objective: round.objective,
+                        normalized: round.normalized,
+                        placement: round.run.outcome.placement.clone(),
+                    }),
+                );
+                maybe_checkpoint(slot, &session);
                 // A degraded round is still published (it certified), but
                 // it counts as ladder exhaustion for the breaker.
                 breaker_report(slot, !round.degraded);
@@ -858,6 +1193,9 @@ fn healthz_response(shared: &Arc<Shared>) -> Response {
         ) {
             reasons.push(format!("\"breaker_open:{}\"", slot.name));
         }
+        if lock_or_recover(&slot.quarantined).is_some() {
+            reasons.push(format!("\"quarantined:{}\"", slot.name));
+        }
     }
     if reasons.is_empty() {
         Response::json(200, "{\"status\":\"ok\",\"draining\":false}".to_string())
@@ -895,6 +1233,7 @@ fn tenants_response(shared: &Arc<Shared>) -> Response {
         };
         let last_request_id = lock_or_recover(&slot.last_request_id).clone();
         let last_verdict = lock_or_recover(&slot.last_verdict).clone();
+        let quarantined = lock_or_recover(&slot.quarantined).is_some();
         let (short, long) = {
             let slo = lock_or_recover(&slot.slo);
             (slo.burn_short(), slo.burn_long())
@@ -903,6 +1242,7 @@ fn tenants_response(shared: &Arc<Shared>) -> Response {
             "{{\"tenant\":\"{}\",\"breaker\":\"{breaker}\",\"queue_depth\":{},\
              \"last_request_id\":\"{last_request_id}\",\"last_verdict\":\"{last_verdict}\",\
              \"published_round\":{published_round},\"stale\":{stale},\
+             \"quarantined\":{quarantined},\
              \"slo\":{{\"events_5m\":{},\"latency_burn_5m\":{:.4},\"availability_burn_5m\":{:.4},\
              \"events_1h\":{},\"latency_burn_1h\":{:.4},\"availability_burn_1h\":{:.4}}}}}",
             slot.name,
@@ -965,6 +1305,14 @@ fn placement_response(shared: &Arc<Shared>, request: &Request) -> Response {
     let Some(slot) = shared.tenant(tenant) else {
         return Response::json(404, "{\"error\":\"unknown tenant\"}".to_string());
     };
+    if let Some(reason) = lock_or_recover(&slot.quarantined).clone() {
+        rasa_obs::global().inc("serve.rejected_quarantined");
+        return Response::json(
+            503,
+            format!("{{\"error\":\"quarantined\",\"detail\":\"{reason}\"}}"),
+        )
+        .with_header("Retry-After", "30".to_string());
+    }
     let view = lock_or_recover(&slot.published).clone();
     let Some(view) = view else {
         return Response::json(404, "{\"error\":\"no placement published yet\"}".to_string());
@@ -1004,6 +1352,17 @@ fn remove_tenant(shared: &Arc<Shared>, request: &Request) -> Response {
                     503,
                     "{\"error\":\"tenant removed\"}".to_string(),
                 ));
+            }
+            // drop the open journal handle before deleting its directory;
+            // this is also how an operator clears a quarantined journal
+            *lock_or_recover(&slot.journal) = None;
+            if let Some(walcfg) = &shared.config.wal {
+                if let Err(e) = wal::remove_tenant_journal(&walcfg.root, tenant) {
+                    log::warn(
+                        "wal",
+                        format!("journal removal for {tenant} failed: {e}"),
+                    );
+                }
             }
             Response::json(200, format!("{{\"tenant\":\"{tenant}\",\"removed\":true}}"))
         }
@@ -1082,30 +1441,29 @@ fn ingest(shared: &Arc<Shared>, request: &Request, is_snapshot: bool) -> Respons
                     .with_header("Retry-After", "30".to_string());
                 }
                 obs.inc("serve.tenants_created");
-                let seed = shared.config.seed ^ fnv1a(tenant);
-                let slot = Arc::new(TenantSlot {
-                    name: tenant.to_string(),
-                    queue: BoundedQueue::new(shared.config.queue_capacity),
-                    engine: Mutex::new(AllocationSession::new(shared.config.rasa.clone())),
-                    control: Mutex::new(Control {
-                        breaker: CircuitBreaker::new(shared.config.breaker),
-                        backoff: BackoffSchedule::new(
-                            shared.config.backoff_base,
-                            shared.config.backoff_cap,
-                            seed,
-                        ),
-                    }),
-                    published: Mutex::new(None),
-                    latest_generation: AtomicU64::new(0),
-                    slo: Mutex::new(SloTracker::new(shared.config.slo)),
-                    last_request_id: Mutex::new(String::new()),
-                    last_verdict: Mutex::new("none".to_string()),
-                });
+                let slot = new_slot(
+                    &shared.config,
+                    tenant,
+                    AllocationSession::new(shared.config.rasa.clone()),
+                    open_journal(&shared.config.wal, tenant),
+                    None,
+                );
                 tenants.insert(tenant.to_string(), Arc::clone(&slot));
                 slot
             }
         }
     };
+    // A quarantined tenant's journal is damaged: serving (or mutating)
+    // it would publish state the trust gates never re-validated. 503
+    // until an operator removes the tenant.
+    if let Some(reason) = lock_or_recover(&slot.quarantined).clone() {
+        obs.inc("serve.rejected_quarantined");
+        return Response::json(
+            503,
+            format!("{{\"error\":\"quarantined\",\"detail\":\"{reason}\"}}"),
+        )
+        .with_header("Retry-After", "30".to_string());
+    }
     let ctx = flight::current_request_context().unwrap_or_default();
     *lock_or_recover(&slot.last_request_id) = ctx.request_id.clone();
 

@@ -1,0 +1,1161 @@
+//! Per-tenant write-ahead journal: the durability layer under the daemon.
+//!
+//! Every state transition a tenant acks — an admitted snapshot, an applied
+//! delta, a certified placement — is appended to an on-disk journal
+//! *before* the client sees the 200, so a `kill -9` never loses
+//! acknowledged state. On restart [`recover_all`] replays each tenant's
+//! journal back into a [`RestoredState`] that the server feeds through
+//! `AllocationSession::restore` — which re-runs **both trust gates**
+//! (admission and `certify_placement`) on the recovered bytes. A corrupt
+//! or torn journal can therefore only quarantine its tenant; it can never
+//! panic the daemon or publish uncertified state.
+//!
+//! ## On-disk format
+//!
+//! A tenant's journal is a directory `<root>/<tenant>/` holding segment
+//! files `seg-<seq>.wal` and checkpoint files `ckpt-<seq>.wal`. Every
+//! file starts with the 8-byte magic `RASAWAL1`, followed by framed
+//! records:
+//!
+//! ```text
+//! [u32 LE payload length][u32 LE CRC-32 of payload][payload bytes]
+//! ```
+//!
+//! The payload is the JSON encoding of one [`WalRecord`]. CRC-32
+//! (IEEE polynomial, the zlib/PNG one) is implemented here — the
+//! workspace vendors no checksum crate.
+//!
+//! ## Compaction
+//!
+//! Appends rotate to a fresh segment past [`WalConfig::segment_max_bytes`]
+//! and, every [`WalConfig::compact_every`] records, fold the tenant's
+//! whole state into a checkpoint: a single `Checkpoint` record carrying
+//! the admitted problem, the last certified placement, and a `watermark`
+//! — the highest segment sequence folded in. The checkpoint is written to
+//! a temp file, fsynced, and renamed before any old file is deleted, so a
+//! crash at *any* point of compaction leaves either the old segments or a
+//! complete checkpoint on disk; deleting superseded files afterwards is
+//! pure garbage collection. Recovery picks the newest checkpoint that
+//! parses and replays only segments with `seq > watermark`.
+//!
+//! ## Torn tails and corruption
+//!
+//! The last record of a segment may be torn by a crash mid-write: replay
+//! truncates at the last valid record and counts a
+//! `recovery.torn_tails`. A record whose CRC or JSON decode fails
+//! mid-segment is skipped and counted (`recovery.records_skipped`); more
+//! than [`MAX_CONSECUTIVE_SKIPS`] in a row means the rest of the segment
+//! is garbage and is treated as torn. Whether skip-damaged state is still
+//! *servable* is not decided here — the trust gates decide on restore.
+//!
+//! ## Crash failpoints
+//!
+//! The seeded kill-9 campaign (`rasa-sim`'s crash harness) needs crashes
+//! at byte-deterministic points. `RASA_WAL_CRASH_AT=append:<n>` aborts
+//! the process halfway through the `n`-th journal append;
+//! `RASA_WAL_CRASH_AT=compact:<n>` aborts halfway through writing the
+//! `n`-th checkpoint (before the rename). Both leave a genuinely torn
+//! file behind, exactly like a power cut.
+
+use rasa_core::{apply_delta_to_problem, RestoredPlacement, RestoredState, SnapshotDelta};
+use rasa_model::{Placement, Problem, ProblemValidator};
+use rasa_obs::flight::{self, TraceEvent};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Magic bytes opening every journal file (segment or checkpoint).
+pub const MAGIC: [u8; 8] = *b"RASAWAL1";
+
+/// Upper bound on one record's payload, as a sanity check on the length
+/// prefix of a possibly-corrupt frame (64 MiB).
+pub const MAX_RECORD_BYTES: u32 = 64 * 1024 * 1024;
+
+/// How many CRC/decode-failed records replay skips in a row before it
+/// declares the rest of the segment torn.
+pub const MAX_CONSECUTIVE_SKIPS: u32 = 3;
+
+const SEGMENT_PREFIX: &str = "seg-";
+const CHECKPOINT_PREFIX: &str = "ckpt-";
+const WAL_SUFFIX: &str = ".wal";
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE / zlib polynomial), table-driven, const-built.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `data` — the polynomial zlib and PNG use.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Configuration.
+
+/// When the journal fsyncs after an append.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync after every append — an acked request is durable. The
+    /// daemon default.
+    Always,
+    /// fsync after every `n` appends: bounded loss window, fewer syncs.
+    EveryN(u32),
+    /// Never fsync explicitly; durability is whenever the OS writes
+    /// back. For benches and tests only.
+    Never,
+}
+
+impl SyncPolicy {
+    /// Parse `"always"`, `"never"`, or `"every:N"` (N ≥ 1).
+    pub fn parse(s: &str) -> Result<SyncPolicy, String> {
+        match s {
+            "always" => Ok(SyncPolicy::Always),
+            "never" => Ok(SyncPolicy::Never),
+            other => match other.strip_prefix("every:").and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => Ok(SyncPolicy::EveryN(n)),
+                _ => Err(format!(
+                    "sync policy must be always, never, or every:N — got {other:?}"
+                )),
+            },
+        }
+    }
+}
+
+/// Journal tuning: where the journals live and how they sync, rotate, and
+/// compact.
+#[derive(Clone, Debug)]
+pub struct WalConfig {
+    /// Directory holding one subdirectory per tenant.
+    pub root: PathBuf,
+    /// fsync discipline on append.
+    pub sync: SyncPolicy,
+    /// Rotate to a fresh segment once the current one exceeds this.
+    pub segment_max_bytes: u64,
+    /// Fold state into a checkpoint every this many appended records.
+    pub compact_every: u64,
+}
+
+impl WalConfig {
+    /// Defaults rooted at `root`: fsync always, 1 MiB segments, a
+    /// checkpoint every 64 records.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        WalConfig {
+            root: root.into(),
+            sync: SyncPolicy::Always,
+            segment_max_bytes: 1024 * 1024,
+            compact_every: 64,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Records.
+
+/// A certified placement as journaled, with the provenance restore needs
+/// to re-certify it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JournaledPlacement {
+    /// Publish round number.
+    pub round: u64,
+    /// Snapshot generation the placement was solved against.
+    pub generation: u64,
+    /// The objective Gate 2 recomputed at publish time.
+    pub claimed_objective: f64,
+    /// Normalized gained affinity at publish time.
+    pub normalized: f64,
+    /// The certified container-to-machine mapping.
+    pub placement: Placement,
+}
+
+/// What a [`WalRecord`] carries (the vendored serde_derive supports only
+/// fieldless enums, so records are a kind tag plus optional payloads).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalRecordKind {
+    /// A full admitted snapshot replaced the tenant's world
+    /// (`problem` set).
+    Snapshot,
+    /// An incremental delta applied cleanly (`delta` set).
+    Delta,
+    /// A placement passed certification and was published
+    /// (`placement` set).
+    Placement,
+    /// A compaction point superseding every segment with
+    /// `seq <= watermark` (`problem` set, `placement` optional). Only
+    /// ever appears alone in `ckpt-*.wal` files.
+    Checkpoint,
+}
+
+/// One journal record. `Snapshot` and `Delta` are appended after the
+/// mutation passed the admission gate (the journaled problem is the
+/// *post-admission* repaired one, so replay re-admits clean);
+/// `Placement` after the round passed the certification gate.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WalRecord {
+    /// Which payload fields are meaningful.
+    pub kind: WalRecordKind,
+    /// Session generation after this record applied (`Snapshot`,
+    /// `Delta`, `Checkpoint`).
+    pub generation: u64,
+    /// Publish rounds completed (`Checkpoint` only).
+    pub rounds: u64,
+    /// Highest segment sequence folded in (`Checkpoint` only).
+    pub watermark: u64,
+    /// The admitted problem (`Snapshot`, `Checkpoint`).
+    pub problem: Option<Problem>,
+    /// The applied delta (`Delta`).
+    pub delta: Option<SnapshotDelta>,
+    /// The certified placement (`Placement`; `Checkpoint`'s last
+    /// published, if any).
+    pub placement: Option<JournaledPlacement>,
+}
+
+impl WalRecord {
+    fn base(kind: WalRecordKind) -> WalRecord {
+        WalRecord {
+            kind,
+            generation: 0,
+            rounds: 0,
+            watermark: 0,
+            problem: None,
+            delta: None,
+            placement: None,
+        }
+    }
+
+    /// An admitted-snapshot record.
+    pub fn snapshot(generation: u64, problem: Problem) -> WalRecord {
+        WalRecord {
+            generation,
+            problem: Some(problem),
+            ..WalRecord::base(WalRecordKind::Snapshot)
+        }
+    }
+
+    /// An applied-delta record.
+    pub fn delta(generation: u64, delta: SnapshotDelta) -> WalRecord {
+        WalRecord {
+            generation,
+            delta: Some(delta),
+            ..WalRecord::base(WalRecordKind::Delta)
+        }
+    }
+
+    /// A certified-placement record.
+    pub fn placement(placement: JournaledPlacement) -> WalRecord {
+        WalRecord {
+            placement: Some(placement),
+            ..WalRecord::base(WalRecordKind::Placement)
+        }
+    }
+}
+
+/// Why a journal write failed.
+#[derive(Debug)]
+pub enum WalError {
+    /// Filesystem trouble (create, write, fsync, rename).
+    Io {
+        /// The journal path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The record could not be serialized (should be unreachable for the
+    /// types journaled here).
+    Serialize {
+        /// The underlying JSON error.
+        source: serde_json::Error,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            WalError::Serialize { source } => write!(f, "wal record serialize: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io { source, .. } => Some(source),
+            WalError::Serialize { source } => Some(source),
+        }
+    }
+}
+
+fn io_err(path: &Path) -> impl Fn(io::Error) -> WalError + '_ {
+    move |source| WalError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// Frame one payload: length, CRC, bytes.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(payload.len() + 8);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+// ---------------------------------------------------------------------------
+// Crash failpoints (see module docs).
+
+/// `true` exactly when this call is the configured `RASA_WAL_CRASH_AT`
+/// point for `op` (`"append"` or `"compact"`).
+fn crash_point(op: &str) -> bool {
+    static SPEC: OnceLock<Option<(String, u64)>> = OnceLock::new();
+    static COUNT: AtomicU64 = AtomicU64::new(0);
+    let spec = SPEC.get_or_init(|| {
+        let raw = std::env::var("RASA_WAL_CRASH_AT").ok()?;
+        let (o, n) = raw.split_once(':')?;
+        Some((o.to_string(), n.parse().ok()?))
+    });
+    let Some((o, n)) = spec else { return false };
+    if o != op {
+        return false;
+    }
+    COUNT.fetch_add(1, Ordering::SeqCst) + 1 == *n
+}
+
+/// Tear `framed` in half into `file` and die like a power cut: the
+/// partial bytes are synced (so the torn state is really on disk), then
+/// the process aborts without unwinding.
+fn tear_and_abort(file: &mut File, framed: &[u8]) -> ! {
+    let half = framed.len() / 2;
+    let _ = file.write_all(&framed[..half.max(1)]);
+    let _ = file.sync_data();
+    std::process::abort();
+}
+
+// ---------------------------------------------------------------------------
+// The writer.
+
+/// One tenant's open journal: the append/rotate/compact side. Reading
+/// happens through [`recover_all`] / [`recover_tenant`].
+pub struct TenantJournal {
+    dir: PathBuf,
+    sync: SyncPolicy,
+    segment_max_bytes: u64,
+    compact_every: u64,
+    seg_seq: u64,
+    file: File,
+    seg_bytes: u64,
+    records_since_checkpoint: u64,
+    unsynced: u32,
+}
+
+fn file_seq(name: &str, prefix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(WAL_SUFFIX)?
+        .parse()
+        .ok()
+}
+
+fn seg_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("{SEGMENT_PREFIX}{seq:016}{WAL_SUFFIX}"))
+}
+
+fn ckpt_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("{CHECKPOINT_PREFIX}{seq:016}{WAL_SUFFIX}"))
+}
+
+/// Sequence numbers of the segment and checkpoint files in `dir`.
+fn list_sequences(dir: &Path) -> (Vec<u64>, Vec<u64>) {
+    let (mut segs, mut ckpts) = (Vec::new(), Vec::new());
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(seq) = file_seq(name, SEGMENT_PREFIX) {
+                segs.push(seq);
+            } else if let Some(seq) = file_seq(name, CHECKPOINT_PREFIX) {
+                ckpts.push(seq);
+            }
+        }
+    }
+    segs.sort_unstable();
+    ckpts.sort_unstable();
+    (segs, ckpts)
+}
+
+/// The state a checkpoint folds in (borrowed from the live session at
+/// compaction time).
+pub struct CheckpointState<'a> {
+    /// The admitted problem.
+    pub problem: &'a Problem,
+    /// The last certified placement, if any.
+    pub published: Option<JournaledPlacement>,
+    /// Publish rounds completed.
+    pub rounds: u64,
+    /// Snapshot generation.
+    pub generation: u64,
+}
+
+impl TenantJournal {
+    /// Open (creating if needed) the journal for `tenant` under
+    /// `config.root` and start a fresh segment after whatever is already
+    /// there. Existing files are never appended to — recovery has
+    /// already read them, and a fresh segment sidesteps re-validating a
+    /// possibly-torn tail on the write path.
+    pub fn open(config: &WalConfig, tenant: &str) -> Result<TenantJournal, WalError> {
+        let dir = config.root.join(tenant);
+        fs::create_dir_all(&dir).map_err(io_err(&dir))?;
+        let (segs, ckpts) = list_sequences(&dir);
+        let last = segs
+            .last()
+            .copied()
+            .max(ckpts.last().copied())
+            .unwrap_or(0);
+        let seg_seq = last + 1;
+        let file = new_segment(&dir, seg_seq, config.sync)?;
+        Ok(TenantJournal {
+            dir,
+            sync: config.sync,
+            segment_max_bytes: config.segment_max_bytes.max(4096),
+            compact_every: config.compact_every.max(1),
+            seg_seq,
+            file,
+            seg_bytes: MAGIC.len() as u64,
+            records_since_checkpoint: 0,
+            unsynced: 0,
+        })
+    }
+
+    /// The tenant's journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Append one record, honoring the sync policy, rotating past the
+    /// segment cap. On `Ok`, under [`SyncPolicy::Always`], the record is
+    /// durable.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        let obs = rasa_obs::global();
+        let payload = serde_json::to_string(record)
+            .map_err(|source| WalError::Serialize { source })?
+            .into_bytes();
+        let framed = frame(&payload);
+        if crash_point("append") {
+            tear_and_abort(&mut self.file, &framed);
+        }
+        let path = seg_path(&self.dir, self.seg_seq);
+        self.file.write_all(&framed).map_err(io_err(&path))?;
+        self.seg_bytes += framed.len() as u64;
+        obs.inc("wal.appends");
+        obs.add("wal.bytes_written", framed.len() as u64);
+        let must_sync = match self.sync {
+            SyncPolicy::Always => true,
+            SyncPolicy::Never => false,
+            SyncPolicy::EveryN(n) => {
+                self.unsynced += 1;
+                self.unsynced >= n
+            }
+        };
+        if must_sync {
+            self.file.sync_data().map_err(io_err(&path))?;
+            self.unsynced = 0;
+            obs.inc("wal.fsyncs");
+        }
+        self.records_since_checkpoint += 1;
+        if self.seg_bytes >= self.segment_max_bytes {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> Result<(), WalError> {
+        // make the outgoing segment durable before moving on — a record
+        // acked under EveryN must not be lost just because we rotated
+        let path = seg_path(&self.dir, self.seg_seq);
+        self.file.sync_data().map_err(io_err(&path))?;
+        self.seg_seq += 1;
+        self.file = new_segment(&self.dir, self.seg_seq, self.sync)?;
+        self.seg_bytes = MAGIC.len() as u64;
+        self.unsynced = 0;
+        rasa_obs::global().inc("wal.segments_rotated");
+        Ok(())
+    }
+
+    /// `true` once enough records accumulated that the caller should
+    /// [`checkpoint`](Self::checkpoint).
+    pub fn needs_checkpoint(&self) -> bool {
+        self.records_since_checkpoint >= self.compact_every
+    }
+
+    /// Fold `state` into a checkpoint superseding every current segment,
+    /// then garbage-collect the superseded files. Crash-safe at every
+    /// step: the checkpoint is complete-and-renamed before anything is
+    /// deleted, and deletion itself is pure GC (recovery ignores
+    /// leftovers at or below the watermark).
+    pub fn checkpoint(&mut self, state: &CheckpointState<'_>) -> Result<(), WalError> {
+        let obs = rasa_obs::global();
+        let watermark = self.seg_seq;
+        let record = WalRecord {
+            watermark,
+            rounds: state.rounds,
+            generation: state.generation,
+            problem: Some(state.problem.clone()),
+            placement: state.published.clone(),
+            ..WalRecord::base(WalRecordKind::Checkpoint)
+        };
+        let payload = serde_json::to_string(&record)
+            .map_err(|source| WalError::Serialize { source })?
+            .into_bytes();
+        let framed = frame(&payload);
+        let final_path = ckpt_path(&self.dir, watermark);
+        let tmp_path = final_path.with_extension("tmp");
+        {
+            let mut tmp = File::create(&tmp_path).map_err(io_err(&tmp_path))?;
+            tmp.write_all(&MAGIC).map_err(io_err(&tmp_path))?;
+            if crash_point("compact") {
+                tear_and_abort(&mut tmp, &framed);
+            }
+            tmp.write_all(&framed).map_err(io_err(&tmp_path))?;
+            tmp.sync_all().map_err(io_err(&tmp_path))?;
+        }
+        fs::rename(&tmp_path, &final_path).map_err(io_err(&final_path))?;
+        sync_dir(&self.dir);
+        obs.inc("wal.checkpoints");
+
+        // the checkpoint is durable; everything below is GC + rollover
+        self.seg_seq = watermark + 1;
+        self.file = new_segment(&self.dir, self.seg_seq, self.sync)?;
+        self.seg_bytes = MAGIC.len() as u64;
+        self.records_since_checkpoint = 0;
+        self.unsynced = 0;
+        let (segs, ckpts) = list_sequences(&self.dir);
+        for seq in segs.into_iter().filter(|s| *s <= watermark) {
+            let _ = fs::remove_file(seg_path(&self.dir, seq));
+        }
+        for seq in ckpts.into_iter().filter(|s| *s < watermark) {
+            let _ = fs::remove_file(ckpt_path(&self.dir, seq));
+        }
+        Ok(())
+    }
+}
+
+fn new_segment(dir: &Path, seq: u64, sync: SyncPolicy) -> Result<File, WalError> {
+    let path = seg_path(dir, seq);
+    let mut file = OpenOptions::new()
+        .create(true)
+        .truncate(true)
+        .write(true)
+        .open(&path)
+        .map_err(io_err(&path))?;
+    file.write_all(&MAGIC).map_err(io_err(&path))?;
+    if sync == SyncPolicy::Always {
+        file.sync_data().map_err(io_err(&path))?;
+    }
+    sync_dir(dir);
+    Ok(file)
+}
+
+/// fsync a directory so renames/creates inside it are durable. Best
+/// effort — not every filesystem supports it, and the record-level CRCs
+/// catch what slips through.
+fn sync_dir(dir: &Path) {
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
+
+/// Delete a tenant's journal directory outright (serving `DELETE
+/// /tenant`, or operator cleanup of a quarantined journal).
+pub fn remove_tenant_journal(root: &Path, tenant: &str) -> io::Result<()> {
+    let dir = root.join(tenant);
+    if dir.is_dir() {
+        fs::remove_dir_all(&dir)
+    } else {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replay / recovery.
+
+/// Tallies from replaying one tenant's journal.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplayStats {
+    /// Segment files read (checkpoint files not counted).
+    pub segments: u64,
+    /// Records applied to the rebuilt state.
+    pub records_replayed: u64,
+    /// Records skipped for CRC or decode failure.
+    pub records_skipped: u64,
+    /// Segments that ended in a torn (partial or garbage) region.
+    pub torn_tails: u64,
+    /// Checkpoint files that failed to parse and were passed over for an
+    /// older one.
+    pub checkpoints_skipped: u64,
+}
+
+/// What replay produced for one tenant. `Recovered` still has to pass
+/// the trust gates (`AllocationSession::restore`) before it is served.
+#[derive(Debug)]
+pub enum RecoveryOutcome {
+    /// A consistent state was rebuilt from the journal.
+    Recovered(Box<RestoredState>),
+    /// The journal is damaged beyond safe use; the tenant must be
+    /// quarantined (503), never served from these bytes.
+    Quarantined {
+        /// What replay found.
+        reason: String,
+    },
+    /// The journal holds no state (created but never snapshotted, and
+    /// nothing was lost getting here) — no tenant to rebuild.
+    Empty,
+}
+
+/// One tenant's replay result.
+#[derive(Debug)]
+pub struct RecoveredTenant {
+    /// Tenant name (the journal subdirectory name).
+    pub tenant: String,
+    /// Replay tallies.
+    pub stats: ReplayStats,
+    /// The rebuilt state, a quarantine, or nothing.
+    pub outcome: RecoveryOutcome,
+}
+
+/// Parse the framed records of one journal file. Returns the decoded
+/// records; tallies skips and torn tails into `stats` and emits
+/// `wal_record_skipped` / `wal_torn_tail` flight events.
+fn read_frames(path: &Path, seq: u64, stats: &mut ReplayStats) -> Vec<WalRecord> {
+    let obs = rasa_obs::global();
+    let mut torn = |valid: usize, total: usize| {
+        stats.torn_tails += 1;
+        obs.inc("recovery.torn_tails");
+        flight::emit(|| {
+            TraceEvent::wal_torn_tail(seq, valid as u64, total.saturating_sub(valid) as u64)
+        });
+    };
+    let bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(_) => {
+            torn(0, 0);
+            return Vec::new();
+        }
+    };
+    if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+        torn(0, bytes.len());
+        return Vec::new();
+    }
+    let mut records = Vec::new();
+    let mut pos = MAGIC.len();
+    let mut consecutive_skips = 0u32;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 8 {
+            torn(pos, bytes.len());
+            break;
+        }
+        let len_bytes: [u8; 4] = bytes[pos..pos + 4].try_into().unwrap_or_default();
+        let crc_bytes: [u8; 4] = bytes[pos + 4..pos + 8].try_into().unwrap_or_default();
+        let rec_len = u32::from_le_bytes(len_bytes);
+        let want_crc = u32::from_le_bytes(crc_bytes);
+        if rec_len == 0 || rec_len > MAX_RECORD_BYTES {
+            // the length prefix itself is garbage — there is no way to
+            // find the next frame boundary; the rest is torn
+            torn(pos, bytes.len());
+            break;
+        }
+        let end = pos + 8 + rec_len as usize;
+        if end > bytes.len() {
+            torn(pos, bytes.len());
+            break;
+        }
+        let payload = &bytes[pos + 8..end];
+        if crc32(payload) != want_crc {
+            stats.records_skipped += 1;
+            obs.inc("recovery.records_skipped");
+            flight::emit(|| TraceEvent::wal_record_skipped(seq, pos as u64, "crc"));
+            consecutive_skips += 1;
+            if consecutive_skips >= MAX_CONSECUTIVE_SKIPS {
+                torn(end, bytes.len());
+                break;
+            }
+            pos = end;
+            continue;
+        }
+        let decoded = std::str::from_utf8(payload)
+            .ok()
+            .and_then(|text| serde_json::from_str::<WalRecord>(text).ok());
+        match decoded {
+            Some(record) => {
+                records.push(record);
+                consecutive_skips = 0;
+            }
+            None => {
+                stats.records_skipped += 1;
+                obs.inc("recovery.records_skipped");
+                flight::emit(|| TraceEvent::wal_record_skipped(seq, pos as u64, "decode"));
+                consecutive_skips += 1;
+                if consecutive_skips >= MAX_CONSECUTIVE_SKIPS {
+                    torn(end, bytes.len());
+                    break;
+                }
+            }
+        }
+        pos = end;
+    }
+    records
+}
+
+/// Replay one tenant's journal into a [`RecoveredTenant`]. Never panics
+/// on any byte content; damage either skips records (counted) or
+/// quarantines the tenant.
+pub fn recover_tenant(config: &WalConfig, tenant: &str) -> RecoveredTenant {
+    let obs = rasa_obs::global();
+    let dir = config.root.join(tenant);
+    let mut stats = ReplayStats::default();
+    let (segs, ckpts) = list_sequences(&dir);
+
+    // newest checkpoint that parses wins; damaged ones are passed over
+    let mut problem: Option<Problem> = None;
+    let mut published: Option<JournaledPlacement> = None;
+    let mut rounds = 0u64;
+    let mut generation = 0u64;
+    let mut watermark = 0u64;
+    for seq in ckpts.iter().rev() {
+        let mut ckpt_stats = ReplayStats::default();
+        let records = read_frames(&ckpt_path(&dir, *seq), *seq, &mut ckpt_stats);
+        match records.into_iter().next() {
+            Some(record)
+                if record.kind == WalRecordKind::Checkpoint && record.problem.is_some() =>
+            {
+                problem = record.problem;
+                published = record.placement;
+                rounds = record.rounds;
+                generation = record.generation;
+                watermark = record.watermark;
+                break;
+            }
+            _ => {
+                stats.checkpoints_skipped += 1;
+                obs.inc("recovery.records_skipped");
+            }
+        }
+    }
+
+    let mut quarantine: Option<String> = None;
+    for seq in segs.iter().filter(|s| **s > watermark) {
+        stats.segments += 1;
+        for record in read_frames(&seg_path(&dir, *seq), *seq, &mut stats) {
+            match (record.kind, record.problem, record.delta, record.placement) {
+                (WalRecordKind::Snapshot, Some(p), _, _) => {
+                    problem = Some(p);
+                    generation = record.generation;
+                }
+                (WalRecordKind::Delta, _, Some(delta), _) => {
+                    let Some(base) = problem.as_ref() else {
+                        quarantine =
+                            Some("journaled delta precedes any snapshot".to_string());
+                        break;
+                    };
+                    match apply_delta_to_problem(base, &delta) {
+                        Ok(next) => {
+                            // mirror the live apply_delta: re-admit and
+                            // keep the repaired problem
+                            let (repaired, _report) = ProblemValidator::new().admit(&next);
+                            problem = Some(repaired.unwrap_or(next));
+                            generation = record.generation;
+                        }
+                        Err(e) => {
+                            quarantine =
+                                Some(format!("journaled delta failed to re-apply: {e}"));
+                            break;
+                        }
+                    }
+                }
+                (WalRecordKind::Placement, _, _, Some(jp)) => {
+                    rounds = rounds.max(jp.round);
+                    published = Some(jp);
+                }
+                _ => {
+                    // a CRC-valid record with the wrong payload shape for
+                    // its kind (or a checkpoint inside a segment) is
+                    // corruption; skip it like a bad record
+                    stats.records_skipped += 1;
+                    obs.inc("recovery.records_skipped");
+                    continue;
+                }
+            }
+            stats.records_replayed += 1;
+            obs.inc("recovery.records_replayed");
+        }
+        if quarantine.is_some() {
+            break;
+        }
+    }
+
+    let outcome = match (quarantine, problem) {
+        (Some(reason), _) => RecoveryOutcome::Quarantined { reason },
+        (None, Some(problem)) => RecoveryOutcome::Recovered(Box::new(RestoredState {
+            problem,
+            published: published.map(|jp| RestoredPlacement {
+                placement: jp.placement,
+                claimed_objective: jp.claimed_objective,
+                normalized: jp.normalized,
+                round: jp.round,
+                generation: jp.generation,
+            }),
+            rounds,
+            generation,
+        })),
+        (None, None) => {
+            if stats.records_skipped + stats.torn_tails + stats.checkpoints_skipped > 0 {
+                // records were lost and nothing usable remains — we cannot
+                // tell "never had state" from "lost the snapshot"
+                RecoveryOutcome::Quarantined {
+                    reason: "no usable snapshot survived in the journal".to_string(),
+                }
+            } else {
+                RecoveryOutcome::Empty
+            }
+        }
+    };
+    RecoveredTenant {
+        tenant: tenant.to_string(),
+        stats,
+        outcome,
+    }
+}
+
+/// Discover every tenant journal under `config.root` and replay each.
+/// Subdirectory names that are not valid tenant names are ignored.
+pub fn recover_all(config: &WalConfig) -> Vec<RecoveredTenant> {
+    let mut tenants: Vec<String> = Vec::new();
+    if let Ok(entries) = fs::read_dir(&config.root) {
+        for entry in entries.flatten() {
+            if !entry.path().is_dir() {
+                continue;
+            }
+            if let Some(name) = entry.file_name().to_str() {
+                tenants.push(name.to_string());
+            }
+        }
+    }
+    tenants.sort_unstable();
+    tenants
+        .iter()
+        .map(|t| recover_tenant(config, t))
+        .collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use rasa_core::{EdgeUpdate, SnapshotDelta};
+    use rasa_trace::{generate, tiny_cluster};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_root(name: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "rasa_wal_test_{name}_{}_{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn admitted_problem(seed: u64) -> Problem {
+        let raw = generate(&tiny_cluster(seed));
+        let (repaired, _) = ProblemValidator::new().admit(&raw);
+        repaired.unwrap_or(raw)
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // standard IEEE CRC-32 check values
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn sync_policy_parses() {
+        assert_eq!(SyncPolicy::parse("always").unwrap(), SyncPolicy::Always);
+        assert_eq!(SyncPolicy::parse("never").unwrap(), SyncPolicy::Never);
+        assert_eq!(SyncPolicy::parse("every:8").unwrap(), SyncPolicy::EveryN(8));
+        assert!(SyncPolicy::parse("every:0").is_err());
+        assert!(SyncPolicy::parse("sometimes").is_err());
+    }
+
+    #[test]
+    fn append_and_replay_round_trips() {
+        let root = temp_root("roundtrip");
+        let config = WalConfig::new(&root);
+        let problem = admitted_problem(3);
+        let mut journal = TenantJournal::open(&config, "acme").unwrap();
+        journal
+            .append(&WalRecord::snapshot(1, problem.clone()))
+            .unwrap();
+        journal
+            .append(&WalRecord::delta(
+                2,
+                SnapshotDelta {
+                    edge_updates: vec![EdgeUpdate {
+                        a: 0,
+                        b: 1,
+                        weight: 77.0,
+                    }],
+                    replica_updates: vec![],
+                },
+            ))
+            .unwrap();
+
+        let rec = recover_tenant(&config, "acme");
+        let RecoveryOutcome::Recovered(state) = rec.outcome else {
+            panic!("expected recovery, got {:?}", rec.outcome);
+        };
+        assert_eq!(state.generation, 2);
+        assert_eq!(rec.stats.records_replayed, 2);
+        assert_eq!(rec.stats.records_skipped, 0);
+        assert_eq!(rec.stats.torn_tails, 0);
+        let edge = state
+            .problem
+            .affinity_edges
+            .iter()
+            .find(|e| (e.a.0, e.b.0) == (0, 1) || (e.a.0, e.b.0) == (1, 0));
+        assert!(edge.is_some_and(|e| (e.weight - 77.0).abs() < 1e-9));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_tail_truncates_at_last_valid_record() {
+        let root = temp_root("torn");
+        let config = WalConfig::new(&root);
+        let problem = admitted_problem(4);
+        let mut journal = TenantJournal::open(&config, "t");
+        let journal = journal.as_mut().unwrap();
+        journal
+            .append(&WalRecord::snapshot(1, problem))
+            .unwrap();
+        journal
+            .append(&WalRecord::placement(JournaledPlacement {
+                round: 1,
+                generation: 1,
+                claimed_objective: 10.0,
+                normalized: 0.9,
+                placement: Placement::default(),
+            }))
+            .unwrap();
+        // tear the tail: chop 7 bytes off the last record
+        let path = seg_path(&config.root.join("t"), journal.seg_seq);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+        let rec = recover_tenant(&config, "t");
+        assert_eq!(rec.stats.torn_tails, 1);
+        let RecoveryOutcome::Recovered(state) = rec.outcome else {
+            panic!("snapshot before the tear must survive");
+        };
+        // the torn placement record is gone; the snapshot survived
+        assert!(state.published.is_none());
+        assert_eq!(state.generation, 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn bit_flip_skips_the_record_and_counts_it() {
+        let root = temp_root("bitflip");
+        let config = WalConfig::new(&root);
+        let problem = admitted_problem(5);
+        let mut journal = TenantJournal::open(&config, "t").unwrap();
+        journal
+            .append(&WalRecord::snapshot(1, problem))
+            .unwrap();
+        let flip_at = fs::read(seg_path(&config.root.join("t"), journal.seg_seq))
+            .unwrap()
+            .len();
+        journal
+            .append(&WalRecord::placement(JournaledPlacement {
+                round: 1,
+                generation: 1,
+                claimed_objective: 10.0,
+                normalized: 0.9,
+                placement: Placement::default(),
+            }))
+            .unwrap();
+        journal
+            .append(&WalRecord::delta(2, SnapshotDelta::default()))
+            .unwrap();
+        // flip one byte inside the placement record's payload
+        let path = seg_path(&config.root.join("t"), journal.seg_seq);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[flip_at + 20] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        let rec = recover_tenant(&config, "t");
+        assert_eq!(rec.stats.records_skipped, 1, "{:?}", rec.stats);
+        let RecoveryOutcome::Recovered(state) = rec.outcome else {
+            panic!("state around the flip must survive");
+        };
+        assert!(state.published.is_none(), "flipped placement must not be restored");
+        assert_eq!(state.generation, 2, "delta after the flip still replays");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_recovery_prefers_it() {
+        let root = temp_root("ckpt");
+        let config = WalConfig::new(&root);
+        let problem = admitted_problem(6);
+        let mut journal = TenantJournal::open(&config, "t").unwrap();
+        journal
+            .append(&WalRecord::snapshot(1, problem.clone()))
+            .unwrap();
+        for g in 2..6 {
+            journal
+                .append(&WalRecord::delta(g, SnapshotDelta::default()))
+                .unwrap();
+        }
+        journal
+            .checkpoint(&CheckpointState {
+                problem: &problem,
+                published: Some(JournaledPlacement {
+                    round: 3,
+                    generation: 5,
+                    claimed_objective: 12.5,
+                    normalized: 0.95,
+                    placement: Placement::default(),
+                }),
+                rounds: 3,
+                generation: 5,
+            })
+            .unwrap();
+
+        // superseded segment is gone, checkpoint + fresh segment remain
+        let (segs, ckpts) = list_sequences(&config.root.join("t"));
+        assert_eq!(ckpts.len(), 1);
+        assert_eq!(segs.len(), 1);
+        assert!(segs[0] > ckpts[0]);
+
+        let rec = recover_tenant(&config, "t");
+        let RecoveryOutcome::Recovered(state) = rec.outcome else {
+            panic!("checkpoint must recover");
+        };
+        assert_eq!(state.generation, 5);
+        assert_eq!(state.rounds, 3);
+        assert!(state.published.is_some());
+        // nothing replayed from segments — all state came from the checkpoint
+        assert_eq!(rec.stats.records_replayed, 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn truncated_checkpoint_falls_back_to_segments() {
+        let root = temp_root("badckpt");
+        let config = WalConfig::new(&root);
+        let problem = admitted_problem(7);
+        let mut journal = TenantJournal::open(&config, "t").unwrap();
+        journal
+            .append(&WalRecord::snapshot(1, problem.clone()))
+            .unwrap();
+        journal
+            .checkpoint(&CheckpointState {
+                problem: &problem,
+                published: None,
+                rounds: 0,
+                generation: 1,
+            })
+            .unwrap();
+        journal
+            .append(&WalRecord::snapshot(2, problem.clone()))
+            .unwrap();
+        // truncate the checkpoint to half: replay must fall back to the
+        // segments that survive (only those past the watermark — the
+        // pre-checkpoint segment was GC'd, so generation 2 is what's left)
+        let dir = config.root.join("t");
+        let (_, ckpts) = list_sequences(&dir);
+        let ckpt = ckpt_path(&dir, ckpts[0]);
+        let bytes = fs::read(&ckpt).unwrap();
+        fs::write(&ckpt, &bytes[..bytes.len() / 2]).unwrap();
+
+        let rec = recover_tenant(&config, "t");
+        assert!(rec.stats.checkpoints_skipped >= 1 || rec.stats.torn_tails >= 1);
+        let RecoveryOutcome::Recovered(state) = rec.outcome else {
+            panic!("segment past the watermark must still recover, got {:?}", rec.outcome);
+        };
+        assert_eq!(state.generation, 2);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn empty_journal_is_empty_not_quarantined() {
+        let root = temp_root("empty");
+        let config = WalConfig::new(&root);
+        let _journal = TenantJournal::open(&config, "t").unwrap();
+        let rec = recover_tenant(&config, "t");
+        assert!(matches!(rec.outcome, RecoveryOutcome::Empty), "{:?}", rec.outcome);
+
+        // but an all-garbage journal quarantines
+        let dir = config.root.join("t");
+        let (segs, _) = list_sequences(&dir);
+        fs::write(seg_path(&dir, segs[0]), b"RASAWAL1\xff\xff\xff\xff garbage").unwrap();
+        let rec = recover_tenant(&config, "t");
+        assert!(
+            matches!(rec.outcome, RecoveryOutcome::Quarantined { .. }),
+            "{:?}",
+            rec.outcome
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn segment_rotation_keeps_every_record() {
+        let root = temp_root("rotate");
+        let mut config = WalConfig::new(&root);
+        config.segment_max_bytes = 4096; // floor — rotate almost every append
+        let problem = admitted_problem(8);
+        let mut journal = TenantJournal::open(&config, "t").unwrap();
+        journal
+            .append(&WalRecord::snapshot(1, problem))
+            .unwrap();
+        for g in 2..8 {
+            journal
+                .append(&WalRecord::delta(g, SnapshotDelta::default()))
+                .unwrap();
+        }
+        let (segs, _) = list_sequences(&config.root.join("t"));
+        assert!(segs.len() > 1, "expected rotation, got {segs:?}");
+        let rec = recover_tenant(&config, "t");
+        let RecoveryOutcome::Recovered(state) = rec.outcome else {
+            panic!("rotated journal must recover");
+        };
+        assert_eq!(state.generation, 7);
+        assert_eq!(rec.stats.records_replayed, 7);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,271 @@
+//! Restart-recovery tests over real sockets: a drained daemon re-bound on
+//! the same write-ahead journal root must republish the byte-identical
+//! certified placement; a damaged journal must quarantine the tenant (503)
+//! without taking the daemon down; and the persisted selector sample
+//! stream must survive a restart so retraining sees pre-crash samples.
+
+#![allow(clippy::unwrap_used)]
+
+use rasa_serve::{ServeConfig, Server, ServerHandle, TenantJournal, WalConfig, WalRecord};
+use rasa_trace::{generate, tiny_cluster, ClusterSpec};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::Duration;
+
+struct Reply {
+    status: u16,
+    headers: BTreeMap<String, String>,
+    body: String,
+}
+
+fn http(addr: SocketAddr, method: &str, target: &str, body: &str) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!(
+        "{method} {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("head/body split");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Reply {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+fn spec(services: usize, seed: u64) -> ClusterSpec {
+    let mut s = tiny_cluster(seed);
+    s.services = services;
+    s.target_containers = services as u64 * 4;
+    s.machines = (services / 3).max(4);
+    s
+}
+
+fn boot(
+    config: ServeConfig,
+) -> (SocketAddr, ServerHandle, thread::JoinHandle<rasa_serve::DrainReport>) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+fn scratch(name: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "rasa_recovery_test_{name}_{}_{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn wal_config(root: PathBuf) -> ServeConfig {
+    ServeConfig {
+        wal: Some(WalConfig::new(root)),
+        drain_grace: Duration::from_secs(10),
+        ..ServeConfig::default()
+    }
+}
+
+/// Round + placement JSON out of a `/placement` body — the identity key
+/// across a restart (request-scoped fields excluded).
+fn placement_key(body: &str) -> (u64, String) {
+    let round = body
+        .split("\"round\":")
+        .nth(1)
+        .unwrap()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap();
+    let placement = body.split("\"placement\":").nth(1).unwrap();
+    (round, placement.trim_end_matches('}').to_string())
+}
+
+#[test]
+fn restart_republishes_the_byte_identical_certified_placement() {
+    let root = scratch("restart");
+    let (addr, handle, join) = boot(wal_config(root.clone()));
+
+    let problem = generate(&spec(7, 3));
+    let body = serde_json::to_string(&problem).unwrap();
+    assert_eq!(http(addr, "POST", "/snapshot?tenant=acme", &body).status, 200);
+    for step in 0..3 {
+        let delta = format!(
+            "{{\"edge_updates\":[{{\"a\":0,\"b\":{},\"weight\":{}.5}}],\"replica_updates\":[]}}",
+            step + 1,
+            20 + step
+        );
+        assert_eq!(http(addr, "POST", "/delta?tenant=acme", &delta).status, 200);
+    }
+    let before = http(addr, "GET", "/placement?tenant=acme", "");
+    assert_eq!(before.status, 200);
+    let key_before = placement_key(&before.body);
+
+    handle.shutdown();
+    let _ = join.join().unwrap();
+
+    // same journal root, fresh process state: recovery replays the journal
+    // through both trust gates and republishes
+    let (addr2, handle2, join2) = boot(wal_config(root));
+    let after = http(addr2, "GET", "/placement?tenant=acme", "");
+    assert_eq!(after.status, 200, "recovered tenant must serve: {}", after.body);
+    let key_after = placement_key(&after.body);
+    assert_eq!(
+        key_before, key_after,
+        "recovered placement must be byte-identical to the last certified one"
+    );
+    // the recovered tenant is live, not quarantined: new rounds still work
+    let delta = "{\"edge_updates\":[{\"a\":1,\"b\":2,\"weight\":33.0}],\"replica_updates\":[]}";
+    assert_eq!(http(addr2, "POST", "/delta?tenant=acme", delta).status, 200);
+    handle2.shutdown();
+    let _ = join2.join().unwrap();
+}
+
+#[test]
+fn damaged_journal_quarantines_the_tenant_but_the_daemon_serves() {
+    let root = scratch("quarantine");
+    // hand-craft an unusable journal: a delta with no snapshot before it
+    // (valid frames, invalid history — recovery must refuse to guess)
+    {
+        let mut journal = TenantJournal::open(&WalConfig::new(root.clone()), "ghost").unwrap();
+        let delta = rasa_core::SnapshotDelta {
+            edge_updates: vec![rasa_core::EdgeUpdate {
+                a: 0,
+                b: 1,
+                weight: 10.0,
+            }],
+            replica_updates: vec![],
+        };
+        journal.append(&WalRecord::delta(1, delta)).unwrap();
+    }
+
+    let (addr, handle, join) = boot(wal_config(root));
+
+    // the poisoned tenant answers 503 + Retry-After, never a panic
+    let problem = generate(&spec(6, 4));
+    let body = serde_json::to_string(&problem).unwrap();
+    let reply = http(addr, "POST", "/snapshot?tenant=ghost", &body);
+    assert_eq!(reply.status, 503, "{}", reply.body);
+    assert!(reply.body.contains("quarantined"), "{}", reply.body);
+    assert_eq!(reply.headers.get("retry-after").map(String::as_str), Some("30"));
+    let view = http(addr, "GET", "/placement?tenant=ghost", "");
+    assert_eq!(view.status, 503);
+
+    // health is degraded and names the quarantined tenant…
+    let health = http(addr, "GET", "/healthz", "");
+    assert_eq!(health.status, 503);
+    assert!(health.body.contains("quarantined:ghost"), "{}", health.body);
+    assert!(
+        http(addr, "GET", "/tenants", "").body.contains("\"quarantined\":true"),
+        "tenants listing must flag the quarantine"
+    );
+
+    // …but the daemon is up and other tenants are unaffected
+    assert_eq!(http(addr, "POST", "/snapshot?tenant=fine", &body).status, 200);
+
+    // the operator escape hatch: DELETE discards the tenant and its
+    // journal; re-admitting it from scratch then works
+    assert_eq!(http(addr, "DELETE", "/tenant?tenant=ghost", "").status, 200);
+    assert_eq!(http(addr, "POST", "/snapshot?tenant=ghost", &body).status, 200);
+    assert_eq!(http(addr, "GET", "/healthz", "").status, 200);
+
+    handle.shutdown();
+    let _ = join.join().unwrap();
+}
+
+#[test]
+fn retrain_after_restart_sees_precrash_samples() {
+    let root = scratch("samples");
+    let stream = root.join("samples.jsonl");
+    let mut config = wal_config(root.clone());
+    config.sample_stream_path = Some(stream.clone());
+
+    // first life: bank selector samples, then drain (which persists them)
+    let log_before = config.rasa.sample_log.clone();
+    let (addr, handle, join) = boot(config);
+    let problem = generate(&spec(7, 5));
+    let body = serde_json::to_string(&problem).unwrap();
+    assert_eq!(http(addr, "POST", "/snapshot?tenant=acme", &body).status, 200);
+    assert!(
+        !log_before.is_empty(),
+        "a fresh solve must bank at least one selector sample"
+    );
+    // top the shared stream up past the retrain floor, as a long first
+    // life's solve traffic would (delta rounds mostly replay the cache,
+    // which deliberately records nothing)
+    let features = rasa_core::portfolio_features(&problem);
+    while log_before.len() < rasa_core::MIN_RETRAIN_SAMPLES + 1 {
+        for &alg in &rasa_core::PoolAlgorithm::ALL {
+            log_before.record(rasa_core::SelectionSample {
+                features: features.clone(),
+                choice: alg,
+                quality: match alg {
+                    rasa_core::PoolAlgorithm::Mip => 0.9,
+                    rasa_core::PoolAlgorithm::Cg => 0.8,
+                    rasa_core::PoolAlgorithm::Pop => 0.5,
+                    rasa_core::PoolAlgorithm::Greedy => 0.2,
+                },
+                latency_secs: 0.05,
+                degraded: false,
+            });
+        }
+    }
+    let banked = log_before.len();
+    handle.shutdown();
+    let _ = join.join().unwrap();
+    assert!(stream.exists(), "drain must persist the sample stream");
+
+    // second life: a *fresh* config (empty in-memory log) reloads the
+    // persisted stream on bind, so retraining starts from pre-crash data
+    let mut config2 = wal_config(root);
+    config2.sample_stream_path = Some(stream);
+    config2.retrain_every = Some(1);
+    let log_after = config2.rasa.sample_log.clone();
+    assert!(log_after.is_empty());
+    let (addr2, handle2, join2) = boot(config2);
+    assert!(
+        log_after.len() >= banked,
+        "restart must reload the {banked} pre-crash samples, found {}",
+        log_after.len()
+    );
+
+    // the reloaded stream is already past the retrain floor, so with
+    // retrain_every=1 the very next publish round refits the selector
+    let retrains_before = rasa_obs::global().counter("serve.retrains").get();
+    for step in 0..2 {
+        let delta = format!(
+            "{{\"edge_updates\":[{{\"a\":1,\"b\":{},\"weight\":{}.75}}],\"replica_updates\":[]}}",
+            2 + step,
+            10 + step
+        );
+        assert_eq!(http(addr2, "POST", "/delta?tenant=acme", &delta).status, 200);
+    }
+    assert!(
+        rasa_obs::global().counter("serve.retrains").get() > retrains_before,
+        "retraining after restart should have fired on the reloaded stream"
+    );
+    handle2.shutdown();
+    let _ = join2.join().unwrap();
+}

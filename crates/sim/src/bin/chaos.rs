@@ -10,6 +10,15 @@
 //!                                          writes the round-by-round JSON
 //!                                          report to
 //!                                          `target/corruption_chaos/report.json`
+//!   `chaos crash [SEED] [POINTS]`        — kill-9 crash/recovery campaign
+//!                                          against the real `rasa-serve`
+//!                                          binary (defaults: seed 11, 50
+//!                                          crash points; binary located
+//!                                          via `RASA_SERVE_BIN` or next to
+//!                                          this executable); report lands
+//!                                          in `target/crash_chaos/report.json`,
+//!                                          failed rounds leave journals in
+//!                                          `target/crash_chaos/work/`
 //!
 //! Every fault round is black-boxed by the flight recorder: dumps land in
 //! `RASA_FLIGHT_DIR` (default `target/chaos_blackbox/`), one JSON file per
@@ -19,6 +28,7 @@ use rasa_migrate::MigrateConfig;
 use rasa_obs::FlightConfig;
 use rasa_sim::chaos::{run_chaos, ChaosSchedule};
 use rasa_sim::corruption::run_corruption_campaign;
+use rasa_sim::crash::{locate_serve_bin, run_crash_campaign, CrashConfig};
 use rasa_solver::MipBased;
 use rasa_trace::{generate, tiny_cluster};
 
@@ -61,6 +71,73 @@ fn corruption_main(mut args: impl Iterator<Item = String>) -> ! {
     std::process::exit(if report.is_clean() { 0 } else { 1 });
 }
 
+/// Run the kill-9 crash/recovery campaign and exit non-zero on any panic,
+/// identity violation, or unbounded recovery.
+fn crash_main(mut args: impl Iterator<Item = String>) -> ! {
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(11);
+    let points: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(50);
+    let Some(serve_bin) = locate_serve_bin() else {
+        eprintln!(
+            "rasa-serve binary not found: build it first \
+             (`cargo build --release -p rasa-serve`) or set RASA_SERVE_BIN"
+        );
+        std::process::exit(2);
+    };
+    println!(
+        "crash campaign: seed={seed}, {points} crash points, binary {}",
+        serve_bin.display()
+    );
+    let config = CrashConfig {
+        seed,
+        crash_points: points,
+        serve_bin,
+        work_dir: "target/crash_chaos/work".into(),
+    };
+    let report = run_crash_campaign(&config);
+    for (i, r) in report.rounds.iter().enumerate() {
+        println!(
+            "  round {i}: {} acked={} recovered={} recovery={:.2}s panicked={}{}",
+            r.mode,
+            r.acked_rounds,
+            r.recovered,
+            r.recovery_seconds,
+            r.panicked,
+            if r.violations.is_empty() {
+                String::new()
+            } else {
+                format!("  VIOLATIONS: {}", r.violations.join("; "))
+            }
+        );
+    }
+    println!(
+        "identical recoveries: {}; quarantines: {}; panics: {}; \
+         recovery mean {:.2}s max {:.2}s",
+        report.identical_recoveries,
+        report.quarantines,
+        report.panics,
+        report.mean_recovery_seconds,
+        report.max_recovery_seconds
+    );
+    for v in &report.violations {
+        eprintln!("VIOLATION: {v}");
+    }
+    let out_dir = std::path::Path::new("target/crash_chaos");
+    if std::fs::create_dir_all(out_dir).is_ok() {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => {
+                let path = out_dir.join("report.json");
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("could not write {}: {e}", path.display());
+                } else {
+                    println!("report written to {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("could not serialize report: {e}"),
+        }
+    }
+    std::process::exit(if report.is_clean() { 0 } else { 1 });
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let first = args.next();
@@ -75,6 +152,9 @@ fn main() {
 
     if first.as_deref() == Some("corruption") {
         corruption_main(args);
+    }
+    if first.as_deref() == Some("crash") {
+        crash_main(args);
     }
     let seed: u64 = first.and_then(|a| a.parse().ok()).unwrap_or(7);
     let max_failures: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);

@@ -30,9 +30,16 @@
 //! * [`soak`] — seeded churn campaign against a live `rasa-serve` daemon
 //!   (tenant arrivals/departures, delta storms, slow-loris, disconnects,
 //!   corrupted snapshots) asserting zero panics, zero uncertified
-//!   publishes, and bounded state.
+//!   publishes, and bounded state;
+//! * [`crash`] — seeded kill-9 campaign against the **real** `rasa-serve`
+//!   binary with write-ahead journaling on: SIGKILL at quiesce, aborts
+//!   mid-append and mid-compaction via `RASA_WAL_CRASH_AT`, and post-kill
+//!   journal damage (torn tail, bit flip, truncated segment), asserting
+//!   recovered placements are byte-identical to acked certified ones and
+//!   that damage quarantines instead of killing the daemon.
 
 pub mod chaos;
+pub mod crash;
 pub mod collector;
 pub mod corruption;
 pub mod cronjob;
@@ -42,6 +49,7 @@ pub mod network;
 pub mod soak;
 
 pub use chaos::{run_chaos, ChaosEvent, ChaosReport, ChaosSchedule, InvariantChecker};
+pub use crash::{locate_serve_bin, run_crash_campaign, CrashConfig, CrashReport, CrashRound};
 pub use corruption::{run_corruption_campaign, CorruptionKind, CorruptionReport, CorruptionRound};
 pub use soak::{run_soak, SoakConfig, SoakReport};
 pub use collector::{ClusterState, DataCollector};

@@ -41,6 +41,16 @@ pub enum PersistError {
         /// The underlying JSON error.
         source: serde_json::Error,
     },
+    /// The bytes were written but could not be made durable: `fsync`
+    /// (or the flush before it) failed. The file may exist with partial
+    /// or non-durable contents — callers treating a save as a commit
+    /// point (journals, checkpoints) must treat this as a failed save.
+    Sync {
+        /// The artifact path involved.
+        path: PathBuf,
+        /// The underlying filesystem error.
+        source: io::Error,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -64,6 +74,9 @@ impl fmt::Display for PersistError {
             PersistError::Serialize { source } => {
                 write!(f, "failed to serialize problem: {source}")
             }
+            PersistError::Sync { path, source } => {
+                write!(f, "{}: fsync failed: {source}", path.display())
+            }
         }
     }
 }
@@ -74,18 +87,38 @@ impl std::error::Error for PersistError {
             PersistError::Io { source, .. } => Some(source),
             PersistError::Parse { source, .. } => Some(source),
             PersistError::Serialize { source } => Some(source),
+            PersistError::Sync { source, .. } => Some(source),
         }
     }
 }
 
-/// Write `problem` to `path` as JSON.
+/// Write `bytes` to `path` and make them durable: create, `write_all`,
+/// `flush`, `sync_all`. A failed write is [`PersistError::Io`]; a write
+/// that succeeded but could not be fsynced is the distinct
+/// [`PersistError::Sync`] — previously that failure mode was silently
+/// reported as success because saves went through `std::fs::write` alone.
+fn write_durable(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    use std::io::Write;
+    let io_err = |source| PersistError::Io {
+        path: path.to_path_buf(),
+        source,
+    };
+    let mut file = std::fs::File::create(path).map_err(io_err)?;
+    file.write_all(bytes).map_err(io_err)?;
+    file.flush()
+        .and_then(|()| file.sync_all())
+        .map_err(|source| PersistError::Sync {
+            path: path.to_path_buf(),
+            source,
+        })
+}
+
+/// Write `problem` to `path` as JSON, durably (fsynced; see
+/// [`PersistError::Sync`]).
 pub fn save_problem(problem: &Problem, path: &Path) -> Result<(), PersistError> {
     let json =
         serde_json::to_string(problem).map_err(|source| PersistError::Serialize { source })?;
-    std::fs::write(path, json).map_err(|source| PersistError::Io {
-        path: path.to_path_buf(),
-        source,
-    })
+    write_durable(path, json.as_bytes())
 }
 
 /// Load a problem saved by [`save_problem`].
@@ -106,9 +139,10 @@ pub fn load_problem(path: &Path) -> Result<Problem, PersistError> {
     })
 }
 
-/// Write `items` to `path` as JSONL — one compact JSON object per line.
-/// The format is append-friendly: streams from several runs can be
-/// concatenated and still load.
+/// Write `items` to `path` as JSONL — one compact JSON object per line,
+/// durably (fsynced; see [`PersistError::Sync`]). The format is
+/// append-friendly: streams from several runs can be concatenated and
+/// still load.
 pub fn save_jsonl<T: Serialize>(items: &[T], path: &Path) -> Result<(), PersistError> {
     let mut out = String::new();
     for item in items {
@@ -117,10 +151,7 @@ pub fn save_jsonl<T: Serialize>(items: &[T], path: &Path) -> Result<(), PersistE
         out.push_str(&line);
         out.push('\n');
     }
-    std::fs::write(path, out).map_err(|source| PersistError::Io {
-        path: path.to_path_buf(),
-        source,
-    })
+    write_durable(path, out.as_bytes())
 }
 
 /// Load a JSONL stream saved by [`save_jsonl`] (or appended to since).
@@ -238,6 +269,41 @@ mod tests {
         assert_eq!(back[0], items[0]);
         assert_eq!(back[2].id, 3);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_to_unwritable_target_reports_typed_io_error() {
+        // A read-only directory does not stop root, so use targets that
+        // fail for every uid: the target path IS a directory, and the
+        // target's parent is a regular file.
+        let p = generate(&tiny_cluster(3));
+        let dir_target = temp_path("is_a_directory");
+        std::fs::create_dir_all(&dir_target).expect("dir creates");
+        let err = save_problem(&p, &dir_target).expect_err("directory target must fail");
+        assert!(matches!(err, PersistError::Io { .. }), "got {err:?}");
+        assert!(err.to_string().contains("is_a_directory"));
+
+        let file_parent = temp_path("not_a_dir");
+        std::fs::write(&file_parent, b"plain file").expect("writes");
+        let under_file = file_parent.join("stream.jsonl");
+        let err = save_jsonl(&[1u32, 2, 3], &under_file).expect_err("file parent must fail");
+        assert!(matches!(err, PersistError::Io { .. }), "got {err:?}");
+        assert!(err.to_string().contains("not_a_dir"));
+        std::fs::remove_file(&file_parent).ok();
+    }
+
+    #[test]
+    fn sync_failures_are_a_distinct_variant() {
+        // fsync failure cannot be provoked portably in a unit test;
+        // assert the variant's contract (display + source chain) so the
+        // journal layer can match on it.
+        let err = PersistError::Sync {
+            path: PathBuf::from("/tmp/wal/seg-1.wal"),
+            source: io::Error::new(io::ErrorKind::Other, "EIO"),
+        };
+        assert!(err.to_string().contains("fsync failed"));
+        assert!(err.to_string().contains("seg-1.wal"));
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]
